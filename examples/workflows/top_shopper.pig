@@ -1,0 +1,11 @@
+-- Top-shopper in the Pig Latin subset (cf. top_shopper.beer).
+-- Run:
+--   dune exec bin/musketeer_cli.exe -- run-file --frontend pig \
+--     -f examples/workflows/top_shopper.pig \
+--     --table "purchases=examples/workflows/purchases.csv:uid:int,region:string,amount:int@2048"
+purchases = LOAD 'purchases';
+eu        = FILTER purchases BY region == 'EU';
+by_user   = GROUP eu BY uid;
+spend     = FOREACH by_user GENERATE group, SUM(amount) AS total;
+big       = FILTER spend BY total > 1000;
+STORE big INTO 'big_spenders';
