@@ -1,0 +1,151 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (see DESIGN.md's per-experiment index). With no argument all
+   experiments run in order; pass target names to run a subset;
+   `bechamel` runs the Bechamel micro-benchmarks of the partitioning
+   algorithms (the Figure 13 measurement). *)
+
+let ppf = Format.std_formatter
+
+let targets : (string * string * (unit -> unit)) list =
+  [ ("fig2a", "PROJECT micro-benchmark (Fig 2a) + JOIN (Fig 2b)",
+     fun () -> Experiments.Fig2_micro.run ppf);
+    ("fig3", "PageRank motivation across systems (Fig 3)",
+     fun () -> Experiments.Fig3_pagerank_motivation.run ppf);
+    ("fig7", "TPC-H Q17 dynamic mapping (Fig 7)",
+     fun () -> Experiments.Fig7_tpch.run ppf);
+    ("fig8", "PageRank mapping + resource efficiency (Fig 8)",
+     fun () -> Experiments.Fig8_pagerank_mapping.run ppf);
+    ("fig9", "cross-community PageRank combinations (Fig 9)",
+     fun () -> Experiments.Fig9_cross_community.run ppf);
+    ("fig10", "NetFlix generated-code overhead (Fig 10)",
+     fun () -> Experiments.Fig10_netflix_overhead.run ppf);
+    ("fig11", "PageRank generated-code overhead (Fig 11)",
+     fun () -> Experiments.Fig11_pagerank_overhead.run ppf);
+    ("fig12", "operator merging and shared scans (Fig 12)",
+     fun () -> Experiments.Fig12_merging.run ppf);
+    ("fig13", "DAG partitioning runtime (Fig 13)",
+     fun () -> Experiments.Fig13_partitioning.run ppf);
+    ("fig14", "automated mapping quality (Fig 14)",
+     fun () -> Experiments.Fig14_mapping_quality.run ppf);
+    ("fig15", "SSSP and k-means automated mapping (Fig 15)",
+     fun () -> Experiments.Fig15_new_workflows.run ppf);
+    ("table1", "calibrated rate parameters (Table 1)",
+     fun () -> Experiments.Tables.table1 ppf);
+    ("table3", "system feature matrix (Table 3)",
+     fun () -> Experiments.Tables.table3 ppf);
+    ("sec7", "student JOIN baseline anecdote (Sec 7)",
+     fun () -> Experiments.Tables.student_join ppf);
+    ("ablations", "beyond-paper design-choice ablations",
+     fun () -> Experiments.Ablations.run ppf) ]
+
+(* fig2b is part of the fig2a module; accept both names *)
+let resolve name = if name = "fig2b" then "fig2a" else name
+
+(* ---- Bechamel micro-benchmarks ----
+   (1) exhaustive vs dynamic partitioning on NetFlix-prefix DAGs (real
+       time, Fig 13's measurement);
+   (2) the relational kernels every engine executes on. *)
+
+let bechamel () =
+  let open Bechamel in
+  let m = Experiments.Common.musketeer_for (Experiments.Common.ec2 16) in
+  let hdfs = Experiments.Common.load_netflix ~movies:17000 in
+  let full = Workloads.Workflows.netflix_extended () in
+  let prefix x = Experiments.Fig13_partitioning.prefix_graph full x in
+  let profile = Musketeer.profile m in
+  let backends = Engines.Backend.all in
+  let partition_test algo_name algo x =
+    let g = prefix x in
+    let est = Musketeer.estimator m ~workflow:"bench" ~hdfs g in
+    Test.make
+      ~name:(Printf.sprintf "%s/%d-ops" algo_name x)
+      (Staged.stage (fun () -> ignore (algo ~profile ~est ~backends g)))
+  in
+  let partition_tests =
+    List.concat_map
+      (fun x ->
+         partition_test "dynamic" Musketeer.Partitioner.dynamic x
+         ::
+         (if x <= 10 then
+            [ partition_test "exhaustive" Musketeer.Partitioner.exhaustive x ]
+          else []))
+      [ 4; 8; 10; 14; 18 ]
+  in
+  let kernel_tests =
+    let open Relation in
+    let schema =
+      Schema.make [ { Schema.name = "k"; ty = Value.Tint };
+                    { Schema.name = "v"; ty = Value.Tint } ]
+    in
+    let table n =
+      Table.create_unchecked schema
+        (Array.init n (fun i -> [| Value.Int (i mod 97); Value.Int i |]))
+    in
+    let t = table 10_000 and small = table 500 in
+    [ Test.make ~name:"select/10k"
+        (Staged.stage (fun () ->
+             ignore (Kernel.select t Expr.(col "v" > int 5000))));
+      Test.make ~name:"hash-join/10k x 500"
+        (Staged.stage (fun () ->
+             ignore (Kernel.join t small ~left_key:"k" ~right_key:"k")));
+      Test.make ~name:"group-by/10k"
+        (Staged.stage (fun () ->
+             ignore
+               (Kernel.group_by t ~keys:[ "k" ]
+                  ~aggs:[ Aggregate.make (Aggregate.Sum "v") ~as_name:"s" ])));
+      Test.make ~name:"distinct/10k"
+        (Staged.stage (fun () -> ignore (Kernel.distinct t))) ]
+  in
+  let test =
+    Test.make_grouped ~name:"musketeer"
+      [ Test.make_grouped ~name:"partitioning" partition_tests;
+        Test.make_grouped ~name:"kernels" kernel_tests ]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances test in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false
+         ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+       let estimate =
+         match Analyze.OLS.estimates result with
+         | Some [ est ] -> Printf.sprintf "%12.1f ns/run" est
+         | _ -> "(no estimate)"
+       in
+       rows := (name, estimate) :: !rows)
+    results;
+  List.iter
+    (fun (name, est) -> Printf.printf "%-36s %s\n" name est)
+    (List.sort compare !rows)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "list" ] | [ "--list" ] ->
+    List.iter
+      (fun (name, descr, _) -> Printf.printf "%-8s %s\n" name descr)
+      targets;
+    print_endline "bechamel  Bechamel micro-benchmarks (partitioning)"
+  | [ "bechamel" ] -> bechamel ()
+  | [] ->
+    List.iter
+      (fun (name, _, f) ->
+         Printf.printf "\n###### %s ######\n%!" name;
+         f ())
+      targets
+  | names ->
+    List.iter
+      (fun raw ->
+         let name = resolve raw in
+         match List.find_opt (fun (n, _, _) -> n = name) targets with
+         | Some (_, _, f) -> f ()
+         | None ->
+           if raw = "bechamel" then bechamel ()
+           else Printf.eprintf "unknown target %s (try: list)\n" raw)
+      names

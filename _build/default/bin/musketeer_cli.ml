@@ -1,0 +1,336 @@
+(* Musketeer command-line interface.
+
+   Subcommands:
+     plan      plan a workflow from the built-in zoo and show the mapping
+     run       plan + execute, printing per-job reports and result samples
+     run-file  run a user workflow file against user CSV relations
+     parse     parse a front-end source file and print its IR DAG
+     calibrate print the calibrated rate parameters (paper Table 1)
+     engines   print the system feature matrix (paper Table 3)
+
+   The zoo workflows ship with synthetic inputs at the paper's modeled
+   scales, so `musketeer run -w pagerank -n 100` reproduces a Figure 8
+   data point from the shell. *)
+
+open Cmdliner
+
+let zoo =
+  [ ("tpch", `Tpch); ("top-shopper", `Top_shopper); ("netflix", `Netflix);
+    ("pagerank", `Pagerank); ("components", `Components);
+    ("cross-community", `Cross_community);
+    ("sssp", `Sssp); ("kmeans", `Kmeans); ("join", `Join);
+    ("project", `Project) ]
+
+let load_workflow kind =
+  match kind with
+  | `Tpch ->
+    (Experiments.Common.load_tpch ~scale_factor:10,
+     Workloads.Workflows.tpch_q17 ())
+  | `Top_shopper ->
+    (Experiments.Common.load_purchases ~users:10_000_000,
+     Workloads.Workflows.top_shopper ())
+  | `Netflix ->
+    (Experiments.Common.load_netflix ~movies:8000,
+     Workloads.Workflows.netflix ())
+  | `Pagerank ->
+    (Experiments.Common.load_graph Workloads.Datagen.orkut,
+     Workloads.Workflows.pagerank_gas ())
+  | `Components ->
+    (Experiments.Common.load_graph Workloads.Datagen.orkut,
+     Workloads.Workflows.connected_components ~iterations:8 ())
+  | `Cross_community ->
+    (Experiments.Common.load_communities (),
+     Workloads.Workflows.cross_community_pagerank ())
+  | `Sssp ->
+    (Experiments.Common.load_sssp (), Workloads.Workflows.sssp ~max_rounds:8 ())
+  | `Kmeans ->
+    (Experiments.Common.load_kmeans ~points:100_000_000 ~k:100,
+     Workloads.Workflows.kmeans ())
+  | `Join ->
+    let l, r = Workloads.Datagen.asymmetric_join_tables () in
+    (Experiments.Common.hdfs_with [ ("left", l); ("right", r) ],
+     Workloads.Workflows.simple_join ())
+  | `Project ->
+    (Experiments.Common.hdfs_with
+       [ ("lines", Workloads.Datagen.two_column_ascii ~modeled_mb:2048. ()) ],
+     Workloads.Workflows.project_only ())
+
+(* ---- arguments ---- *)
+
+let workflow_arg =
+  let workflow_conv = Arg.enum zoo in
+  Arg.(
+    required
+    & opt (some workflow_conv) None
+    & info [ "w"; "workflow" ] ~docv:"NAME"
+        ~doc:
+          (Printf.sprintf "Workflow from the built-in zoo: %s."
+             (String.concat ", " (List.map fst zoo))))
+
+let nodes_arg =
+  Arg.(
+    value & opt int 16
+    & info [ "n"; "nodes" ] ~docv:"N"
+        ~doc:"Cluster size (EC2 m1.xlarge-style nodes).")
+
+let backend_arg =
+  let backend_conv =
+    Arg.enum
+      (List.map (fun b -> (String.lowercase_ascii (Engines.Backend.name b), b))
+         Engines.Backend.all)
+  in
+  Arg.(
+    value & opt (some backend_conv) None
+    & info [ "b"; "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Force a single back-end (Hadoop, Spark, Naiad, PowerGraph, \
+           GraphChi, Metis, SerialC); omit for automatic mapping.")
+
+let show_code_arg =
+  Arg.(
+    value & flag
+    & info [ "show-code" ] ~doc:"Print the generated back-end code per job.")
+
+let file_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Front-end source file.")
+
+let frontend_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("beer", `Beer); ("hive", `Hive); ("gas", `Gas);
+             ("pig", `Pig) ])
+        `Beer
+    & info [ "frontend" ] ~docv:"LANG" ~doc:"Front-end language of the file.")
+
+let dot_arg =
+  Arg.(
+    value & flag
+    & info [ "dot" ] ~doc:"Print the IR DAG in Graphviz dot format.")
+
+let tables_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "table" ] ~docv:"NAME=FILE:SCHEMA[@MB]"
+        ~doc:
+          "Load a relation from a comma-separated file, e.g. \
+           purchases=p.csv:uid:int,region:string,amount:int@2048 (the \
+           optional @MB models the HDFS size). Repeatable.")
+
+let history_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "history" ] ~docv:"FILE"
+        ~doc:
+          "Load workflow history from FILE if it exists and save it back \
+           after the run (unlocks merges across JOINs, paper section 5.2).")
+
+let parse_frontend frontend source =
+  match frontend with
+  | `Beer -> Frontends.Beer.parse source
+  | `Hive -> Frontends.Hive.parse source
+  | `Pig -> Frontends.Pig.parse source
+  | `Gas ->
+    Frontends.Gas.parse_to_graph source ~vertices:"vertices" ~edges:"edges"
+
+let with_parse_errors f =
+  try f () with
+  | Frontends.Beer.Parse_error (msg, line)
+  | Frontends.Hive.Parse_error (msg, line)
+  | Frontends.Pig.Parse_error (msg, line)
+  | Frontends.Gas.Parse_error (msg, line) ->
+    Format.eprintf "parse error (line %d): %s@." line msg;
+    exit 1
+  | Workloads.Csv_loader.Bad_spec msg ->
+    Format.eprintf "bad --table spec: %s@." msg;
+    exit 1
+
+(* ---- commands ---- *)
+
+let setup kind nodes =
+  let cluster = Engines.Cluster.ec2 ~nodes in
+  let m = Experiments.Common.musketeer_for cluster in
+  let hdfs, graph = load_workflow kind in
+  (m, hdfs, graph)
+
+let plan_cmd =
+  let run kind nodes backend dot =
+    let m, hdfs, graph = setup kind nodes in
+    let backends = Option.map (fun b -> [ b ]) backend in
+    match Musketeer.plan m ?backends ~workflow:"cli" ~hdfs graph with
+    | None -> Format.printf "no feasible plan@."
+    | Some (plan, g') ->
+      if dot then print_string (Musketeer.Explain.plan_dot g' plan)
+      else begin
+        Format.printf "IR DAG:@.%a@." Ir.Dag.pp g';
+        Format.printf "plan:@.%a" Musketeer.Partitioner.pp_plan plan
+      end
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:
+         "Show the IR and the chosen job mapping (with --dot, a \
+          Graphviz rendering colored per job).")
+    Term.(const run $ workflow_arg $ nodes_arg $ backend_arg $ dot_arg)
+
+let run_cmd =
+  let run kind nodes backend show_code =
+    let m, hdfs, graph = setup kind nodes in
+    let backends = Option.map (fun b -> [ b ]) backend in
+    match Musketeer.plan m ?backends ~workflow:"cli" ~hdfs graph with
+    | None -> Format.printf "no feasible plan@."
+    | Some (plan, g') ->
+      Format.printf "plan:@.%a@." Musketeer.Partitioner.pp_plan plan;
+      if show_code then
+        List.iter
+          (fun (label, source) ->
+             Format.printf "@.---- %s ----@.%s@." label source)
+          (Musketeer.show_code ~graph:g' plan);
+      (match Musketeer.execute_plan m ~workflow:"cli" ~hdfs ~graph:g' plan with
+       | Error e ->
+         Format.printf "execution failed: %s@."
+           (Engines.Report.error_to_string e)
+       | Ok result ->
+         List.iter
+           (fun report -> Format.printf "%a@." Engines.Report.pp report)
+           result.Musketeer.Executor.reports;
+         Format.printf "@.workflow makespan: %.1fs@."
+           result.Musketeer.Executor.makespan_s;
+         List.iter
+           (fun (name, table) ->
+              Format.printf "@.output %s:@.%a" name
+                (Relation.Table.pp_sample ~n:10)
+                table)
+           result.Musketeer.Executor.outputs)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Plan and execute a workflow on the simulated cluster.")
+    Term.(const run $ workflow_arg $ nodes_arg $ backend_arg $ show_code_arg)
+
+let parse_cmd =
+  let run frontend file dot =
+    let source = In_channel.with_open_text file In_channel.input_all in
+    let graph = parse_frontend frontend source in
+    if dot then print_string (Ir.Dag.to_dot graph)
+    else begin
+      Format.printf "%a" Ir.Dag.pp graph;
+      Format.printf "(%d operators)@." (Ir.Dag.operator_count graph)
+    end
+  in
+  Cmd.v
+    (Cmd.info "parse"
+       ~doc:"Parse a BEER / HiveQL / GAS source file and print its IR.")
+    Term.(
+      const (fun frontend file dot ->
+          with_parse_errors (fun () -> run frontend file dot))
+      $ frontend_arg $ file_arg $ dot_arg)
+
+let run_file_cmd =
+  let run frontend file tables nodes backend show_code history_file =
+    let source = In_channel.with_open_text file In_channel.input_all in
+    let graph = parse_frontend frontend source in
+    let hdfs = Engines.Hdfs.create () in
+    Workloads.Csv_loader.load_bindings hdfs tables;
+    let cluster = Engines.Cluster.ec2 ~nodes in
+    let m = Experiments.Common.musketeer_for cluster in
+    let m =
+      match history_file with
+      | Some f when Sys.file_exists f ->
+        Musketeer.with_history m (Musketeer.History.load ~filename:f)
+      | Some _ -> Musketeer.with_history m (Musketeer.History.create ())
+      | None -> m
+    in
+    let backends = Option.map (fun b -> [ b ]) backend in
+    let workflow = Filename.remove_extension (Filename.basename file) in
+    match Musketeer.plan m ?backends ~workflow ~hdfs graph with
+    | None -> Format.printf "no feasible plan@."
+    | Some (plan, g') ->
+      Format.printf "plan:@.%a@." Musketeer.Partitioner.pp_plan plan;
+      if show_code then
+        List.iter
+          (fun (label, job_source) ->
+             Format.printf "@.---- %s ----@.%s@." label job_source)
+          (Musketeer.show_code ~graph:g' plan);
+      (match Musketeer.execute_plan m ~workflow ~hdfs ~graph:g' plan with
+       | Error e ->
+         Format.printf "execution failed: %s@."
+           (Engines.Report.error_to_string e)
+       | Ok result ->
+         List.iter
+           (fun report -> Format.printf "%a@." Engines.Report.pp report)
+           result.Musketeer.Executor.reports;
+         Format.printf "@.workflow makespan: %.1fs@."
+           result.Musketeer.Executor.makespan_s;
+         List.iter
+           (fun (name, table) ->
+              Format.printf "@.output %s:@.%a" name
+                (Relation.Table.pp_sample ~n:20)
+                table)
+           result.Musketeer.Executor.outputs;
+         (match history_file with
+          | Some f ->
+            Musketeer.History.save (Musketeer.history m) ~filename:f;
+            Format.printf "history saved to %s@." f
+          | None -> ()))
+  in
+  Cmd.v
+    (Cmd.info "run-file"
+       ~doc:
+         "Parse a workflow file, load CSV relations, plan and execute it \
+          on the simulated cluster.")
+    Term.(
+      const (fun frontend file tables nodes backend show_code history ->
+          with_parse_errors (fun () ->
+              run frontend file tables nodes backend show_code history))
+      $ frontend_arg $ file_arg $ tables_arg $ nodes_arg $ backend_arg
+      $ show_code_arg $ history_arg)
+
+let explain_cmd =
+  let run kind nodes backend =
+    let m, hdfs, graph = setup kind nodes in
+    let backends = Option.map (fun b -> [ b ]) backend in
+    let report = Musketeer.explain ?backends m ~workflow:"cli" ~hdfs graph in
+    Musketeer.Explain.pp Format.std_formatter report
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Show the optimized IR, the per-operator volume estimates and \
+          why the chosen mapping beats the alternatives.")
+    Term.(const run $ workflow_arg $ nodes_arg $ backend_arg)
+
+let calibrate_cmd =
+  let run nodes =
+    let m = Experiments.Common.musketeer_for (Engines.Cluster.ec2 ~nodes) in
+    Format.printf "calibrated rates for %a:@.%a"
+      Engines.Cluster.pp
+      (Musketeer.cluster m)
+      Musketeer.Profile.pp (Musketeer.profile m)
+  in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:"Print the calibrated rate parameters (paper Table 1).")
+    Term.(const run $ nodes_arg)
+
+let engines_cmd =
+  let run () = Experiments.Tables.table3 Format.std_formatter in
+  Cmd.v
+    (Cmd.info "engines"
+       ~doc:"Print the data-processing-system feature matrix (Table 3).")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "musketeer" ~version:"1.0.0"
+      ~doc:"All for one, one for all in data processing systems."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ plan_cmd; run_cmd; run_file_cmd; parse_cmd; explain_cmd;
+            calibrate_cmd; engines_cmd ]))

@@ -1,0 +1,1 @@
+examples/cross_community.ml: Engines Experiments Format List Musketeer Workloads

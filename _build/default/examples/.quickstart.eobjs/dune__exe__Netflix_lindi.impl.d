@@ -1,0 +1,1 @@
+examples/netflix_lindi.ml: Aggregate Engines Experiments Expr Format Frontends Ir List Musketeer Relation Table Workloads

@@ -1,0 +1,1 @@
+examples/netflix_lindi.mli:

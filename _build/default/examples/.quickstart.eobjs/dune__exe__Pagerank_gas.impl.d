@@ -1,0 +1,1 @@
+examples/pagerank_gas.ml: Engines Format Frontends List Musketeer Relation Workloads

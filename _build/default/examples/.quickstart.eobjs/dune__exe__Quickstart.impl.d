@@ -1,0 +1,1 @@
+examples/quickstart.ml: Engines Format Frontends Ir List Musketeer Relation Table Workloads

@@ -1,0 +1,1 @@
+examples/tpch_hive.ml: Engines Experiments Format List Musketeer Relation Workloads

@@ -1,0 +1,57 @@
+(* Combining execution engines within one workflow (paper §6.3,
+   Figure 9): cross-community PageRank intersects the edge sets of two
+   web communities (a batch phase suited to a general-purpose engine)
+   and runs PageRank on the common sub-graph (an iterative phase suited
+   to a specialized one). Musketeer explores the combinations.
+
+   Run with: dune exec examples/cross_community.exe *)
+
+let () =
+  let m = Musketeer.create ~cluster:Engines.Cluster.local_seven () in
+  let graph = Workloads.Workflows.cross_community_pagerank () in
+  let hdfs () =
+    let a, b = Workloads.Datagen.community_pair () in
+    let h = Engines.Hdfs.create () in
+    Workloads.Datagen.put h "edges_a" a;
+    Workloads.Datagen.put h "edges_b" b;
+    h
+  in
+
+  (* single-system executions *)
+  List.iter
+    (fun backend ->
+       match
+         Experiments.Common.run_forced m ~workflow:"cc" ~hdfs:(hdfs ())
+           ~backend graph
+       with
+       | Ok s ->
+         Format.printf "%-22s %6.1fs@." (Engines.Backend.name backend) s
+       | Error e -> Format.printf "%-22s %s@." (Engines.Backend.name backend) e)
+    [ Engines.Backend.Hadoop; Engines.Backend.Spark; Engines.Backend.Naiad ];
+
+  (* mixed mapping: restrict the planner to Hadoop + PowerGraph and it
+     places the batch phase on Hadoop, the loop on PowerGraph *)
+  (match
+     Musketeer.plan m
+       ~backends:[ Engines.Backend.Hadoop; Engines.Backend.Power_graph ]
+       ~workflow:"cc" ~hdfs:(hdfs ()) graph
+   with
+   | Some (plan, graph') ->
+     Format.printf "@.Hadoop + PowerGraph combination:@.%a"
+       Musketeer.Partitioner.pp_plan plan;
+     (match
+        Musketeer.execute_plan m ~workflow:"cc" ~hdfs:(hdfs ())
+          ~graph:graph' plan
+      with
+      | Ok result ->
+        Format.printf "combined makespan: %.1fs@."
+          result.Musketeer.Executor.makespan_s
+      | Error e -> prerr_endline (Engines.Report.error_to_string e))
+   | None -> prerr_endline "no combined plan");
+
+  (* fully automatic choice over all seven engines *)
+  match Musketeer.execute m ~workflow:"cc" ~hdfs:(hdfs ()) graph with
+  | Ok (result, plan) ->
+    Format.printf "@.automatic choice:@.%a" Musketeer.Partitioner.pp_plan plan;
+    Format.printf "makespan: %.1fs@." result.Musketeer.Executor.makespan_s
+  | Error e -> prerr_endline (Engines.Report.error_to_string e)

@@ -1,0 +1,1 @@
+lib/core/musketeer.ml: Codegen Column_pruning Cost Engines Estimator Executor Explain History Idiom Jobgraph List Mapper Optimizer Option Partitioner Printf Profile Relation Render Support

@@ -1,0 +1,1 @@
+lib/core/musketeer.mli: Codegen Column_pruning Cost Engines Estimator Executor Explain History Idiom Ir Jobgraph Mapper Optimizer Partitioner Profile Relation Render Support

@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Engines Ir List Render

@@ -1,0 +1,1 @@
+lib/core/column_pruning.ml: Aggregate Expr Hashtbl Ir List Option Rebuild Relation Schema Set String

@@ -1,0 +1,1 @@
+lib/core/column_pruning.mli: Hashtbl Ir Relation

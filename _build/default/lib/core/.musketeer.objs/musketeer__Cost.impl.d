@@ -1,0 +1,1 @@
+lib/core/cost.ml: Engines Estimator Hashtbl History Ir List Printf Profile Support

@@ -1,0 +1,1 @@
+lib/core/estimator.ml: Hashtbl History Ir List

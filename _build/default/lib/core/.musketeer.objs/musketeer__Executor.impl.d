@@ -1,0 +1,1 @@
+lib/core/executor.ml: Codegen Engines Estimator History Ir Jobgraph List Logs Partitioner Printf Profile Relation Support

@@ -1,0 +1,1 @@
+lib/core/executor.mli: Engines History Ir Partitioner Profile Relation Stdlib

@@ -1,0 +1,1 @@
+lib/core/explain.ml: Buffer Cost Engines Estimator Format Hashtbl Ir List Optimizer Partitioner Printf Relation String

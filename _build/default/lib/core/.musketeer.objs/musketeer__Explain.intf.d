@@ -1,0 +1,1 @@
+lib/core/explain.mli: Cost Engines Format History Ir Partitioner Profile

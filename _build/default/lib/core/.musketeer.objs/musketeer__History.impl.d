@@ -1,0 +1,1 @@
+lib/core/history.ml: Buffer Hashtbl In_channel List Out_channel Printf String

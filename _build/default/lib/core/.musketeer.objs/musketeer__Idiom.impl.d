@@ -1,0 +1,1 @@
+lib/core/idiom.ml: Hashtbl Ir List

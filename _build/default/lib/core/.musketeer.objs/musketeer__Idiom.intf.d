@@ -1,0 +1,1 @@
+lib/core/idiom.mli: Ir

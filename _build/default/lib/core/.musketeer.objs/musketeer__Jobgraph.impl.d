@@ -1,0 +1,1 @@
+lib/core/jobgraph.ml: Array Hashtbl Ir List Rebuild

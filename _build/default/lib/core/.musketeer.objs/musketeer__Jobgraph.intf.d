@@ -1,0 +1,1 @@
+lib/core/jobgraph.mli: Ir

@@ -1,0 +1,1 @@
+lib/core/mapper.mli: Engines Ir

@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Column_pruning Expr Hashtbl Ir List Logs Option Rebuild Relation Schema

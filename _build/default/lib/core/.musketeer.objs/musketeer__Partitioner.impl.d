@@ -1,0 +1,1 @@
+lib/core/partitioner.ml: Array Cost Engines Format Fun Hashtbl Ir Jobgraph List Option String

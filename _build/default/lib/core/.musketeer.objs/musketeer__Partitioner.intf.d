@@ -1,0 +1,1 @@
+lib/core/partitioner.mli: Engines Estimator Format Ir Profile

@@ -1,0 +1,1 @@
+lib/core/profile.ml: Aggregate Array Engines Expr Float Format Ir List Option Printf Random Relation Schema Table Value

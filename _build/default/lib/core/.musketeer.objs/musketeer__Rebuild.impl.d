@@ -1,0 +1,1 @@
+lib/core/rebuild.ml: Ir List Printf

@@ -1,0 +1,1 @@
+lib/core/rebuild.mli: Ir

@@ -1,0 +1,1 @@
+lib/core/render.ml: Aggregate Buffer Engines Expr Ir List Printf Relation String

@@ -1,0 +1,1 @@
+lib/core/support.ml: Engines Ir List Printf String

@@ -1,0 +1,1 @@
+lib/core/support.mli: Engines Ir

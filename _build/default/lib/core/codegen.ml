@@ -1,0 +1,95 @@
+type generated = {
+  job : Engines.Job.t;
+  source : string;
+  naive_passes : int;
+  passes : int;
+}
+
+(* count operators of each flavour, recursing into WHILE bodies *)
+let rec op_census (g : Ir.Operator.graph) =
+  List.fold_left
+    (fun (map_like, joins, groups) (n : Ir.Operator.node) ->
+       match n.kind with
+       | Ir.Operator.Select _ | Ir.Operator.Project _ | Ir.Operator.Map _ ->
+         (map_like + 1, joins, groups)
+       | Ir.Operator.Join _ | Ir.Operator.Left_outer_join _
+       | Ir.Operator.Semi_join _ | Ir.Operator.Anti_join _
+       | Ir.Operator.Cross ->
+         (map_like, joins + 1, groups)
+       | Ir.Operator.Group_by _ | Ir.Operator.Agg _ ->
+         (map_like, joins, groups + 1)
+       | Ir.Operator.While { body; _ } ->
+         let m, j, gr = op_census body in
+         (map_like + m, joins + j, groups + gr)
+       | _ -> (map_like, joins, groups))
+    (0, 0, 0) g.nodes
+
+(* Listing 3 vs Listing 4: naive code scans once per map-side operator,
+   plus keying and flattening maps around shuffles; fully optimized code
+   makes one pass per shuffle stage. *)
+let pass_counts ~share_scans ~infer_types ~backend (g : Ir.Operator.graph) =
+  let map_like, joins, groups = op_census g in
+  (* redundant data passes of naive per-operator templates: one scan per
+     map-side operator plus keying/flattening maps around shuffles
+     (Listing 3); each operator's useful work is charged separately via
+     the PROCESS volume, so these counts measure only waste *)
+  let naive = max 1 (map_like + (2 * joins) + groups) in
+  let optimized =
+    let base = if share_scans then 1 else max 1 map_like in
+    let base = if infer_types then base else base + (2 * joins) + groups in
+    (* simple type inference cannot see through chained joins on Spark;
+       the generated code makes one extra pass (§6.4) *)
+    let residual =
+      if infer_types && backend = Engines.Backend.Spark && joins >= 2 then 1
+      else 0
+    in
+    base + residual
+  in
+  (naive, min naive optimized)
+
+(* residual inefficiency of generated code vs a hand-tuned expert job:
+   generic templates on the JVM engines miss custom Writables, tuned
+   partitioners and combiner settings, inflating both compute and
+   shuffle volume; Naiad templates are near-optimal (§6.4) *)
+let multipliers = function
+  | Engines.Backend.Hadoop | Engines.Backend.Metis -> (1.25, 1.4)
+  | Engines.Backend.Spark -> (1.15, 1.3)
+  | Engines.Backend.Naiad -> (1.02, 1.05)
+  | Engines.Backend.Power_graph | Engines.Backend.Graph_chi
+  | Engines.Backend.X_stream ->
+    (1.10, 1.15)
+  | Engines.Backend.Giraph -> (1.20, 1.25)
+  | Engines.Backend.Serial_c -> (1.15, 1.0)
+
+let options_for ~share_scans ~infer_types ~passes ~backend =
+  let process_multiplier, shuffle_multiplier = multipliers backend in
+  { Engines.Job.scan_passes = passes;
+    process_multiplier;
+    shuffle_multiplier;
+    naiad_parallel_io = true;
+    (* Musketeer's vertex-level GROUP BY handles non-associative
+       aggregations by decomposing them into associative parts (AVG ->
+       SUM + COUNT), so optimized code always avoids Lindi's
+       collect-on-one-machine operator (§6.2) *)
+    naiad_vertex_group_by = share_scans || infer_types }
+
+let generate ?(share_scans = true) ?(infer_types = true) ~label ~backend g =
+  let naive_passes, passes = pass_counts ~share_scans ~infer_types ~backend g in
+  let options = options_for ~share_scans ~infer_types ~passes ~backend in
+  let source = Render.render backend ~shared_scans:share_scans g in
+  { job = Engines.Job.make ~options ~label ~backend g; source;
+    naive_passes; passes }
+
+let baseline_job ~label ~backend g =
+  ignore backend;
+  (* an expert makes exactly one pass and avoids even the
+     simple-inference residual *)
+  Engines.Job.make
+    ~options:{ Engines.Job.baseline_options with scan_passes = 1 }
+    ~label ~backend g
+
+let native_frontend_job ~label ~backend g =
+  let naive, _ = pass_counts ~share_scans:false ~infer_types:false ~backend g in
+  Engines.Job.make
+    ~options:{ Engines.Job.native_frontend_options with scan_passes = naive }
+    ~label ~backend g

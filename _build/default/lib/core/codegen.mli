@@ -1,0 +1,45 @@
+(** Code generation for back-end jobs (paper §4.3).
+
+    Besides rendering template code ({!Render}), the generator computes
+    how many passes over the input data the emitted code makes — the
+    property the paper's optimizations attack:
+
+    - naive per-operator templates scan once per map-side operator and
+      add a keying pass plus a flattening pass around every JOIN and a
+      keying pass before every GROUP BY (Listing 3);
+    - {b shared scans} (§4.3.3) fuse adjacent map-side operators into a
+      single pass;
+    - {b look-ahead type inference} (§4.3.4) emits each operator's
+      output directly in the format its consumer needs, eliminating the
+      keying/flattening passes. Musketeer's simple inference keeps one
+      residual pass on Spark jobs with two or more JOINs, reproducing
+      the residual overhead of §6.4.
+
+    Pass counts feed {!Engines.Job.options.scan_passes}, turning code
+    quality into simulated time. *)
+
+type generated = {
+  job : Engines.Job.t;
+  source : string;
+  naive_passes : int;      (** passes without any optimization *)
+  passes : int;            (** passes of the emitted code *)
+}
+
+(** [generate ~label ~backend g] with both optimizations on (Musketeer's
+    production path). [share_scans] / [infer_types] switch them off for
+    the ablations of Figures 10 and 12. *)
+val generate :
+  ?share_scans:bool -> ?infer_types:bool -> label:string ->
+  backend:Engines.Backend.t -> Ir.Operator.graph -> generated
+
+(** The hand-optimized, non-portable baseline of §6.4: oracle pass
+    count, no generated-code inefficiency. *)
+val baseline_job :
+  label:string -> backend:Engines.Backend.t -> Ir.Operator.graph ->
+  Engines.Job.t
+
+(** Stock front-end code (e.g. Lindi's native Naiad path): no shared
+    scans, single-reader I/O, collect-based GROUP BY. *)
+val native_frontend_job :
+  label:string -> backend:Engines.Backend.t -> Ir.Operator.graph ->
+  Engines.Job.t

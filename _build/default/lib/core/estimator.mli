@@ -1,0 +1,40 @@
+(** Data-volume estimation over a workflow DAG (paper §5.2).
+
+    Every node gets a predicted output size in modeled MB, computed
+    from: the actual HDFS sizes of the workflow inputs, the
+    per-operator bounds of {!Ir.Sizing}, and — when available — the
+    workflow's execution history, which overrides the a-priori
+    estimates (this is what improves the choices across Figure 14's
+    no/partial/full-history configurations).
+
+    On a first run Musketeer is conservative: operators with unknown
+    output bounds (JOIN, CROSS, UDF) are priced at a pessimistic
+    multiple of their inputs, discouraging merges across them until
+    history proves them small. *)
+
+type t
+
+(** [build ~input_mb ~history ~workflow g] — [input_mb] resolves the
+    size of INPUT relations (missing relations are treated as produced
+    upstream and must have been estimated; unknown names default to
+    64 MB). *)
+val build :
+  input_mb:(string -> float option) -> history:History.t ->
+  workflow:string -> Ir.Dag.t -> t
+
+(** Predicted output size of a node. *)
+val output_mb : t -> int -> float
+
+(** Predicted total input volume of a node (sum over its producers). *)
+val input_mb : t -> int -> float
+
+(** Estimated iteration count of a WHILE node (its condition's fixed
+    bound, or a default of 10 for data-dependent loops). *)
+val iterations : Ir.Operator.kind -> int
+
+(** Whether the estimate for this node came from history. *)
+val from_history : t -> int -> bool
+
+(** Pessimism multiplier applied to unbounded operators on first runs;
+    exposed for tests. *)
+val conservative_factor : float

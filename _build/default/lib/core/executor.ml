@@ -1,0 +1,199 @@
+let log_src = Logs.Src.create "musketeer.executor" ~doc:"job dispatch"
+
+module Log = (val Logs.src_log log_src)
+
+type mode =
+  | Generated
+  | Generated_naive
+  | Baseline
+  | Native_frontend
+
+type result = {
+  reports : Engines.Report.t list;
+  makespan_s : float;
+  outputs : (string * Relation.Table.t) list;
+}
+
+exception Execution_failed of Engines.Report.error
+
+let job_for ~mode ~label ~backend g =
+  match mode with
+  | Generated -> (Codegen.generate ~label ~backend g).Codegen.job
+  | Generated_naive ->
+    (Codegen.generate ~share_scans:false ~infer_types:false ~label ~backend g)
+      .Codegen.job
+  | Baseline -> Codegen.baseline_job ~label ~backend g
+  | Native_frontend -> Codegen.native_frontend_job ~label ~backend g
+
+(* run one engine job, recording observed sizes into history *)
+let dispatch ~mode ~profile ~history ~workflow ~record_history ~hdfs ~label
+    ~backend g mapping =
+  let cluster = Profile.cluster profile in
+  let job = job_for ~mode ~label ~backend g in
+  Log.debug (fun m ->
+      m "dispatch %s to %s" label (Engines.Backend.name backend));
+  match Engines.Registry.run backend ~cluster ~hdfs job with
+  | Error e ->
+    Log.err (fun m ->
+        m "%s failed on %s: %s" label
+          (Engines.Backend.name backend)
+          (Engines.Report.error_to_string e));
+    raise (Execution_failed e)
+  | Ok report ->
+    Log.info (fun m ->
+        m "%s on %s: %.1fs (in %.0f MB, out %.0f MB)" label
+          (Engines.Backend.name backend) report.Engines.Report.makespan_s
+          report.Engines.Report.input_mb report.Engines.Report.output_mb);
+    if record_history then
+      List.iter
+        (fun (job_node_id, mb) ->
+           match List.assoc_opt job_node_id mapping with
+           | Some workflow_id ->
+             History.record history ~workflow ~node_id:workflow_id
+               ~output_mb:mb
+           | None -> ())
+        report.Engines.Report.op_output_mb;
+    report
+
+(* WHILE on a MapReduce engine: per-iteration job chains (§4.2) *)
+let expand_while ~mode ~profile ~history ~workflow ~record_history ~hdfs
+    ~graph ~backend (n : Ir.Operator.node) =
+  let condition, max_iterations, body =
+    match n.kind with
+    | Ir.Operator.While { condition; max_iterations; body } ->
+      (condition, max_iterations, body)
+    | _ -> invalid_arg "Executor.expand_while: not a WHILE node"
+  in
+  (* bind the loop's inputs: alias producers' relations to the body's
+     INPUT names *)
+  let body_inputs = Ir.Dag.sources body in
+  (try
+     List.iter2
+       (fun (bn : Ir.Operator.node) producer_id ->
+          match bn.kind with
+          | Ir.Operator.Input { relation } ->
+            let producer_rel =
+              (Ir.Dag.node graph producer_id).Ir.Operator.output
+            in
+            if producer_rel <> relation then begin
+              let e = Engines.Hdfs.get hdfs producer_rel in
+              Engines.Hdfs.put hdfs relation
+                ~modeled_mb:e.Engines.Hdfs.modeled_mb e.Engines.Hdfs.table
+            end
+          | _ -> ())
+       body_inputs n.inputs
+   with Invalid_argument _ ->
+     raise
+       (Execution_failed
+          (Engines.Report.Unsupported "WHILE arity mismatch at expansion")));
+  let est =
+    Estimator.build
+      ~input_mb:(fun r ->
+        if Engines.Hdfs.mem hdfs r then Some (Engines.Hdfs.modeled_mb hdfs r)
+        else None)
+      ~history:(History.create ()) ~workflow body
+  in
+  let body_plan =
+    match
+      Partitioner.dynamic ~profile ~est ~backends:[ backend ] body
+    with
+    | Some plan -> plan
+    | None ->
+      raise
+        (Execution_failed
+           (Engines.Report.Unsupported
+              (Printf.sprintf "cannot partition WHILE body for %s"
+                 (Engines.Backend.name backend))))
+  in
+  let reports = ref [] in
+  let first_output =
+    match body.Ir.Operator.outputs with
+    | id :: _ -> (Ir.Dag.node body id).Ir.Operator.output
+    | [] ->
+      raise
+        (Execution_failed (Engines.Report.Unsupported "WHILE body no output"))
+  in
+  let rec iterate i =
+    let previous_tables =
+      List.map
+        (fun r -> (r, Engines.Hdfs.table hdfs r))
+        body.Ir.Operator.loop_carried
+    in
+    List.iteri
+      (fun j (job_backend, ids) ->
+         let job_graph, mapping = Jobgraph.extract_mapped body ids in
+         let label =
+           Printf.sprintf "%s/iter%d/job%d" n.Ir.Operator.output i j
+         in
+         let report =
+           dispatch ~mode ~profile ~history ~workflow
+             ~record_history:false ~hdfs ~label ~backend:job_backend
+             job_graph mapping
+         in
+         ignore record_history;
+         reports := report :: !reports)
+      body_plan.Partitioner.jobs;
+    let current r = Engines.Hdfs.table hdfs r in
+    let previous r = List.assoc r previous_tables in
+    let finished =
+      Ir.Interp.loop_finished condition ~iteration:i ~max_iterations ~current
+        ~previous
+    in
+    if not finished then iterate (i + 1)
+  in
+  iterate 1;
+  (* expose the loop's result under the WHILE node's output relation *)
+  if first_output <> n.Ir.Operator.output then begin
+    let e = Engines.Hdfs.get hdfs first_output in
+    Engines.Hdfs.put hdfs n.Ir.Operator.output
+      ~modeled_mb:e.Engines.Hdfs.modeled_mb e.Engines.Hdfs.table
+  end;
+  if record_history then
+    History.record history ~workflow ~node_id:n.Ir.Operator.id
+      ~output_mb:(Engines.Hdfs.modeled_mb hdfs n.Ir.Operator.output);
+  List.rev !reports
+
+let is_expandable_while ~backend ~graph ids =
+  match Support.while_support backend, ids with
+  | Support.Expand_per_iteration, [ id ] -> (
+    match (Ir.Dag.node graph id).Ir.Operator.kind with
+    | Ir.Operator.While _ -> true
+    | _ -> false)
+  | _ -> false
+
+let run_plan ?(mode = Generated) ?(record_history = true) ~profile ~history
+    ~workflow ~hdfs ~graph ~plan () =
+  try
+    let reports =
+      List.concat
+        (List.mapi
+           (fun i (backend, ids) ->
+              if is_expandable_while ~backend ~graph ids then
+                expand_while ~mode ~profile ~history ~workflow
+                  ~record_history ~hdfs ~graph ~backend
+                  (Ir.Dag.node graph (List.hd ids))
+              else begin
+                let job_graph, mapping = Jobgraph.extract_mapped graph ids in
+                let label = Printf.sprintf "%s/job%d" workflow i in
+                [ dispatch ~mode ~profile ~history ~workflow ~record_history
+                    ~hdfs ~label ~backend job_graph mapping ]
+              end)
+           plan.Partitioner.jobs)
+    in
+    let makespan_s =
+      List.fold_left
+        (fun acc (r : Engines.Report.t) -> acc +. r.makespan_s)
+        0. reports
+    in
+    if record_history then
+      History.record_runtime history ~workflow ~makespan_s;
+    let outputs =
+      List.filter_map
+        (fun rel ->
+           if Engines.Hdfs.mem hdfs rel then
+             Some (rel, Engines.Hdfs.table hdfs rel)
+           else None)
+        (Ir.Dag.output_relations graph)
+    in
+    Ok { reports; makespan_s; outputs }
+  with Execution_failed e -> Error e

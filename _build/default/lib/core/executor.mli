@@ -1,0 +1,39 @@
+(** Workflow execution: dispatch the partitioned plan's jobs to their
+    engines, in dependency order, moving intermediate relations through
+    the shared HDFS (paper §3, §6.3).
+
+    WHILE operators assigned to engines that cannot iterate within a
+    job (Hadoop, Metis) are expanded here: the loop body is itself
+    partitioned for that engine (one job per shuffle) and re-dispatched
+    every iteration, with the stop condition evaluated on the
+    materialized HDFS state — the paper's dynamic DAG expansion (§4.2).
+
+    After a successful run the workflow's history is updated with the
+    observed intermediate sizes and makespan (§5.2). *)
+
+type mode =
+  | Generated        (** Musketeer's optimized generated code *)
+  | Generated_naive  (** generated code without shared scans /
+                         look-ahead type inference (Figure 12) *)
+  | Baseline         (** hand-optimized, non-portable job (§6.4) *)
+  | Native_frontend  (** stock front-end code, e.g. Lindi on Naiad *)
+
+type result = {
+  reports : Engines.Report.t list;   (** per engine job, in run order *)
+  makespan_s : float;                (** workflow makespan (§6.1) *)
+  outputs : (string * Relation.Table.t) list;
+}
+
+exception Execution_failed of Engines.Report.error
+
+(** [run_plan ~profile ~history ~workflow ~hdfs ~graph ~plan ()] executes
+    the plan and returns the aggregated result, or [Error _] when an
+    engine rejects its job (e.g. Spark OOM).
+
+    @param mode code-generation mode (default {!Generated}).
+    @param record_history update [history] on success (default true). *)
+val run_plan :
+  ?mode:mode -> ?record_history:bool -> profile:Profile.t ->
+  history:History.t -> workflow:string -> hdfs:Engines.Hdfs.t ->
+  graph:Ir.Dag.t -> plan:Partitioner.plan -> unit ->
+  (result, Engines.Report.error) Stdlib.result

@@ -1,0 +1,85 @@
+type t = {
+  sizes : (string * int, float) Hashtbl.t;
+  runtimes : (string, float) Hashtbl.t;
+}
+
+let create () = { sizes = Hashtbl.create 64; runtimes = Hashtbl.create 8 }
+
+let record t ~workflow ~node_id ~output_mb =
+  Hashtbl.replace t.sizes (workflow, node_id) output_mb
+
+let record_runtime t ~workflow ~makespan_s =
+  Hashtbl.replace t.runtimes workflow makespan_s
+
+let lookup t ~workflow ~node_id = Hashtbl.find_opt t.sizes (workflow, node_id)
+
+let last_runtime t ~workflow = Hashtbl.find_opt t.runtimes workflow
+
+let coverage t ~workflow =
+  Hashtbl.fold
+    (fun (w, _) _ acc -> if w = workflow then acc + 1 else acc)
+    t.sizes 0
+
+let filtered t ~keep =
+  let copy = create () in
+  Hashtbl.iter
+    (fun (w, id) mb -> if keep id then Hashtbl.replace copy.sizes (w, id) mb)
+    t.sizes;
+  Hashtbl.iter (fun w s -> Hashtbl.replace copy.runtimes w s) t.runtimes;
+  copy
+
+let is_empty t ~workflow = coverage t ~workflow = 0
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  let sizes =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.sizes []
+    |> List.sort compare
+  in
+  List.iter
+    (fun ((workflow, node_id), mb) ->
+       Buffer.add_string buf
+         (Printf.sprintf "size %s %d %.6f\n" workflow node_id mb))
+    sizes;
+  let runtimes =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.runtimes []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (workflow, s) ->
+       Buffer.add_string buf (Printf.sprintf "runtime %s %.6f\n" workflow s))
+    runtimes;
+  Buffer.contents buf
+
+let of_string data =
+  let t = create () in
+  String.split_on_char '\n' data
+  |> List.iteri (fun lineno line ->
+      if line <> "" then
+        match String.split_on_char ' ' line with
+        | [ "size"; workflow; node_id; mb ] -> (
+          match int_of_string_opt node_id, float_of_string_opt mb with
+          | Some node_id, Some output_mb ->
+            record t ~workflow ~node_id ~output_mb
+          | _ ->
+            invalid_arg
+              (Printf.sprintf "History.of_string: bad size line %d"
+                 (lineno + 1)))
+        | [ "runtime"; workflow; s ] -> (
+          match float_of_string_opt s with
+          | Some makespan_s -> record_runtime t ~workflow ~makespan_s
+          | None ->
+            invalid_arg
+              (Printf.sprintf "History.of_string: bad runtime line %d"
+                 (lineno + 1)))
+        | _ ->
+          invalid_arg
+            (Printf.sprintf "History.of_string: bad line %d" (lineno + 1)));
+  t
+
+let save t ~filename =
+  Out_channel.with_open_text filename (fun oc ->
+      Out_channel.output_string oc (to_string t))
+
+let load ~filename =
+  of_string (In_channel.with_open_text filename In_channel.input_all)

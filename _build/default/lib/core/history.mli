@@ -1,0 +1,46 @@
+(** Workflow execution history (paper §5.2, "Workflow history").
+
+    Musketeer records the observed intermediate data sizes of every job
+    it runs and uses them to refine cost estimates on subsequent runs of
+    the same workflow — unlocking merge opportunities the conservative
+    first-run bounds forbid (e.g. across JOINs). *)
+
+type t
+
+val create : unit -> t
+
+(** [record t ~workflow ~node_id ~output_mb] stores one observation
+    (replacing any previous one for the node). *)
+val record : t -> workflow:string -> node_id:int -> output_mb:float -> unit
+
+(** [record_runtime t ~workflow ~makespan_s] remembers the workflow's
+    last observed makespan. *)
+val record_runtime : t -> workflow:string -> makespan_s:float -> unit
+
+val lookup : t -> workflow:string -> node_id:int -> float option
+
+val last_runtime : t -> workflow:string -> float option
+
+(** Number of node observations for the workflow. *)
+val coverage : t -> workflow:string -> int
+
+(** A view keeping only observations for node ids satisfying the
+    predicate — the "partial history" configurations of Figure 14. *)
+val filtered : t -> keep:(int -> bool) -> t
+
+val is_empty : t -> workflow:string -> bool
+
+(** Persistence: the deployed Musketeer keeps its history across runs.
+    The format is a line-oriented text file
+    ([size <workflow> <node-id> <mb>] / [runtime <workflow> <seconds>]);
+    workflow names must not contain whitespace. *)
+
+val save : t -> filename:string -> unit
+
+(** Raises [Invalid_argument] on malformed files. *)
+val load : filename:string -> t
+
+(** Serialize/parse without touching the filesystem (used by tests). *)
+val to_string : t -> string
+
+val of_string : string -> t

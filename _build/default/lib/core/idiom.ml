@@ -1,0 +1,110 @@
+type graph_idiom = {
+  while_id : int;
+  join_id : int;
+  group_by_id : int;
+  apply_ids : int list;
+}
+
+(* is [dst] reachable from [src] within graph [g]? *)
+let reachable (g : Ir.Dag.t) ~src ~dst =
+  let visited = Hashtbl.create 8 in
+  let rec visit id =
+    id = dst
+    || (not (Hashtbl.mem visited id))
+       && begin
+         Hashtbl.add visited id ();
+         List.exists visit (Ir.Dag.consumers g id)
+       end
+  in
+  visit src
+
+(* the scatter JOIN must cleanly separate vertex state from the edge
+   relation (Ir.Gas_check), and feed — possibly through apply
+   operators — the gather GROUP BY *)
+let detect_in_body (body : Ir.Operator.graph) =
+  if not (Ir.Gas_check.body_is_vertex_centric body) then None
+  else
+    match Ir.Gas_check.scatter_join body with
+    | None -> None
+    | Some join_id ->
+      List.find_map
+        (fun (n : Ir.Operator.node) ->
+           match n.kind with
+           | Ir.Operator.Group_by _
+             when reachable body ~src:join_id ~dst:n.id ->
+             Some (join_id, n.id)
+           | _ -> None)
+        body.nodes
+
+let detect_graph_workload (g : Ir.Dag.t) =
+  List.find_map
+    (fun (n : Ir.Operator.node) ->
+       match n.kind with
+       | Ir.Operator.While { body; _ } -> (
+         match detect_in_body body with
+         | Some (join_id, group_by_id) ->
+           let apply_ids =
+             List.filter_map
+               (fun (b : Ir.Operator.node) ->
+                  match b.kind with
+                  | Ir.Operator.Input _ -> None
+                  | _ when b.id = join_id || b.id = group_by_id -> None
+                  | _ -> Some b.id)
+               body.nodes
+           in
+           Some { while_id = n.id; join_id; group_by_id; apply_ids }
+         | None -> None)
+       | _ -> None)
+    g.Ir.Operator.nodes
+
+(* ancestors of [id] that are INPUT nodes *)
+let input_ancestors (g : Ir.Dag.t) id =
+  let acc = ref [] in
+  let visited = Hashtbl.create 8 in
+  let rec visit id =
+    if not (Hashtbl.mem visited id) then begin
+      Hashtbl.add visited id ();
+      let n = Ir.Dag.node g id in
+      (match n.Ir.Operator.kind with
+       | Ir.Operator.Input _ ->
+         if not (List.mem id !acc) then acc := id :: !acc
+       | _ -> ());
+      List.iter visit n.Ir.Operator.inputs
+    end
+  in
+  visit id;
+  !acc
+
+let repeated_self_join (g : Ir.Dag.t) =
+  let self_joined_inputs =
+    List.filter_map
+      (fun (n : Ir.Operator.node) ->
+         match n.kind, n.inputs with
+         | Ir.Operator.Join _, [ l; r ] -> (
+           match input_ancestors g l, input_ancestors g r with
+           | [ a ], [ b ] when a = b -> Some a
+           | _ -> None)
+         | _ -> None)
+      g.Ir.Operator.nodes
+  in
+  match self_joined_inputs with
+  | a :: rest when List.exists (fun b -> b = a) rest -> Some a
+  | _ -> None
+
+let associative_aggregations (g : Ir.Dag.t) =
+  List.filter_map
+    (fun (n : Ir.Operator.node) ->
+       match n.kind with
+       | (Ir.Operator.Group_by _ | Ir.Operator.Agg _) as kind
+         when Ir.Operator.associative_aggregation kind ->
+         Some n.id
+       | _ -> None)
+    g.Ir.Operator.nodes
+
+let rec all_aggregations_associative (g : Ir.Dag.t) =
+  List.for_all
+    (fun (n : Ir.Operator.node) ->
+       match n.kind with
+       | Ir.Operator.While { body; _ } -> all_aggregations_associative body
+       | kind -> Ir.Operator.associative_aggregation kind)
+    g.Ir.Operator.nodes

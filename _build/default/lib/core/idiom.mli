@@ -1,0 +1,44 @@
+(** Idiom recognition (paper §4.3.1).
+
+    Musketeer detects vertex-centric graph computations in the IR DAG —
+    even when the workflow was written in a relational front-end — so it
+    can target GAS-only back-ends and pick specialized operator
+    implementations. The idiom is the reverse of GraphX's encoding of
+    graph computation as data-flow operators: a WHILE whose body JOINs a
+    vertex-state relation with an edge relation and then GROUPs the
+    result by the destination-vertex column.
+
+    The technique is sound but not complete (§8): e.g. a triangle-count
+    workflow that joins the edge relation with itself twice and filters,
+    with no WHILE, is a graph workload Musketeer fails to classify. *)
+
+type graph_idiom = {
+  while_id : int;      (** the WHILE node in the workflow graph *)
+  join_id : int;       (** the scatter JOIN inside the body *)
+  group_by_id : int;   (** the gather GROUP BY downstream of the join *)
+  apply_ids : int list;
+      (** remaining body operators — the apply step *)
+}
+
+(** Classify a workflow graph. Returns the first WHILE exhibiting the
+    idiom. *)
+val detect_graph_workload : Ir.Dag.t -> graph_idiom option
+
+(** The §8 "reverse loop unrolling" heuristic, partially addressing the
+    triangle-counting miss: detects batch workflows that repeatedly
+    self-join one relation (several JOINs whose both sides derive from
+    the same workflow input), which often indicates a graph computation
+    a specialized engine could run. Returns the shared input's node id.
+    Detection only — no rewrite is attempted (future work in the paper
+    too). *)
+val repeated_self_join : Ir.Dag.t -> int option
+
+(** GROUP BY / AGG nodes (top level) whose aggregations are all
+    associative — candidates for Naiad's vertex-level GROUP BY
+    implementation (§6.2) and MapReduce combiners. *)
+val associative_aggregations : Ir.Dag.t -> int list
+
+(** True when every aggregation in the graph (recursively, including
+    WHILE bodies) is associative; drives the
+    [naiad_vertex_group_by] code-generation option. *)
+val all_aggregations_associative : Ir.Dag.t -> bool

@@ -1,0 +1,117 @@
+let extract_mapped (g : Ir.Dag.t) ids =
+  if ids = [] then invalid_arg "Jobgraph.extract: empty job";
+  if not (Ir.Dag.convex g ids) then
+    invalid_arg "Jobgraph.extract: node set is not convex";
+  let in_set = Hashtbl.create 8 in
+  List.iter (fun id -> Hashtbl.replace in_set id ()) ids;
+  let b = Ir.Builder.create () in
+  (* old node id -> builder handle *)
+  let handles : (int, Ir.Builder.handle) Hashtbl.t = Hashtbl.create 8 in
+  (* external relation name -> input handle (shared across consumers) *)
+  let ext_inputs : (string, Ir.Builder.handle) Hashtbl.t = Hashtbl.create 8 in
+  let input_for relation =
+    match Hashtbl.find_opt ext_inputs relation with
+    | Some h -> h
+    | None ->
+      let h = Ir.Builder.input b relation in
+      Hashtbl.replace ext_inputs relation h;
+      h
+  in
+  let members =
+    List.filter
+      (fun (n : Ir.Operator.node) -> Hashtbl.mem in_set n.id)
+      (Ir.Dag.topological_order g)
+  in
+  List.iter
+    (fun (n : Ir.Operator.node) ->
+       let handle =
+         match n.kind with
+         | Ir.Operator.Input { relation } ->
+           (* a workflow INPUT node inside the job reads HDFS directly *)
+           input_for relation
+         | kind ->
+           let input_handles =
+             List.map
+               (fun i ->
+                  match Hashtbl.find_opt handles i with
+                  | Some h -> h
+                  | None ->
+                    (* produced by another job: read via HDFS *)
+                    input_for (Ir.Dag.node g i).Ir.Operator.output)
+               n.inputs
+           in
+           (* mirror the original node through the builder *)
+           Rebuild.copy_node b ~name:n.output kind input_handles
+       in
+       Hashtbl.replace handles n.id handle)
+    members;
+  let ext_outs = Ir.Dag.external_outputs g ids in
+  let out_handles =
+    List.filter_map
+      (fun (n : Ir.Operator.node) ->
+         match n.kind with
+         | Ir.Operator.Input _ -> None (* re-exporting an input is a no-op *)
+         | _ -> Hashtbl.find_opt handles n.id)
+      ext_outs
+  in
+  let out_handles =
+    if out_handles = [] then
+      (* a job of pure inputs (degenerate); expose them *)
+      List.filter_map (fun (n : Ir.Operator.node) ->
+          Hashtbl.find_opt handles n.id)
+        ext_outs
+    else out_handles
+  in
+  let mapping =
+    Hashtbl.fold
+      (fun old_id h acc -> (Ir.Builder.id h, old_id) :: acc)
+      handles []
+  in
+  (Ir.Builder.finish b ~outputs:out_handles, mapping)
+
+let extract g ids = fst (extract_mapped g ids)
+
+let job_order (g : Ir.Dag.t) partition =
+  let job_of = Hashtbl.create 16 in
+  List.iteri
+    (fun j ids -> List.iter (fun id -> Hashtbl.replace job_of id j) ids)
+    partition;
+  let njobs = List.length partition in
+  let edges = Hashtbl.create 16 in
+  List.iter
+    (fun (n : Ir.Operator.node) ->
+       match Hashtbl.find_opt job_of n.id with
+       | None -> ()
+       | Some j ->
+         List.iter
+           (fun i ->
+              match Hashtbl.find_opt job_of i with
+              | Some j' when j' <> j -> Hashtbl.replace edges (j', j) ()
+              | _ -> ())
+           n.inputs)
+    g.Ir.Operator.nodes;
+  (* Kahn over the job graph *)
+  let indeg = Array.make njobs 0 in
+  Hashtbl.iter (fun (_, dst) () -> indeg.(dst) <- indeg.(dst) + 1) edges;
+  let order = ref [] in
+  let remaining = ref (List.init njobs (fun i -> i)) in
+  let rec go () =
+    match List.filter (fun j -> indeg.(j) = 0) !remaining with
+    | [] ->
+      if !remaining <> [] then
+        invalid_arg "Jobgraph.job_order: cyclic job dependencies";
+    | ready ->
+      List.iter
+        (fun j ->
+           order := j :: !order;
+           indeg.(j) <- -1;
+           Hashtbl.iter
+             (fun (src, dst) () ->
+                if src = j then indeg.(dst) <- indeg.(dst) - 1)
+             edges)
+        ready;
+      remaining := List.filter (fun j -> indeg.(j) >= 0) !remaining;
+      go ()
+  in
+  go ();
+  List.map (List.nth partition) (List.rev !order)

@@ -1,0 +1,28 @@
+(** Extraction of per-job sub-graphs from a workflow DAG.
+
+    When the partitioner (§5.1) cuts a workflow into jobs, each cut edge
+    becomes an HDFS materialization point: the producing job writes the
+    relation, the consuming job re-reads it through a fresh INPUT node.
+    This is how Musketeer combines execution engines within one
+    workflow (§6.3). *)
+
+(** [extract g ids] builds a self-contained job graph from the node set
+    [ids] of [g] (ids must be operator nodes of [g]; INPUT nodes of [g]
+    are absorbed automatically when referenced). External inputs become
+    INPUT nodes named after the producer's output relation; the job's
+    outputs are the nodes whose relations are consumed outside the set
+    or are workflow outputs.
+
+    Raises [Invalid_argument] if [ids] is empty or not convex. *)
+val extract : Ir.Dag.t -> int list -> Ir.Operator.graph
+
+(** Like {!extract}, also returning the (job node id, workflow node id)
+    correspondence, used to key execution history by workflow node. *)
+val extract_mapped :
+  Ir.Dag.t -> int list -> Ir.Operator.graph * (int * int) list
+
+(** [job_order g partition] sorts the node-set partition into a valid
+    sequential execution order (producers before consumers).
+    Raises [Invalid_argument] when the job graph has a cycle, i.e. the
+    partition is not convex. *)
+val job_order : Ir.Dag.t -> int list list -> int list list

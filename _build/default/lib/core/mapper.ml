@@ -1,0 +1,19 @@
+let decide ~(cluster : Engines.Cluster.t) ~input_mb (g : Ir.Dag.t) =
+  if Idiom.detect_graph_workload g <> None then
+    if input_mb < 2048. then
+      (Engines.Backend.Graph_chi, "graph idiom, small graph -> GraphChi")
+    else if cluster.nodes <= 16 then
+      (Engines.Backend.Power_graph,
+       "graph idiom, moderate cluster -> PowerGraph")
+    else (Engines.Backend.Naiad, "graph idiom, large cluster -> Naiad")
+  else if Engines.Exec_helper.has_while g then
+    (Engines.Backend.Spark, "iterative non-graph workflow -> Spark")
+  else if input_mb < 96. then
+    (Engines.Backend.Serial_c, "tiny input -> serial C")
+  else if input_mb < 1024. then
+    (Engines.Backend.Metis, "small input -> Metis")
+  else (Engines.Backend.Hadoop, "large batch input -> Hadoop")
+
+let decision_tree ~cluster ~input_mb g = fst (decide ~cluster ~input_mb g)
+
+let explain_decision ~cluster ~input_mb g = snd (decide ~cluster ~input_mb g)

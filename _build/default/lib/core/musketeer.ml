@@ -1,0 +1,81 @@
+module Profile = Profile
+module History = History
+module Estimator = Estimator
+module Support = Support
+module Cost = Cost
+module Partitioner = Partitioner
+module Jobgraph = Jobgraph
+module Idiom = Idiom
+module Optimizer = Optimizer
+module Column_pruning = Column_pruning
+module Codegen = Codegen
+module Render = Render
+module Executor = Executor
+module Mapper = Mapper
+module Explain = Explain
+
+type t = {
+  profile : Profile.t;
+  history : History.t;
+}
+
+let create ?probe_mb ~cluster () =
+  { profile = Profile.calibrate ?probe_mb ~cluster (); history = History.create () }
+
+let with_history t history = { t with history }
+
+let profile t = t.profile
+
+let history t = t.history
+
+let cluster t = Profile.cluster t.profile
+
+let catalog_of_hdfs hdfs relation =
+  Relation.Table.schema (Engines.Hdfs.table hdfs relation)
+
+let estimator t ~workflow ~hdfs g =
+  Estimator.build
+    ~input_mb:(fun r ->
+      if Engines.Hdfs.mem hdfs r then Some (Engines.Hdfs.modeled_mb hdfs r)
+      else None)
+    ~history:t.history ~workflow g
+
+let optimize_ir ~hdfs g = Optimizer.optimize ~catalog:(catalog_of_hdfs hdfs) g
+
+let plan ?(backends = Engines.Backend.all) ?(merging = true)
+    ?(optimize = true) t ~workflow ~hdfs g =
+  let g = if optimize then optimize_ir ~hdfs g else g in
+  let est = estimator t ~workflow ~hdfs g in
+  let plan =
+    if merging then
+      Partitioner.partition ~profile:t.profile ~est ~backends g
+    else Partitioner.no_merging ~profile:t.profile ~est ~backends g
+  in
+  Option.map (fun p -> (p, g)) plan
+
+let execute_plan ?mode ?record_history t ~workflow ~hdfs ~graph p =
+  Executor.run_plan ?mode ?record_history ~profile:t.profile
+    ~history:t.history ~workflow ~hdfs ~graph ~plan:p ()
+
+let execute ?backends ?merging ?optimize ?mode t ~workflow ~hdfs g =
+  match plan ?backends ?merging ?optimize t ~workflow ~hdfs g with
+  | None ->
+    Error
+      (Engines.Report.Unsupported
+         "no back-end combination can express this workflow")
+  | Some (p, g') -> (
+    match execute_plan ?mode t ~workflow ~hdfs ~graph:g' p with
+    | Ok result -> Ok (result, p)
+    | Error e -> Error e)
+
+let explain ?backends t ~workflow ~hdfs graph =
+  Explain.explain ?backends ~profile:t.profile ~history:t.history ~workflow
+    ~hdfs graph
+
+let show_code ~graph (p : Partitioner.plan) =
+  List.mapi
+    (fun i (backend, ids) ->
+       let job_graph = Jobgraph.extract graph ids in
+       ( Printf.sprintf "job %d (%s)" i (Engines.Backend.name backend),
+         Render.render backend ~shared_scans:true job_graph ))
+    p.Partitioner.jobs

@@ -1,0 +1,96 @@
+(** The Musketeer workflow manager — public facade.
+
+    Typical use:
+    {[
+      let m = Musketeer.create ~cluster:(Engines.Cluster.ec2 ~nodes:16) in
+      let result =
+        Musketeer.execute m ~workflow:"pagerank" ~hdfs graph
+      in
+      ...
+    ]}
+
+    [create] calibrates the cost model's rates on the given cluster
+    (paper Table 1); [plan] optimizes the IR, estimates data volumes
+    (consulting the accumulated history) and partitions the DAG into
+    back-end jobs; [execute] generates code, dispatches the jobs and
+    records history. Restrict [backends] for a manual mapping; the
+    default explores all seven engines (automatic mapping, §5.2). *)
+
+(** Re-exported components (this module is the library entry point). *)
+
+module Profile = Profile
+module History = History
+module Estimator = Estimator
+module Support = Support
+module Cost = Cost
+module Partitioner = Partitioner
+module Jobgraph = Jobgraph
+module Idiom = Idiom
+module Optimizer = Optimizer
+module Column_pruning = Column_pruning
+module Codegen = Codegen
+module Render = Render
+module Executor = Executor
+module Mapper = Mapper
+module Explain = Explain
+
+type t
+
+val create : ?probe_mb:float -> cluster:Engines.Cluster.t -> unit -> t
+
+(** Same calibrated profile, different history store — used by
+    experiments that compare no/partial/full-history planning
+    (Figure 14) without re-calibrating. *)
+val with_history : t -> History.t -> t
+
+val profile : t -> Profile.t
+
+val history : t -> History.t
+
+val cluster : t -> Engines.Cluster.t
+
+(** Schema catalog backed by the HDFS contents. *)
+val catalog_of_hdfs :
+  Engines.Hdfs.t -> string -> Relation.Schema.t
+
+(** Volume estimator for a workflow against current HDFS contents,
+    consulting history. *)
+val estimator :
+  t -> workflow:string -> hdfs:Engines.Hdfs.t -> Ir.Dag.t -> Estimator.t
+
+(** IR optimization (paper §4.2); identity when typing fails. *)
+val optimize_ir : hdfs:Engines.Hdfs.t -> Ir.Dag.t -> Ir.Dag.t
+
+(** [plan] = optimize + estimate + partition. [None] when no backend
+    combination can express the workflow.
+    @param backends candidate engines (default: all seven)
+    @param merging operator merging on (default true; Figure 12's
+           ablation passes false)
+    @param optimize apply IR rewrites first (default true) *)
+val plan :
+  ?backends:Engines.Backend.t list -> ?merging:bool -> ?optimize:bool ->
+  t -> workflow:string -> hdfs:Engines.Hdfs.t -> Ir.Dag.t ->
+  (Partitioner.plan * Ir.Dag.t) option
+
+(** Plan and run. Returns the executor result together with the plan
+    used. History is updated on success. *)
+val execute :
+  ?backends:Engines.Backend.t list -> ?merging:bool -> ?optimize:bool ->
+  ?mode:Executor.mode -> t -> workflow:string -> hdfs:Engines.Hdfs.t ->
+  Ir.Dag.t ->
+  (Executor.result * Partitioner.plan, Engines.Report.error) result
+
+(** Run a pre-computed plan (used by experiments that compare plans). *)
+val execute_plan :
+  ?mode:Executor.mode -> ?record_history:bool -> t -> workflow:string ->
+  hdfs:Engines.Hdfs.t -> graph:Ir.Dag.t -> Partitioner.plan ->
+  (Executor.result, Engines.Report.error) result
+
+(** Human-readable plan explanation (CLI [explain]). *)
+val explain :
+  ?backends:Engines.Backend.t list -> t -> workflow:string ->
+  hdfs:Engines.Hdfs.t -> Ir.Dag.t -> Explain.report
+
+(** Rendered back-end source for every job of a plan (CLI display). *)
+val show_code :
+  graph:Ir.Dag.t -> Partitioner.plan -> (string * string) list

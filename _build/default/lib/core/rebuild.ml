@@ -1,0 +1,38 @@
+let copy_node b ~name kind inputs =
+  match kind, inputs with
+  | Ir.Operator.Input { relation }, [] -> Ir.Builder.input b relation
+  | Ir.Operator.Select { pred }, [ h ] -> Ir.Builder.select b ~name ~pred h
+  | Ir.Operator.Project { columns }, [ h ] ->
+    Ir.Builder.project b ~name ~columns h
+  | Ir.Operator.Map { target; expr }, [ h ] ->
+    Ir.Builder.map b ~name ~target ~expr h
+  | Ir.Operator.Join { left_key; right_key }, [ l; r ] ->
+    Ir.Builder.join b ~name ~left_key ~right_key l r
+  | Ir.Operator.Left_outer_join { left_key; right_key; defaults }, [ l; r ] ->
+    Ir.Builder.left_outer_join b ~name ~left_key ~right_key ~defaults l r
+  | Ir.Operator.Semi_join { left_key; right_key }, [ l; r ] ->
+    Ir.Builder.semi_join b ~name ~left_key ~right_key l r
+  | Ir.Operator.Anti_join { left_key; right_key }, [ l; r ] ->
+    Ir.Builder.anti_join b ~name ~left_key ~right_key l r
+  | Ir.Operator.Cross, [ l; r ] -> Ir.Builder.cross b ~name l r
+  | Ir.Operator.Union, [ l; r ] -> Ir.Builder.union b ~name l r
+  | Ir.Operator.Intersect, [ l; r ] -> Ir.Builder.intersect b ~name l r
+  | Ir.Operator.Difference, [ l; r ] -> Ir.Builder.difference b ~name l r
+  | Ir.Operator.Distinct, [ h ] -> Ir.Builder.distinct b ~name h
+  | Ir.Operator.Group_by { keys; aggs }, [ h ] ->
+    Ir.Builder.group_by b ~name ~keys ~aggs h
+  | Ir.Operator.Agg { aggs }, [ h ] -> Ir.Builder.agg b ~name ~aggs h
+  | Ir.Operator.Sort { by; descending }, [ h ] ->
+    Ir.Builder.sort b ~name ~by ~descending h
+  | Ir.Operator.Top_k { by; descending; k }, [ h ] ->
+    Ir.Builder.top_k b ~name ~by ~descending ~k h
+  | Ir.Operator.Udf u, hs -> Ir.Builder.udf b ~name u hs
+  | Ir.Operator.While { condition; max_iterations; body }, hs ->
+    Ir.Builder.while_ b ~name ~condition ~max_iterations ~body hs
+  | Ir.Operator.Black_box { backend_hint; description }, hs ->
+    Ir.Builder.black_box b ~name ~backend_hint ~description hs
+  | kind, inputs ->
+    invalid_arg
+      (Printf.sprintf "Rebuild.copy_node: %s with %d inputs"
+         (Ir.Operator.kind_name kind)
+         (List.length inputs))

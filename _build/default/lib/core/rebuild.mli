@@ -1,0 +1,8 @@
+(** Re-emitting IR nodes through a {!Ir.Builder} — shared by job-graph
+    extraction and the optimizer's graph rewrites. *)
+
+(** [copy_node b ~name kind inputs] mirrors an existing operator node
+    into the builder. Raises [Invalid_argument] on arity mismatch. *)
+val copy_node :
+  Ir.Builder.t -> name:string -> Ir.Operator.kind ->
+  Ir.Builder.handle list -> Ir.Builder.handle

@@ -1,0 +1,18 @@
+(** Back-end code templates (paper §4.3).
+
+    Musketeer instantiates and concatenates per-operator templates to
+    produce executable jobs. In this reproduction the engines are
+    simulators, so the rendered program is the human-readable artifact:
+    the CLI's [--show-code] prints it, and tests assert that the
+    templates reflect the optimizations (e.g. the optimized Spark code
+    for max-property-price contains two [map]s where the naive code has
+    four — Listings 3 and 4). *)
+
+(** [render backend graph ~shared_scans] produces source text in the
+    back-end's native style (Scala for Spark, Java-like MapReduce for
+    Hadoop/Metis, C#-like timely dataflow for Naiad, a GAS vertex
+    program for PowerGraph/GraphChi, C for the serial backend).
+    [shared_scans] selects the optimized templates that fuse adjacent
+    scans (§4.3.3–4.3.4). *)
+val render :
+  Engines.Backend.t -> shared_scans:bool -> Ir.Operator.graph -> string

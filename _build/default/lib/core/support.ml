@@ -1,0 +1,87 @@
+type while_policy =
+  | Native_iteration
+  | Expand_per_iteration
+  | No_while
+
+let while_support = function
+  | Engines.Backend.Spark | Engines.Backend.Naiad | Engines.Backend.Serial_c
+  | Engines.Backend.Power_graph | Engines.Backend.Graph_chi
+  | Engines.Backend.Giraph | Engines.Backend.X_stream ->
+    Native_iteration
+  | Engines.Backend.Hadoop | Engines.Backend.Metis -> Expand_per_iteration
+
+let kind_of g id = (Ir.Dag.node g id).Ir.Operator.kind
+
+let is_while = function
+  | Ir.Operator.While _ -> true
+  | _ -> false
+
+let black_box_ok backend kinds =
+  let bad =
+    List.find_map
+      (fun kind ->
+         match kind with
+         | Ir.Operator.Black_box { backend_hint; _ }
+           when not
+                  (String.lowercase_ascii backend_hint
+                   = String.lowercase_ascii (Engines.Backend.name backend)) ->
+           Some backend_hint
+         | _ -> None)
+      kinds
+  in
+  match bad with
+  | Some hint ->
+    Error
+      (Printf.sprintf "black-box operator requires %s, not %s" hint
+         (Engines.Backend.name backend))
+  | None -> Ok ()
+
+let rec check backend g ids =
+  let kinds = List.map (kind_of g) ids in
+  match black_box_ok backend kinds with
+  | Error _ as e -> e
+  | Ok () ->
+    if Engines.Backend.gas_only backend then
+      match kinds with
+      | [ Ir.Operator.While { body; _ } ]
+        when Ir.Gas_check.body_is_vertex_centric body ->
+        Ok ()
+      | _ ->
+        Error
+          (Printf.sprintf "%s only runs vertex-centric (GAS) graph jobs"
+             (Engines.Backend.name backend))
+    else
+      let whiles = List.filter is_while kinds in
+      match while_support backend, whiles with
+      | Native_iteration, _ | No_while, [] -> ok_shuffles backend kinds
+      | Expand_per_iteration, [] -> ok_shuffles backend kinds
+      | Expand_per_iteration, [ Ir.Operator.While _ ]
+        when List.length kinds = 1 ->
+        (* the executor turns this into per-iteration job chains *)
+        Ok ()
+      | Expand_per_iteration, _ ->
+        Error
+          (Printf.sprintf
+             "%s can only run a WHILE as a standalone job chain"
+             (Engines.Backend.name backend))
+      | No_while, _ :: _ ->
+        Error
+          (Printf.sprintf "%s cannot iterate" (Engines.Backend.name backend))
+
+and ok_shuffles backend kinds =
+  if Engines.Backend.general_purpose backend then Ok ()
+  else
+    let shuffles =
+      List.length (List.filter Ir.Operator.needs_shuffle kinds)
+    in
+    if shuffles > 1 then
+      Error
+        (Printf.sprintf
+           "%s supports one group-by-key operation per job; set has %d"
+           (Engines.Backend.name backend) shuffles)
+    else Ok ()
+
+let check_bool backend g ids =
+  match check backend g ids with
+  | Ok () -> true
+  | Error _ -> false

@@ -1,0 +1,26 @@
+(** Mergeability rules (paper §4.3.2), evaluated directly on a node
+    subset of the workflow DAG.
+
+    This mirrors the engines' admission checks ({!Engines.Admission})
+    without materializing a job graph, so the partitioning algorithms
+    can score thousands of candidate jobs cheaply. [check] also accepts
+    a WHILE on MapReduce-style engines when the WHILE is the only
+    operator in the job — the executor expands such jobs into
+    per-iteration job chains (§4.2), which is how the paper runs
+    PageRank on Hadoop. *)
+
+type while_policy =
+  | Native_iteration        (** WHILE runs inside one engine job *)
+  | Expand_per_iteration    (** executor drives the loop as job chains *)
+  | No_while
+
+(** How [backend] would run a WHILE node. *)
+val while_support : Engines.Backend.t -> while_policy
+
+(** [check backend g ids] — can [ids] (operator nodes of [g]) form one
+    job on [backend]? Checks paradigm expressivity; connectivity and
+    convexity are the partitioner's concern. *)
+val check :
+  Engines.Backend.t -> Ir.Dag.t -> int list -> (unit, string) result
+
+val check_bool : Engines.Backend.t -> Ir.Dag.t -> int list -> bool

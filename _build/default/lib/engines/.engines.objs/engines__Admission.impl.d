@@ -1,0 +1,1 @@
+lib/engines/admission.ml: Backend Exec_helper Ir List Printf String

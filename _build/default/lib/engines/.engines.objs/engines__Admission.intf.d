@@ -1,0 +1,1 @@
+lib/engines/admission.mli: Backend Ir

@@ -1,0 +1,1 @@
+lib/engines/backend.ml: Format Stdlib String

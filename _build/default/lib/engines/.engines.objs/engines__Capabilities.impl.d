@@ -1,0 +1,1 @@
+lib/engines/capabilities.ml: Backend Format List

@@ -1,0 +1,1 @@
+lib/engines/capabilities.mli: Backend Format

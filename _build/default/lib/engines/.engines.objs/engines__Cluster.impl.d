@@ -1,0 +1,1 @@
+lib/engines/cluster.ml: Format

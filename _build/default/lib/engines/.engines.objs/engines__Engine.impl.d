@@ -1,0 +1,1 @@
+lib/engines/engine.ml: Backend Cluster Exec_helper Hdfs Ir Job List Perf Report

@@ -1,0 +1,1 @@
+lib/engines/engine.mli: Backend Cluster Exec_helper Hdfs Ir Job Perf Report

@@ -1,0 +1,1 @@
+lib/engines/exec_helper.ml: Hashtbl Hdfs Ir List Perf Printf Relation Table

@@ -1,0 +1,1 @@
+lib/engines/exec_helper.mli: Hdfs Ir Perf Relation

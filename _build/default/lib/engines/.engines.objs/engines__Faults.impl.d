@@ -1,0 +1,1 @@
+lib/engines/faults.ml: Capabilities Float List Report

@@ -1,0 +1,1 @@
+lib/engines/faults.mli: Backend Report

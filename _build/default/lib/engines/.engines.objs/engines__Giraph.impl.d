@@ -1,0 +1,1 @@
+lib/engines/giraph.ml: Admission Backend Cluster Engine Perf

@@ -1,0 +1,1 @@
+lib/engines/giraph.mli: Engine

@@ -1,0 +1,1 @@
+lib/engines/graphchi.ml: Admission Backend Cluster Engine Float Perf

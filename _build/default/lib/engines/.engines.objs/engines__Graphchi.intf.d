@@ -1,0 +1,1 @@
+lib/engines/graphchi.mli: Engine

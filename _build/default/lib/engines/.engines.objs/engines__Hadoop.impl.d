@@ -1,0 +1,1 @@
+lib/engines/hadoop.ml: Admission Backend Cluster Engine Perf

@@ -1,0 +1,1 @@
+lib/engines/hdfs.ml: Hashtbl List Relation String

@@ -1,0 +1,1 @@
+lib/engines/hdfs.mli: Relation

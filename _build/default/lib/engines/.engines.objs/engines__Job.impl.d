@@ -1,0 +1,1 @@
+lib/engines/job.ml: Backend Format Ir

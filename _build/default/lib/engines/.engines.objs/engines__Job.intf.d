@@ -1,0 +1,1 @@
+lib/engines/job.mli: Backend Format Ir

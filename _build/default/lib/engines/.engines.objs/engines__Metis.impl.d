@@ -1,0 +1,1 @@
+lib/engines/metis.ml: Admission Backend Cluster Engine Perf

@@ -1,0 +1,1 @@
+lib/engines/metis.mli: Engine

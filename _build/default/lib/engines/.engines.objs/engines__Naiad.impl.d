@@ -1,0 +1,1 @@
+lib/engines/naiad.ml: Admission Backend Cluster Engine Exec_helper Job List Perf

@@ -1,0 +1,1 @@
+lib/engines/naiad.mli: Engine

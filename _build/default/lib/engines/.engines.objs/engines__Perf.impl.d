@@ -1,0 +1,1 @@
+lib/engines/perf.ml: Float Ir Report

@@ -1,0 +1,1 @@
+lib/engines/perf.mli: Ir Report

@@ -1,0 +1,1 @@
+lib/engines/powergraph.ml: Admission Backend Cluster Engine Perf

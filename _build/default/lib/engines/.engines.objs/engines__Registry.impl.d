@@ -1,0 +1,1 @@
+lib/engines/registry.ml: Backend Engine Giraph Graphchi Hadoop List Metis Naiad Powergraph Serial_c Spark X_stream

@@ -1,0 +1,1 @@
+lib/engines/registry.mli: Backend Cluster Engine Hdfs Ir Job Report

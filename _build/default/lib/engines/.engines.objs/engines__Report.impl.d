@@ -1,0 +1,1 @@
+lib/engines/report.ml: Backend Format List

@@ -1,0 +1,1 @@
+lib/engines/report.mli: Backend Format

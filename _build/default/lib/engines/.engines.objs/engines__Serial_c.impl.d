@@ -1,0 +1,1 @@
+lib/engines/serial_c.ml: Admission Backend Cluster Engine Perf

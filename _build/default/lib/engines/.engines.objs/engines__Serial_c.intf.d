@@ -1,0 +1,1 @@
+lib/engines/serial_c.mli: Engine

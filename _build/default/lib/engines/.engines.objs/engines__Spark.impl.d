@@ -1,0 +1,1 @@
+lib/engines/spark.ml: Admission Backend Cluster Engine Exec_helper List Perf Printf Report

@@ -1,0 +1,1 @@
+lib/engines/spark.mli: Engine

@@ -1,0 +1,1 @@
+lib/engines/x_stream.ml: Admission Backend Cluster Engine Perf

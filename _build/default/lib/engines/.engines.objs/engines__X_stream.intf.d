@@ -1,0 +1,1 @@
+lib/engines/x_stream.mli: Engine

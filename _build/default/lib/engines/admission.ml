@@ -1,0 +1,49 @@
+let check_black_box backend (g : Ir.Operator.graph) =
+  let bad =
+    List.find_map
+      (fun (n : Ir.Operator.node) ->
+         match n.kind with
+         | Ir.Operator.Black_box { backend_hint; _ }
+           when not
+                  (String.lowercase_ascii backend_hint
+                   = String.lowercase_ascii (Backend.name backend)) ->
+           Some backend_hint
+         | _ -> None)
+      g.nodes
+  in
+  match bad with
+  | Some hint ->
+    Error
+      (Printf.sprintf "black-box operator requires back-end %s, not %s" hint
+         (Backend.name backend))
+  | None -> Ok ()
+
+let general backend g = check_black_box backend g
+
+let mapreduce backend (g : Ir.Operator.graph) =
+  match check_black_box backend g with
+  | Error _ as e -> e
+  | Ok () ->
+    if Exec_helper.has_while g then
+      Error
+        (Printf.sprintf
+           "%s cannot iterate within a job; WHILE must be expanded"
+           (Backend.name backend))
+    else
+      let shuffles = Exec_helper.shuffle_count g in
+      if shuffles > 1 then
+        Error
+          (Printf.sprintf
+             "%s supports one group-by-key operation per job; graph has %d"
+             (Backend.name backend) shuffles)
+      else Ok ()
+
+let gas backend (g : Ir.Operator.graph) =
+  match check_black_box backend g with
+  | Error _ as e -> e
+  | Ok () ->
+    if Exec_helper.is_graph_idiom g then Ok ()
+    else
+      Error
+        (Printf.sprintf "%s only runs vertex-centric (GAS) graph jobs"
+           (Backend.name backend))

@@ -1,0 +1,20 @@
+(** Expressivity checks shared by the engine admission tests
+    (paper §4.3.2: per-back-end mergeability stems from what one job of
+    each engine can express). *)
+
+(** Rejects graphs containing BLACK_BOX nodes whose hint names another
+    backend; accepts matching hints. *)
+val check_black_box : Backend.t -> Ir.Operator.graph -> (unit, string) result
+
+(** General-purpose engines (Spark, Naiad, serial C): any operator
+    sub-DAG, including WHILE. *)
+val general : Backend.t -> Ir.Operator.graph -> (unit, string) result
+
+(** MapReduce-style engines (Hadoop, Metis): at most one shuffle
+    operator per job and no in-job iteration — WHILE must be expanded
+    into per-iteration jobs by the executor. *)
+val mapreduce : Backend.t -> Ir.Operator.graph -> (unit, string) result
+
+(** GAS-only engines (PowerGraph, GraphChi): exactly the vertex-centric
+    graph idiom (§4.3.1). *)
+val gas : Backend.t -> Ir.Operator.graph -> (unit, string) result

@@ -1,0 +1,79 @@
+type iteration_support =
+  | Native
+  | Job_chain
+  | No_iteration
+
+type row = {
+  system : string;
+  backend : Backend.t option;
+  paradigm : string;
+  unit_of_deployment : string;
+  iteration : iteration_support;
+  default_sharding : string;
+  work_unit_size : string;
+  fault_tolerance : string;
+  language : string;
+}
+
+let all =
+  [ { system = "MapReduce/Hadoop"; backend = Some Backend.Hadoop;
+      paradigm = "MapReduce"; unit_of_deployment = "cluster";
+      iteration = Job_chain; default_sharding = "user-def.";
+      work_unit_size = "large"; fault_tolerance = "yes";
+      language = "C++/Java" };
+    { system = "Spark"; backend = Some Backend.Spark;
+      paradigm = "transformations"; unit_of_deployment = "cluster";
+      iteration = Native; default_sharding = "uniform";
+      work_unit_size = "med."; fault_tolerance = "yes"; language = "Scala" };
+    { system = "Dryad"; backend = None; paradigm = "static data-flow";
+      unit_of_deployment = "cluster"; iteration = Job_chain;
+      default_sharding = "user-def."; work_unit_size = "large";
+      fault_tolerance = "yes"; language = "C#" };
+    { system = "Naiad"; backend = Some Backend.Naiad;
+      paradigm = "timely data-flow"; unit_of_deployment = "cluster";
+      iteration = Native; default_sharding = "user-def.";
+      work_unit_size = "small"; fault_tolerance = "(yes)"; language = "C#" };
+    { system = "Pregel/Giraph"; backend = Some Backend.Giraph;
+      paradigm = "vertex-centric";
+      unit_of_deployment = "cluster"; iteration = Native;
+      default_sharding = "uniform"; work_unit_size = "med.";
+      fault_tolerance = "yes"; language = "C++/Java" };
+    { system = "PowerGraph"; backend = Some Backend.Power_graph;
+      paradigm = "vertex-centric (GAS)"; unit_of_deployment = "cluster";
+      iteration = Native; default_sharding = "power-law";
+      work_unit_size = "med."; fault_tolerance = "(yes)"; language = "C++" };
+    { system = "CIEL"; backend = None; paradigm = "dynamic data-flow";
+      unit_of_deployment = "cluster"; iteration = Native;
+      default_sharding = "user-def."; work_unit_size = "med.";
+      fault_tolerance = "yes"; language = "various" };
+    { system = "Serial C code"; backend = Some Backend.Serial_c;
+      paradigm = "none/serial"; unit_of_deployment = "machine";
+      iteration = Native; default_sharding = "-"; work_unit_size = "small";
+      fault_tolerance = "no"; language = "C" };
+    { system = "Phoenix/Metis"; backend = Some Backend.Metis;
+      paradigm = "MapReduce"; unit_of_deployment = "machine";
+      iteration = Job_chain; default_sharding = "user-def.";
+      work_unit_size = "small"; fault_tolerance = "no"; language = "C++" };
+    { system = "GraphChi"; backend = Some Backend.Graph_chi;
+      paradigm = "vertex-centric"; unit_of_deployment = "machine";
+      iteration = Native; default_sharding = "short";
+      work_unit_size = "small"; fault_tolerance = "no"; language = "C++" };
+    { system = "X-Stream"; backend = Some Backend.X_stream;
+      paradigm = "edge-centric";
+      unit_of_deployment = "machine"; iteration = Native;
+      default_sharding = "-"; work_unit_size = "med.";
+      fault_tolerance = "no"; language = "C++" } ]
+
+let supported = List.filter (fun r -> r.backend <> None) all
+
+let iteration_to_string = function
+  | Native -> "native"
+  | Job_chain -> "job chain"
+  | No_iteration -> "none"
+
+let pp_row ppf r =
+  Format.fprintf ppf "%-18s %-22s %-8s %-9s %-9s %-6s %-5s %s"
+    (r.system ^ (if r.backend <> None then "*" else ""))
+    r.paradigm r.unit_of_deployment
+    (iteration_to_string r.iteration)
+    r.default_sharding r.work_unit_size r.fault_tolerance r.language

@@ -1,0 +1,27 @@
+(** Feature matrix of contemporary data processing systems —
+    the data behind the paper's Table 3. Rows cover both the seven
+    systems Musketeer supports (flagged) and the related systems the
+    table lists for context. *)
+
+type iteration_support =
+  | Native          (** iterates within one job *)
+  | Job_chain       (** iteration = chain of jobs *)
+  | No_iteration
+
+type row = {
+  system : string;
+  backend : Backend.t option;  (** [Some _] iff Musketeer targets it *)
+  paradigm : string;
+  unit_of_deployment : string; (** "cluster" or "machine" *)
+  iteration : iteration_support;
+  default_sharding : string;
+  work_unit_size : string;
+  fault_tolerance : string;
+  language : string;
+}
+
+val all : row list
+
+val supported : row list
+
+val pp_row : Format.formatter -> row -> unit

@@ -1,0 +1,28 @@
+type t = {
+  nodes : int;
+  cores_per_node : int;
+  memory_per_node_gb : float;
+  disk_mb_s : float;
+  network_mb_s : float;
+}
+
+let local_seven =
+  { nodes = 7; cores_per_node = 8; memory_per_node_gb = 16.;
+    disk_mb_s = 140.; network_mb_s = 110. }
+
+(* m1.xlarge: 4 vCPU, 15 GB RAM, moderate I/O *)
+let ec2 ~nodes =
+  if nodes <= 0 then invalid_arg "Cluster.ec2: nodes must be positive";
+  { nodes; cores_per_node = 4; memory_per_node_gb = 15.; disk_mb_s = 90.;
+    network_mb_s = 60. }
+
+let single =
+  { nodes = 1; cores_per_node = 8; memory_per_node_gb = 16.;
+    disk_mb_s = 140.; network_mb_s = 110. }
+
+let total_memory_gb t = float_of_int t.nodes *. t.memory_per_node_gb
+
+let pp ppf t =
+  Format.fprintf ppf "%d node%s (%d cores, %.0f GB each)" t.nodes
+    (if t.nodes = 1 then "" else "s")
+    t.cores_per_node t.memory_per_node_gb

@@ -1,0 +1,31 @@
+(** Cluster descriptor — the scale knob of the paper's experiments.
+
+    The paper evaluates on a 100-node EC2 cluster of m1.xlarge instances
+    and a dedicated 7-node local cluster (§6.1); several figures vary the
+    node count (1 / 16 / 100). *)
+
+type t = {
+  nodes : int;
+  cores_per_node : int;
+  memory_per_node_gb : float;
+  (** Aggregate HDFS streaming bandwidth one node can sustain, MB/s.
+      Engines derive their PULL/PUSH rates from this and their own I/O
+      architecture. *)
+  disk_mb_s : float;
+  (** Point-to-point network bandwidth per node, MB/s — shuffle and
+      vertex-message traffic go through this. *)
+  network_mb_s : float;
+}
+
+(** The paper's 7-node local data-analytics cluster. *)
+val local_seven : t
+
+(** EC2 m1.xlarge cluster of [nodes] machines. *)
+val ec2 : nodes:int -> t
+
+(** A single machine (for single-machine engines / baselines). *)
+val single : t
+
+val total_memory_gb : t -> float
+
+val pp : Format.formatter -> t -> unit

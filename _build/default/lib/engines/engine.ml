@@ -1,0 +1,107 @@
+type t = {
+  backend : Backend.t;
+  supports : Ir.Operator.graph -> (unit, string) result;
+  run :
+    cluster:Cluster.t -> hdfs:Hdfs.t -> Job.t ->
+    (Report.t, Report.error) result;
+}
+
+type spec = {
+  spec_backend : Backend.t;
+  spec_supports : Ir.Operator.graph -> (unit, string) result;
+  spec_rates :
+    cluster:Cluster.t -> job:Job.t -> volumes:Perf.volumes -> Perf.rates;
+  spec_admit :
+    cluster:Cluster.t -> job:Job.t -> volumes:Perf.volumes ->
+    stats:Exec_helper.op_stat list -> (unit, Report.error) result;
+  spec_comm_penalty_s :
+    cluster:Cluster.t -> job:Job.t -> stats:Exec_helper.op_stat list -> float;
+  spec_adjust_volumes :
+    job:Job.t -> stats:Exec_helper.op_stat list -> Perf.volumes ->
+    Perf.volumes;
+}
+
+let default_spec backend =
+  { spec_backend = backend;
+    spec_supports = (fun _ -> Ok ());
+    spec_rates =
+      (fun ~cluster:_ ~job:_ ~volumes:_ ->
+         { Perf.overhead_s = 1.; pull_mb_s = 100.; load_mb_s = None;
+           process_mb_s = 100.; comm_mb_s = 100.; push_mb_s = 100.;
+           iter_overhead_s = 1. });
+    spec_admit = (fun ~cluster:_ ~job:_ ~volumes:_ ~stats:_ -> Ok ());
+    spec_comm_penalty_s = (fun ~cluster:_ ~job:_ ~stats:_ -> 0.);
+    spec_adjust_volumes = (fun ~job:_ ~stats:_ volumes -> volumes) }
+
+let gas_message_volumes ~(job : Job.t) ~stats volumes =
+  let message_mb = ref 0. and process_mb = ref 0. in
+  List.iter
+    (fun (s : Exec_helper.op_stat) ->
+       match s.kind_name with
+       | "GROUP BY" | "AGG" ->
+         message_mb := !message_mb +. s.in_mb;
+         process_mb := !process_mb +. (1.5 *. s.in_mb)
+       | "JOIN" -> process_mb := !process_mb +. (1.8 *. s.in_mb)
+       | "MAP" -> process_mb := !process_mb +. (1.1 *. s.in_mb)
+       | _ ->
+         (* DIFFERENCE/UNION/PROJECT only encode the superstep in the
+            dataflow IR; a GAS runtime walks its shards instead *)
+         ())
+    stats;
+  { volumes with
+    Perf.comm_mb = !message_mb *. job.options.Job.shuffle_multiplier;
+    process_mb = !process_mb *. job.options.Job.process_multiplier }
+
+let of_spec spec =
+  let run ~cluster ~hdfs (job : Job.t) =
+    match spec.spec_supports job.graph with
+    | Error reason -> Error (Report.Unsupported reason)
+    | Ok () ->
+      let exec = Exec_helper.execute ~hdfs job.graph in
+      let opts = job.options in
+      let volumes =
+        { exec.volumes with
+          Perf.scan_extra_mb =
+            float_of_int (max 0 (opts.Job.scan_passes - 1))
+            *. exec.volumes.Perf.input_mb;
+          process_mb =
+            exec.volumes.Perf.process_mb *. opts.Job.process_multiplier;
+          comm_mb =
+            exec.volumes.Perf.comm_mb *. opts.Job.shuffle_multiplier }
+      in
+      let volumes =
+        spec.spec_adjust_volumes ~job ~stats:exec.op_stats volumes
+      in
+      (match
+         spec.spec_admit ~cluster ~job ~volumes ~stats:exec.op_stats
+       with
+       | Error e -> Error e
+       | Ok () ->
+         let rates = spec.spec_rates ~cluster ~job ~volumes in
+         let breakdown, makespan = Perf.makespan rates volumes in
+         let penalty =
+           spec.spec_comm_penalty_s ~cluster ~job ~stats:exec.op_stats
+         in
+         let breakdown =
+           { breakdown with Report.comm_s = breakdown.Report.comm_s +. penalty }
+         in
+         let makespan = makespan +. penalty in
+         (* materialize outputs to HDFS *)
+         List.iter
+           (fun (name, table, mb) ->
+              Hdfs.put hdfs name ~modeled_mb:mb table;
+              Hdfs.note_write hdfs ~mb)
+           exec.outputs;
+         Hdfs.note_read hdfs ~mb:volumes.Perf.input_mb;
+         Ok
+           { Report.job_label = job.label; backend = spec.spec_backend;
+             makespan_s = makespan; breakdown;
+             input_mb = volumes.Perf.input_mb;
+             output_mb = volumes.Perf.output_mb;
+             iterations = volumes.Perf.iterations;
+             op_output_mb =
+               List.map
+                 (fun (s : Exec_helper.op_stat) -> (s.node_id, s.out_mb))
+                 exec.op_stats })
+  in
+  { backend = spec.spec_backend; supports = spec.spec_supports; run }

@@ -1,0 +1,178 @@
+open Relation
+
+type op_stat = {
+  node_id : int;
+  kind_name : string;
+  in_mb : float;
+  out_mb : float;
+  shuffled : bool;
+}
+
+type result = {
+  volumes : Perf.volumes;
+  outputs : (string * Table.t * float) list;
+  op_stats : op_stat list;
+}
+
+exception Execution_error of string
+
+let exec_error fmt = Printf.ksprintf (fun s -> raise (Execution_error s)) fmt
+
+(* Modeled output size via selectivity measured on the executed rows. *)
+let propagate kind ~in_modeled ~in_bytes ~out_bytes =
+  if in_bytes = 0 then (Ir.Sizing.of_kind kind ~inputs:[ in_modeled ]).expected
+  else in_modeled *. (float_of_int out_bytes /. float_of_int in_bytes)
+
+type accum = {
+  mutable input_mb : float;
+  mutable process_mb : float;
+  mutable comm_mb : float;
+  mutable iterations : int;
+  mutable stats : op_stat list;
+}
+
+(* Evaluates a graph; [bound] overrides relation lookups (used for WHILE
+   bodies); returns per-node (table, modeled_mb) plus output bindings in
+   node order (later bindings shadow earlier ones on lookup). *)
+let rec eval_graph ~hdfs ~(bound : (string, Table.t * float) Hashtbl.t) ~acc
+    (g : Ir.Operator.graph) =
+  let values : (int, Table.t * float) Hashtbl.t = Hashtbl.create 16 in
+  let by_name : (string, Table.t * float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (n : Ir.Operator.node) ->
+       let ins =
+         List.map
+           (fun i ->
+              match Hashtbl.find_opt values i with
+              | Some v -> v
+              | None -> exec_error "node %d evaluated before input %d" n.id i)
+           n.inputs
+       in
+       let in_tables = List.map fst ins in
+       let in_modeled = List.fold_left (fun s (_, mb) -> s +. mb) 0. ins in
+       let in_bytes =
+         List.fold_left (fun s t -> s + Table.encoded_bytes t) 0 in_tables
+       in
+       let table, modeled =
+         match n.kind with
+         | Ir.Operator.Input { relation } -> (
+           match Hashtbl.find_opt bound relation with
+           | Some (t, mb) -> (t, mb)
+           | None -> (
+             try
+               let e = Hdfs.get hdfs relation in
+               acc.input_mb <- acc.input_mb +. e.Hdfs.modeled_mb;
+               (e.Hdfs.table, e.Hdfs.modeled_mb)
+             with Hdfs.No_such_relation r ->
+               exec_error "missing input relation %S" r))
+         | Ir.Operator.While { condition; max_iterations; body } ->
+           eval_while ~hdfs ~acc ~condition ~max_iterations ~body ins
+         | kind ->
+           let out = Ir.Interp.eval_kind kind in_tables in
+           let mb =
+             propagate kind ~in_modeled ~in_bytes
+               ~out_bytes:(Table.encoded_bytes out)
+           in
+           acc.process_mb <-
+             acc.process_mb +. (in_modeled *. Perf.op_weight kind);
+           if Ir.Operator.needs_shuffle kind then
+             acc.comm_mb <- acc.comm_mb +. in_modeled;
+           acc.stats <-
+             { node_id = n.id; kind_name = Ir.Operator.kind_name kind;
+               in_mb = in_modeled; out_mb = mb;
+               shuffled = Ir.Operator.needs_shuffle kind }
+             :: acc.stats;
+           (out, mb)
+       in
+       Hashtbl.replace values n.id (table, modeled);
+       Hashtbl.replace by_name n.output (table, modeled))
+    g.nodes;
+  (values, by_name)
+
+and eval_while ~hdfs ~acc ~condition ~max_iterations ~body ins =
+  let body_inputs = Ir.Dag.sources body in
+  if List.length body_inputs <> List.length ins then
+    exec_error "WHILE: body has %d inputs, %d provided"
+      (List.length body_inputs) (List.length ins);
+  let bound : (string, Table.t * float) Hashtbl.t = Hashtbl.create 8 in
+  List.iter2
+    (fun (n : Ir.Operator.node) v ->
+       match n.kind with
+       | Ir.Operator.Input { relation } -> Hashtbl.replace bound relation v
+       | _ -> assert false)
+    body_inputs ins;
+  let first_output =
+    match body.Ir.Operator.outputs with
+    | id :: _ -> (Ir.Dag.node body id).Ir.Operator.output
+    | [] -> exec_error "WHILE: body has no outputs"
+  in
+  let result = ref None in
+  let rec iterate i =
+    let _, by_name = eval_graph ~hdfs ~bound ~acc body in
+    let find r =
+      match Hashtbl.find_opt by_name r with
+      | Some (t, mb) -> (t, mb)
+      | None -> exec_error "WHILE: body did not produce %S" r
+    in
+    let current r = fst (find r) in
+    let previous r =
+      match Hashtbl.find_opt bound r with
+      | Some (t, _) -> t
+      | None -> exec_error "WHILE: %S is not loop-carried" r
+    in
+    let finished =
+      Ir.Interp.loop_finished condition ~iteration:i ~max_iterations ~current
+        ~previous
+    in
+    List.iter
+      (fun r -> Hashtbl.replace bound r (find r))
+      body.Ir.Operator.loop_carried;
+    result := Some (find first_output);
+    if finished then acc.iterations <- max acc.iterations i
+    else iterate (i + 1)
+  in
+  iterate 1;
+  match !result with
+  | Some v -> v
+  | None -> assert false
+
+let execute ~hdfs (g : Ir.Operator.graph) =
+  let acc =
+    { input_mb = 0.; process_mb = 0.; comm_mb = 0.; iterations = 1;
+      stats = [] }
+  in
+  let bound = Hashtbl.create 1 in
+  let values, _ = eval_graph ~hdfs ~bound ~acc g in
+  let out_nodes =
+    match g.outputs with
+    | [] -> Ir.Dag.sinks g
+    | ids -> List.map (Ir.Dag.node g) ids
+  in
+  let outputs =
+    List.map
+      (fun (n : Ir.Operator.node) ->
+         let t, mb = Hashtbl.find values n.id in
+         (n.output, t, mb))
+      out_nodes
+  in
+  let output_mb = List.fold_left (fun s (_, _, mb) -> s +. mb) 0. outputs in
+  { volumes =
+      { Perf.input_mb = acc.input_mb; output_mb; load_mb = acc.input_mb;
+        process_mb = acc.process_mb; scan_extra_mb = 0.;
+        comm_mb = acc.comm_mb; iterations = acc.iterations };
+    outputs;
+    op_stats = List.rev acc.stats }
+
+let is_graph_idiom (g : Ir.Operator.graph) = Ir.Gas_check.graph_is_gas g
+
+let shuffle_count (g : Ir.Operator.graph) =
+  List.length
+    (List.filter
+       (fun (n : Ir.Operator.node) -> Ir.Operator.needs_shuffle n.kind)
+       g.nodes)
+
+let has_while (g : Ir.Operator.graph) =
+  List.exists
+    (fun (n : Ir.Operator.node) ->
+       match n.kind with Ir.Operator.While _ -> true | _ -> false)
+    g.nodes

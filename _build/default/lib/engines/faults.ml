@@ -1,0 +1,40 @@
+type recovery =
+  | Restart
+  | Reexecute_tasks of float
+
+let detection_delay_s = 5.
+
+(* work-unit granularity from Table 3's "work unit size" column *)
+let granularity_of_unit = function
+  | "small" -> 0.02
+  | "med." -> 0.08
+  | "large" -> 0.20
+  | _ -> 0.10
+
+let recovery_of backend =
+  let row =
+    List.find_opt
+      (fun (r : Capabilities.row) -> r.backend = Some backend)
+      Capabilities.all
+  in
+  match row with
+  | Some r when r.fault_tolerance <> "no" ->
+    Reexecute_tasks (granularity_of_unit r.work_unit_size)
+  | Some _ | None -> Restart
+
+let makespan_with_failure backend (report : Report.t) ~at_fraction =
+  if at_fraction < 0. || at_fraction > 1. then
+    invalid_arg "Faults.makespan_with_failure: fraction outside [0,1]";
+  let base = report.makespan_s in
+  match recovery_of backend with
+  | Restart ->
+    (* everything up to the failure is wasted, then run from scratch *)
+    (at_fraction *. base) +. base
+  | Reexecute_tasks granularity ->
+    (* only the failed worker's in-flight tasks re-run, capped by what
+       had actually executed *)
+    let lost = Float.min at_fraction granularity in
+    base +. detection_delay_s +. (lost *. base)
+
+let failure_overhead backend report ~at_fraction =
+  makespan_with_failure backend report ~at_fraction /. report.makespan_s

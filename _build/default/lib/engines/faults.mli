@@ -1,0 +1,35 @@
+(** Fault-tolerance modeling (Table 3's FT column).
+
+    The paper's feature matrix distinguishes engines with checkpointed /
+    lineage-based recovery (Hadoop, Spark, Giraph; Naiad and PowerGraph
+    "can be extended") from single-machine engines without any (Metis,
+    GraphChi, serial C, X-Stream). This module prices a worker failure
+    injected at a given fraction of a job's execution:
+
+    - a fault-tolerant engine re-executes only the lost tasks; the
+      smaller its work units (Table 3, "work unit size"), the less is
+      lost — plus a fixed detection/rescheduling delay;
+    - an engine without fault tolerance restarts the job from scratch.
+
+    This is a reproduction extension (the paper lists FT but never
+    exercises it); `bench/main.exe -- ablations` reports the resulting
+    recovery costs per engine. *)
+
+type recovery =
+  | Restart              (** no FT: lose everything done so far *)
+  | Reexecute_tasks of float
+      (** FT: re-run the lost share of in-flight work; the float is the
+          work-unit granularity (fraction of a job one task represents) *)
+
+(** How the backend recovers, derived from {!Capabilities}. *)
+val recovery_of : Backend.t -> recovery
+
+(** [makespan_with_failure backend report ~at_fraction] — the makespan
+    had one worker failed after [at_fraction] (in [0,1]) of the job.
+    Raises [Invalid_argument] outside the range. *)
+val makespan_with_failure :
+  Backend.t -> Report.t -> at_fraction:float -> float
+
+(** Relative slowdown ([makespan_with_failure / makespan]). *)
+val failure_overhead :
+  Backend.t -> Report.t -> at_fraction:float -> float

@@ -1,0 +1,27 @@
+let backend = Backend.Giraph
+
+(* Hash-partitioned vertices: no vertex-cut, so the full message volume
+   crosses the network each superstep; JVM workers process moderately;
+   Hadoop-style startup and per-superstep checkpointing. *)
+let rates ~(cluster : Cluster.t) ~job:_ ~volumes:_ =
+  let n = cluster.nodes in
+  { Perf.overhead_s = 20.;
+    pull_mb_s = Perf.scaled ~base:(cluster.disk_mb_s *. 0.6) ~nodes:n ~alpha:0.9;
+    load_mb_s = Some (Perf.scaled ~base:120. ~nodes:n ~alpha:0.8);
+    process_mb_s =
+      Perf.scaled
+        ~base:(float_of_int cluster.cores_per_node *. 40.)
+        ~nodes:n ~alpha:0.75;
+    comm_mb_s =
+      Perf.scaled ~base:(cluster.network_mb_s *. 0.7) ~nodes:n ~alpha:0.75;
+    push_mb_s = Perf.scaled ~base:(cluster.disk_mb_s *. 0.5) ~nodes:n ~alpha:0.9;
+    iter_overhead_s = 2.0 +. (0.05 *. float_of_int n) }
+
+let engine =
+  Engine.of_spec
+    { (Engine.default_spec backend) with
+      Engine.spec_supports = Admission.gas backend;
+      spec_rates = rates;
+      spec_adjust_volumes =
+        (fun ~job ~stats volumes ->
+           Engine.gas_message_volumes ~job ~stats volumes) }

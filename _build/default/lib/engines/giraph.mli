@@ -1,0 +1,11 @@
+(** Giraph: a Pregel-style vertex-centric engine over Hadoop
+    infrastructure (paper Table 3 — {b reproduction extension}: the
+    original Musketeer prototype did not target Giraph; this simulator
+    demonstrates the §3 extensibility claim).
+
+    Bulk-synchronous supersteps over hash-partitioned vertices. Without
+    PowerGraph's vertex-cut, every message crosses the network, so it
+    trails PowerGraph on power-law graphs; JVM start-up and
+    checkpointing give it a Hadoop-like job overhead. *)
+
+val engine : Engine.t

@@ -1,0 +1,31 @@
+let backend = Backend.Graph_chi
+
+(* One machine. Shard construction is a sort of the edge list (load
+   phase); each iteration re-streams the shards from local disk at
+   sequential-I/O speed. No network communication at all — "comm"
+   (vertex message exchange) happens through the shards, priced at disk
+   streaming rate. *)
+let rates ~cluster:_ ~job:_ ~volumes =
+  let machine = Cluster.single in
+  let memory_mb = machine.memory_per_node_gb *. 1024. in
+  let in_memory = volumes.Perf.input_mb <= 0.8 *. memory_mb in
+  let streaming = machine.disk_mb_s *. 1.6 in
+  let compute = float_of_int machine.cores_per_node *. 120. in
+  { Perf.overhead_s = 2.;
+    pull_mb_s = machine.network_mb_s;
+    load_mb_s = Some 100.;
+    (* parallel sliding windows: compute-bound while the graph fits in
+       memory, sequential-I/O-bound once shards stream from disk *)
+    process_mb_s = (if in_memory then compute else Float.min compute streaming);
+    comm_mb_s = (if in_memory then 2000. else streaming);
+    push_mb_s = machine.network_mb_s;
+    iter_overhead_s = 0.4 }
+
+let engine =
+  Engine.of_spec
+    { (Engine.default_spec backend) with
+      Engine.spec_supports = Admission.gas backend;
+      spec_rates = rates;
+      spec_adjust_volumes =
+        (fun ~job ~stats volumes ->
+           Engine.gas_message_volumes ~job ~stats volumes) }

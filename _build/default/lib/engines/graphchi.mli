@@ -1,0 +1,11 @@
+(** GraphChi (paper Table 3; Kyrola et al., OSDI 2012).
+
+    Out-of-core vertex-centric processing on a single machine, built
+    around the parallel-sliding-windows shard layout. Surprisingly
+    competitive for smaller graphs — the paper measures it within 50% of
+    Spark-on-100-nodes for Orkut PageRank (§2.2) — at a fraction of the
+    resources, which makes it the resource-efficiency anchor of
+    Figure 8c. Only GAS-idiom jobs are accepted. The HDFS connector of
+    Table 2 is assumed (inputs stream in over the machine's NIC). *)
+
+val engine : Engine.t

@@ -1,0 +1,25 @@
+let backend = Backend.Hadoop
+
+(* Parallel HDFS streaming on every node (0.7 efficiency for ingest,
+   0.5 for replicated writes); disk-based processing through the JVM;
+   shuffles bounded by the aggregate network. The ~30 s job overhead is
+   what operator merging saves per avoided job (§4.3.2, Figure 12). *)
+let rates ~(cluster : Cluster.t) ~job:_ ~volumes:_ =
+  let n = cluster.nodes in
+  { Perf.overhead_s = 28.;
+    pull_mb_s = Perf.scaled ~base:(cluster.disk_mb_s *. 0.7) ~nodes:n ~alpha:0.95;
+    load_mb_s = None;
+    process_mb_s =
+      Perf.scaled
+        ~base:(float_of_int cluster.cores_per_node *. 30.)
+        ~nodes:n ~alpha:0.9;
+    comm_mb_s =
+      Perf.scaled ~base:(cluster.network_mb_s *. 0.6) ~nodes:n ~alpha:0.9;
+    push_mb_s = Perf.scaled ~base:(cluster.disk_mb_s *. 0.5) ~nodes:n ~alpha:0.95;
+    iter_overhead_s = 5. }
+
+let engine =
+  Engine.of_spec
+    { (Engine.default_spec backend) with
+      Engine.spec_supports = Admission.mapreduce backend;
+      spec_rates = rates }

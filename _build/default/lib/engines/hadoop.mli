@@ -1,0 +1,9 @@
+(** Hadoop MapReduce (paper Table 3).
+
+    Large per-job startup cost (JVM spawn, task scheduling), but it
+    streams from and to HDFS in parallel on every node, which makes it
+    the strongest system for large batch scans and big symmetric joins
+    (Figure 2). One group-by-key operation per job; iteration requires a
+    chain of jobs, which is why it loses badly on PageRank (Figure 3). *)
+
+val engine : Engine.t

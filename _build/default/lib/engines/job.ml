@@ -1,0 +1,34 @@
+type options = {
+  scan_passes : int;
+  process_multiplier : float;
+  shuffle_multiplier : float;
+  naiad_parallel_io : bool;
+  naiad_vertex_group_by : bool;
+}
+
+let optimized_options =
+  { scan_passes = 1; process_multiplier = 1.08; shuffle_multiplier = 1.1;
+    naiad_parallel_io = true; naiad_vertex_group_by = true }
+
+let baseline_options =
+  { scan_passes = 1; process_multiplier = 1.0; shuffle_multiplier = 1.0;
+    naiad_parallel_io = true; naiad_vertex_group_by = true }
+
+let native_frontend_options =
+  { scan_passes = 2; process_multiplier = 1.0; shuffle_multiplier = 1.0;
+    naiad_parallel_io = false; naiad_vertex_group_by = false }
+
+type t = {
+  label : string;
+  backend : Backend.t;
+  graph : Ir.Operator.graph;
+  options : options;
+}
+
+let make ?(options = optimized_options) ~label ~backend graph =
+  { label; backend; graph; options }
+
+let pp ppf t =
+  Format.fprintf ppf "job %S on %a: %d operator(s)" t.label Backend.pp
+    t.backend
+    (Ir.Dag.operator_count t.graph)

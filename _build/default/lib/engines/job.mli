@@ -1,0 +1,51 @@
+(** A back-end job: the unit of work Musketeer's partitioner assigns to
+    one execution engine (paper §5: each DAG partition becomes a job).
+
+    The job's graph is a self-contained IR sub-DAG whose INPUT nodes
+    name relations in the shared HDFS and whose external outputs are
+    written back to HDFS — exactly how Musketeer moves data across
+    system boundaries (§6.3). [options] capture properties of the
+    *generated code* that affect performance but not semantics. *)
+
+type options = {
+  scan_passes : int;
+      (** map-side passes over the input data. 1 = fully shared scans;
+          naive per-operator code uses more (§4.3.3, §4.3.4) *)
+  process_multiplier : float;
+      (** residual inefficiency of generated code relative to a
+          hand-optimized implementation (1.0 = oracle baseline);
+          Musketeer-generated code carries a small, backend-dependent
+          factor (§6.4) *)
+  shuffle_multiplier : float;
+      (** network-volume inflation of generated code vs an expert's
+          compact custom serialization/partitioning (mostly relevant to
+          the JVM engines; 1.0 = hand-tuned) *)
+  naiad_parallel_io : bool;
+      (** Musketeer's Naiad code uses the parallel-I/O patch of Table 2;
+          stock Lindi code reads with one thread per machine (§2.1) *)
+  naiad_vertex_group_by : bool;
+      (** use Naiad's low-level vertex API for associative GROUP BY
+          instead of Lindi's collect-on-one-machine operator (§6.2) *)
+}
+
+(** Options of Musketeer-generated code with every optimization on. *)
+val optimized_options : options
+
+(** Options modelling a hand-tuned, non-portable baseline job. *)
+val baseline_options : options
+
+(** Stock front-end code (e.g. Lindi's own Naiad path). *)
+val native_frontend_options : options
+
+type t = {
+  label : string;
+  backend : Backend.t;
+  graph : Ir.Operator.graph;
+  options : options;
+}
+
+val make :
+  ?options:options -> label:string -> backend:Backend.t ->
+  Ir.Operator.graph -> t
+
+val pp : Format.formatter -> t -> unit

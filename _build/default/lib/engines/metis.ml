@@ -1,0 +1,25 @@
+let backend = Backend.Metis
+
+(* One machine: HDFS ingest is bounded by its NIC (the paper notes the
+   PROJECT benchmark bottlenecks on reading from HDFS, and that Metis
+   with local data wins up to 2 GB). All cores process in memory; when
+   the working set exceeds RAM the in-memory map-reduce thrashes. *)
+let rates ~(cluster : Cluster.t) ~job:_ ~volumes =
+  let machine = Cluster.single in
+  ignore cluster;
+  let memory_mb = machine.memory_per_node_gb *. 1024. in
+  let in_memory = volumes.Perf.input_mb <= 0.8 *. memory_mb in
+  let process_base = float_of_int machine.cores_per_node *. 80. in
+  { Perf.overhead_s = 1.5;
+    pull_mb_s = machine.network_mb_s;
+    load_mb_s = None;
+    process_mb_s = (if in_memory then process_base else process_base /. 6.);
+    comm_mb_s = (if in_memory then 1500. else 120.);
+    push_mb_s = machine.network_mb_s;
+    iter_overhead_s = 0.5 }
+
+let engine =
+  Engine.of_spec
+    { (Engine.default_spec backend) with
+      Engine.spec_supports = Admission.mapreduce backend;
+      spec_rates = rates }

@@ -1,0 +1,10 @@
+(** Metis: single-machine, multicore MapReduce (paper Table 3; Mao et
+    al., MIT-CSAIL-TR-2010-020).
+
+    Best-in-class for small inputs (Figure 2a: it wins below ~0.5–2 GB)
+    because it has almost no startup cost and uses all cores of one
+    machine; once the input exceeds main memory, its in-memory design
+    degrades sharply. Like Hadoop it can express only one group-by-key
+    per job. *)
+
+val engine : Engine.t

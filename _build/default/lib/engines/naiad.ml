@@ -1,0 +1,70 @@
+let backend = Backend.Naiad
+
+let single_reader_mb_s = 28.
+
+let rates ~(cluster : Cluster.t) ~(job : Job.t) ~volumes:_ =
+  let n = cluster.nodes in
+  let parallel = job.options.Job.naiad_parallel_io in
+  let io_base =
+    if parallel then cluster.disk_mb_s *. 0.7 else single_reader_mb_s
+  in
+  { Perf.overhead_s = 4.;
+    (* stock code reads with one thread per machine; Musketeer's patch
+       reads every HDFS block in parallel (Table 2) *)
+    pull_mb_s = Perf.scaled ~base:io_base ~nodes:n ~alpha:0.95;
+    load_mb_s = None;
+    process_mb_s =
+      Perf.scaled
+        ~base:(float_of_int cluster.cores_per_node *. 55.)
+        ~nodes:n ~alpha:0.92;
+    comm_mb_s =
+      Perf.scaled ~base:(cluster.network_mb_s *. 0.8) ~nodes:n ~alpha:0.92;
+    (* ...and stock Lindi writes output through a single thread on a
+       single machine (§2.1) *)
+    push_mb_s =
+      (if parallel then
+         Perf.scaled ~base:(io_base *. 0.8) ~nodes:n ~alpha:0.95
+       else single_reader_mb_s);
+    iter_overhead_s = 0.3 }
+
+(* Lindi's non-associative GROUP BY: all rows of the operator's input
+   are collected on a single machine before grouping, so the operator
+   pays full-volume traffic at one node's bandwidth instead of the
+   cluster's aggregate (§6.2). *)
+let comm_penalty ~(cluster : Cluster.t) ~(job : Job.t) ~stats =
+  if job.options.Job.naiad_vertex_group_by then 0.
+  else
+    let group_mb =
+      List.fold_left
+        (fun acc (s : Exec_helper.op_stat) ->
+           if s.kind_name = "GROUP BY" || s.kind_name = "AGG" then
+             acc +. s.in_mb
+           else acc)
+        0. stats
+    in
+    group_mb /. (cluster.network_mb_s *. 0.55)
+
+(* the vertex-level GROUP BY pre-aggregates locally before shuffling
+   (combiner-style), cutting the aggregation's network volume ~10x *)
+let adjust_volumes ~(job : Job.t) ~stats volumes =
+  if not job.options.Job.naiad_vertex_group_by then volumes
+  else begin
+    let group_mb =
+      List.fold_left
+        (fun acc (s : Exec_helper.op_stat) ->
+           if s.kind_name = "GROUP BY" || s.kind_name = "AGG" then
+             acc +. s.in_mb
+           else acc)
+        0. stats
+    in
+    { volumes with
+      Perf.comm_mb = volumes.Perf.comm_mb -. (0.9 *. group_mb) }
+  end
+
+let engine =
+  Engine.of_spec
+    { (Engine.default_spec backend) with
+      Engine.spec_supports = Admission.general backend;
+      spec_rates = rates;
+      spec_comm_penalty_s = comm_penalty;
+      spec_adjust_volumes = adjust_volumes }

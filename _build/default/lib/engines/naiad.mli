@@ -1,0 +1,19 @@
+(** Naiad timely dataflow (paper Table 3; Murray et al., SOSP 2013).
+
+    Low job overhead, excellent iteration support (sub-second epoch
+    turnaround) and efficient communication — the best engine for large
+    iterative graph workloads at scale (Figure 3b, Figure 8).
+
+    Two properties of the code running *on* Naiad matter enormously and
+    are controlled by {!Job.options}:
+
+    - stock Lindi code reads input with a single thread per machine
+      (Table 2: Musketeer's patch adds parallel HDFS I/O), crippling
+      I/O-bound jobs (Figure 2a);
+    - Lindi's high-level GROUP BY is non-associative and collects each
+      group's data on one machine; Musketeer emits a vertex-level
+      implementation for associative aggregations that scales (the 9×
+      of Figure 7). The penalty only applies to jobs that actually
+      contain an associative GROUP BY Musketeer could have improved. *)
+
+val engine : Engine.t

@@ -1,0 +1,50 @@
+(** The shared performance model engine simulators charge time with.
+
+    Engines compute a {!rates} record from the cluster and job (this is
+    where their architectural differences live — per-job overhead,
+    I/O parallelism, shuffle bandwidth, scaling exponents) and the
+    executor-side helper computes {!volumes} from the data actually
+    flowing through the job. Makespan is then a simple rate model:
+
+    {v makespan = overhead + pull/in-rate + load/load-rate
+                 + process/process-rate + comm/comm-rate + push/out-rate
+                 + iterations * iteration-overhead v}
+
+    This mirrors the structure of Musketeer's own cost function (paper
+    §5.2, Table 1): the PULL/LOAD/PROCESS/PUSH rates the planner
+    calibrates are exactly the rates the simulators run on. *)
+
+type volumes = {
+  input_mb : float;       (** pulled from HDFS *)
+  output_mb : float;      (** pushed to HDFS *)
+  load_mb : float;        (** data passing the engine's load phase *)
+  process_mb : float;     (** weighted per-operator processing volume *)
+  scan_extra_mb : float;  (** additional passes by unoptimized code *)
+  comm_mb : float;        (** shuffled / messaged over the network *)
+  iterations : int;
+}
+
+val zero_volumes : volumes
+
+val add_volumes : volumes -> volumes -> volumes
+
+type rates = {
+  overhead_s : float;       (** per-job fixed cost *)
+  pull_mb_s : float;        (** aggregate HDFS ingest rate *)
+  load_mb_s : float option; (** [None]: the engine has no load phase *)
+  process_mb_s : float;     (** aggregate in-memory processing rate *)
+  comm_mb_s : float;        (** aggregate shuffle bandwidth *)
+  push_mb_s : float;        (** aggregate HDFS write rate *)
+  iter_overhead_s : float;  (** per-iteration synchronization cost *)
+}
+
+(** [makespan rates volumes] — the breakdown and its total. *)
+val makespan : rates -> volumes -> Report.breakdown * float
+
+(** Relative per-byte processing weight of an operator vs a SELECT scan
+    (UDFs use their declared cost factor). *)
+val op_weight : Ir.Operator.kind -> float
+
+(** [scaled ~base ~nodes ~alpha] aggregate rate of [nodes] machines with
+    parallel efficiency exponent [alpha] ([alpha]=1: perfect scaling). *)
+val scaled : base:float -> nodes:int -> alpha:float -> float

@@ -1,0 +1,11 @@
+(** PowerGraph (paper Table 3; Gonzalez et al., OSDI 2012).
+
+    Vertex-centric GAS engine for natural (power-law) graphs. Its
+    vertex-cut sharding slashes per-iteration communication, making it
+    the most resource-efficient distributed engine at moderate scale —
+    the paper finds it beats GraphLINQ on 16 nodes while gaining nothing
+    beyond that (§2.2 footnote: 32/64 nodes showed no benefit over 16),
+    because ingress partitioning and per-iteration coordination grow
+    with the node count. Only GAS-idiom jobs are accepted. *)
+
+val engine : Engine.t

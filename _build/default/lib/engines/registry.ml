@@ -1,0 +1,17 @@
+let find = function
+  | Backend.Hadoop -> Hadoop.engine
+  | Backend.Spark -> Spark.engine
+  | Backend.Naiad -> Naiad.engine
+  | Backend.Power_graph -> Powergraph.engine
+  | Backend.Graph_chi -> Graphchi.engine
+  | Backend.Metis -> Metis.engine
+  | Backend.Serial_c -> Serial_c.engine
+  | Backend.Giraph -> Giraph.engine
+  | Backend.X_stream -> X_stream.engine
+
+let all = List.map find Backend.extended
+
+let run backend ~cluster ~hdfs job =
+  (find backend).Engine.run ~cluster ~hdfs job
+
+let supports backend graph = (find backend).Engine.supports graph

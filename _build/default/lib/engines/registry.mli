@@ -1,0 +1,13 @@
+(** Lookup from {!Backend.t} to its engine simulator. *)
+
+val find : Backend.t -> Engine.t
+
+val all : Engine.t list
+
+(** [run backend ~cluster ~hdfs job] — convenience dispatch. *)
+val run :
+  Backend.t -> cluster:Cluster.t -> hdfs:Hdfs.t -> Job.t ->
+  (Report.t, Report.error) result
+
+(** [supports backend graph] — can one job of [backend] express it? *)
+val supports : Backend.t -> Ir.Operator.graph -> (unit, string) result

@@ -1,0 +1,71 @@
+type breakdown = {
+  overhead_s : float;
+  pull_s : float;
+  load_s : float;
+  process_s : float;
+  comm_s : float;
+  push_s : float;
+}
+
+type t = {
+  job_label : string;
+  backend : Backend.t;
+  makespan_s : float;
+  breakdown : breakdown;
+  input_mb : float;
+  output_mb : float;
+  iterations : int;
+  op_output_mb : (int * float) list;
+}
+
+type error =
+  | Unsupported of string
+  | Out_of_memory of string
+
+let error_to_string = function
+  | Unsupported msg -> "unsupported: " ^ msg
+  | Out_of_memory msg -> "out of memory: " ^ msg
+
+let zero_breakdown =
+  { overhead_s = 0.; pull_s = 0.; load_s = 0.; process_s = 0.; comm_s = 0.;
+    push_s = 0. }
+
+let total b =
+  b.overhead_s +. b.pull_s +. b.load_s +. b.process_s +. b.comm_s +. b.push_s
+
+let add_breakdown a b =
+  { overhead_s = a.overhead_s +. b.overhead_s;
+    pull_s = a.pull_s +. b.pull_s;
+    load_s = a.load_s +. b.load_s;
+    process_s = a.process_s +. b.process_s;
+    comm_s = a.comm_s +. b.comm_s;
+    push_s = a.push_s +. b.push_s }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s on %a: %.1fs (overhead %.1f, pull %.1f, load %.1f, process %.1f, \
+     comm %.1f, push %.1f; in %.0f MB, out %.0f MB, %d iter)"
+    t.job_label Backend.pp t.backend t.makespan_s t.breakdown.overhead_s
+    t.breakdown.pull_s t.breakdown.load_s t.breakdown.process_s
+    t.breakdown.comm_s t.breakdown.push_s t.input_mb t.output_mb t.iterations
+
+let sequence reports ~label =
+  match reports with
+  | [] ->
+    { job_label = label; backend = Backend.Serial_c; makespan_s = 0.;
+      breakdown = zero_breakdown; input_mb = 0.; output_mb = 0.;
+      iterations = 1; op_output_mb = [] }
+  | first :: _ ->
+    List.fold_left
+      (fun acc r ->
+         { acc with
+           makespan_s = acc.makespan_s +. r.makespan_s;
+           breakdown = add_breakdown acc.breakdown r.breakdown;
+           input_mb = acc.input_mb +. r.input_mb;
+           output_mb = acc.output_mb +. r.output_mb;
+           iterations = max acc.iterations r.iterations;
+           op_output_mb = acc.op_output_mb @ r.op_output_mb })
+      { first with job_label = label; makespan_s = 0.;
+        breakdown = zero_breakdown; input_mb = 0.; output_mb = 0.;
+        iterations = 1; op_output_mb = [] }
+      reports

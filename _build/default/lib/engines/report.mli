@@ -1,0 +1,45 @@
+(** Execution reports and errors returned by engine simulators.
+
+    [makespan_s] follows the paper's metric (§6.1): total time from job
+    launch to the result appearing in HDFS, including input loading,
+    pre-processing/transformation and output materialization. *)
+
+type breakdown = {
+  overhead_s : float;  (** job startup / scheduling / task placement *)
+  pull_s : float;      (** reading inputs from HDFS *)
+  load_s : float;      (** engine-specific loading (RDD build, graph
+                           partitioning, shard construction) *)
+  process_s : float;   (** operator computation on loaded data *)
+  comm_s : float;      (** shuffle / vertex-message network traffic *)
+  push_s : float;      (** writing outputs to HDFS *)
+}
+
+type t = {
+  job_label : string;
+  backend : Backend.t;
+  makespan_s : float;
+  breakdown : breakdown;
+  input_mb : float;        (** modeled MB pulled from HDFS *)
+  output_mb : float;       (** modeled MB pushed to HDFS *)
+  iterations : int;        (** 1 for non-iterative jobs *)
+  op_output_mb : (int * float) list;
+      (** modeled output size of every operator, keyed by node id —
+          feeds Musketeer's workflow history (§5.2) *)
+}
+
+type error =
+  | Unsupported of string      (** job does not fit the engine's paradigm *)
+  | Out_of_memory of string    (** e.g. Spark RDDs exceeding cluster RAM *)
+
+val error_to_string : error -> string
+
+val zero_breakdown : breakdown
+
+val total : breakdown -> float
+
+val pp : Format.formatter -> t -> unit
+
+(** Sum of sequential job reports: makespans add; volumes add; the
+    maximum iteration count is kept. Used by the executor to aggregate a
+    workflow's jobs into one workflow report. *)
+val sequence : t list -> label:string -> t

@@ -1,0 +1,22 @@
+let backend = Backend.Serial_c
+
+(* One machine, one thread, practically no startup cost. The baseline
+   runs on an HDFS data node and streams the node-local replica (how
+   the paper's simple C jobs were measured), so its I/O runs at disk
+   speed rather than NIC speed. *)
+let rates ~(cluster : Cluster.t) ~job:_ ~volumes:_ =
+  ignore cluster;
+  let disk = Cluster.single.disk_mb_s in
+  { Perf.overhead_s = 0.2;
+    pull_mb_s = disk;
+    load_mb_s = None;
+    process_mb_s = 250.;
+    comm_mb_s = 2000.;  (* "shuffles" are in-process hash tables *)
+    push_mb_s = disk;
+    iter_overhead_s = 0.01 }
+
+let engine =
+  Engine.of_spec
+    { (Engine.default_spec backend) with
+      Engine.spec_supports = Admission.general backend;
+      spec_rates = rates }

@@ -1,0 +1,8 @@
+(** Simple, serial C code on one machine (paper Table 3, §2.1).
+
+    No startup cost worth mentioning and no parallelism at all: it wins
+    small asymmetric workloads where distributed systems cannot amortize
+    their overheads (Figure 2b's LiveJournal join), and loses as soon as
+    data volume grows. *)
+
+val engine : Engine.t

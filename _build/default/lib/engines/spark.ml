@@ -1,0 +1,56 @@
+let backend = Backend.Spark
+
+let rates ~(cluster : Cluster.t) ~job:_ ~volumes:_ =
+  let n = cluster.nodes in
+  (* task scheduling on Spark 0.9 is comparatively slow; the paper's
+     motivation experiments call out its "overhead due to constructing
+     in-memory state and scheduling tasks sub-optimally" *)
+  { Perf.overhead_s = 14.;
+    pull_mb_s = Perf.scaled ~base:(cluster.disk_mb_s *. 0.7) ~nodes:n ~alpha:0.95;
+    (* RDD materialization: deserialize + build partitions in memory *)
+    load_mb_s = Some (Perf.scaled ~base:75. ~nodes:n ~alpha:0.9);
+    process_mb_s =
+      Perf.scaled
+        ~base:(float_of_int cluster.cores_per_node *. 60.)
+        ~nodes:n ~alpha:0.9;
+    comm_mb_s =
+      Perf.scaled ~base:(cluster.network_mb_s *. 0.7) ~nodes:n ~alpha:0.9;
+    push_mb_s = Perf.scaled ~base:(cluster.disk_mb_s *. 0.5) ~nodes:n ~alpha:0.95;
+    iter_overhead_s = 2.5 }
+
+(* RDD lineage keeps inputs plus the largest intermediates resident;
+   with serialization overhead Spark effectively needs several times the
+   raw data size in RAM. *)
+let admit ~(cluster : Cluster.t) ~job:_ ~volumes ~stats =
+  let memory_mb = Cluster.total_memory_gb cluster *. 1024. in
+  let peak_intermediate_mb =
+    List.fold_left
+      (fun acc (s : Exec_helper.op_stat) -> max acc s.out_mb)
+      volumes.Perf.input_mb stats
+  in
+  if 2.6 *. peak_intermediate_mb > memory_mb then
+    Error
+      (Report.Out_of_memory
+         (Printf.sprintf
+            "RDD working set ~%.0f MB exceeds cluster memory %.0f MB"
+            (2.6 *. peak_intermediate_mb)
+            memory_mb))
+  else Ok ()
+
+(* every transformation materializes an RDD: intermediates pass the
+   load phase too, not just the workflow input *)
+let adjust_volumes ~job:_ ~stats volumes =
+  let intermediates =
+    List.fold_left
+      (fun acc (s : Exec_helper.op_stat) -> acc +. s.out_mb)
+      0. stats
+  in
+  { volumes with Perf.load_mb = volumes.Perf.input_mb +. intermediates }
+
+let engine =
+  Engine.of_spec
+    { (Engine.default_spec backend) with
+      Engine.spec_supports = Admission.general backend;
+      spec_rates = rates;
+      spec_admit = admit;
+      spec_adjust_volumes = adjust_volumes }

@@ -1,0 +1,10 @@
+(** Spark (paper Table 3; Zaharia et al., NSDI 2012).
+
+    Moderate job overhead and fast in-memory transformations, but every
+    input is first materialized into a distributed RDD — wasted work for
+    single-pass workflows with no data re-use, which is why it trails
+    Hadoop on the PROJECT micro-benchmark (Figure 2a). RDDs must fit in
+    aggregate cluster memory: jobs whose intermediates blow past it fail
+    with OOM, as the paper's k-means CROSS JOIN does (Figure 15b). *)
+
+val engine : Engine.t

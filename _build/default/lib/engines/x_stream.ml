@@ -1,0 +1,27 @@
+let backend = Backend.X_stream
+
+(* One machine. No shard sorting: the load phase only splits edges into
+   streaming partitions (fast); each superstep streams edges + updates
+   at sequential-I/O speed regardless of graph size. *)
+let rates ~cluster:_ ~job:_ ~volumes =
+  let machine = Cluster.single in
+  let memory_mb = machine.memory_per_node_gb *. 1024. in
+  let in_memory = volumes.Perf.input_mb <= 0.8 *. memory_mb in
+  let streaming = machine.disk_mb_s *. 1.8 in
+  let compute = float_of_int machine.cores_per_node *. 95. in
+  { Perf.overhead_s = 1.5;
+    pull_mb_s = machine.network_mb_s;
+    load_mb_s = Some 260.;
+    process_mb_s = (if in_memory then compute else streaming);
+    comm_mb_s = (if in_memory then 2000. else streaming);
+    push_mb_s = machine.network_mb_s;
+    iter_overhead_s = 0.3 }
+
+let engine =
+  Engine.of_spec
+    { (Engine.default_spec backend) with
+      Engine.spec_supports = Admission.gas backend;
+      spec_rates = rates;
+      spec_adjust_volumes =
+        (fun ~job ~stats volumes ->
+           Engine.gas_message_volumes ~job ~stats volumes) }

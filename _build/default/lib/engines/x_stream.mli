@@ -1,0 +1,10 @@
+(** X-Stream: edge-centric processing with streaming partitions on one
+    machine (paper Table 3; Roy et al., SOSP 2013 — {b reproduction
+    extension}: not targeted by the original prototype).
+
+    Streams the unsorted edge list sequentially (cheaper pre-processing
+    than GraphChi's sorted shards) and scatters updates into streaming
+    partitions; vertex access is partition-local, so each superstep is
+    bounded by sequential disk bandwidth even out-of-core. *)
+
+val engine : Engine.t

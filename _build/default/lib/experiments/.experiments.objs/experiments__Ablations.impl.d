@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Common Engines Executor Frontends Ir List Musketeer Partitioner Printf Workloads

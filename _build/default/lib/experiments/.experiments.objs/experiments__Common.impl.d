@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Engines Format Hashtbl List Musketeer Printf String Workloads

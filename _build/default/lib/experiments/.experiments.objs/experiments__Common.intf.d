@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Engines Format Ir Musketeer Workloads

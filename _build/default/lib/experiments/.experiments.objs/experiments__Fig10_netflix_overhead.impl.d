@@ -1,0 +1,1 @@
+lib/experiments/fig10_netflix_overhead.ml: Common Engines List Musketeer Printf Workloads

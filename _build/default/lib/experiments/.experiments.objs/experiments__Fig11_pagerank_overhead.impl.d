@@ -1,0 +1,1 @@
+lib/experiments/fig11_pagerank_overhead.ml: Common Engines List Musketeer Printf Workloads

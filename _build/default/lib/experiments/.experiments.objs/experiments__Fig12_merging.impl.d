@@ -1,0 +1,1 @@
+lib/experiments/fig12_merging.ml: Common List Printf Workloads

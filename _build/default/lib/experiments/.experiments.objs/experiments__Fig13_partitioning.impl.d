@@ -1,0 +1,1 @@
+lib/experiments/fig13_partitioning.ml: Common Engines Ir List Musketeer Printf Unix Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig14_mapping_quality.ml: Common Engines Format Ir List Musketeer Printf Workloads

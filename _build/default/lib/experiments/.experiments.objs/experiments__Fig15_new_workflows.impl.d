@@ -1,0 +1,1 @@
+lib/experiments/fig15_new_workflows.ml: Common Engines Format List Musketeer String Workloads

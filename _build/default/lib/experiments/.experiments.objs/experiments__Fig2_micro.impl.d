@@ -1,0 +1,1 @@
+lib/experiments/fig2_micro.ml: Common Engines List Musketeer Printf Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig3_pagerank_motivation.ml: Common Engines List Musketeer Workloads

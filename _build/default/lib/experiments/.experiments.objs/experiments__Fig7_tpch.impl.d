@@ -1,0 +1,1 @@
+lib/experiments/fig7_tpch.ml: Common Engines List Musketeer Printf Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig8_pagerank_mapping.ml: Common Engines List Musketeer Printf Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig9_cross_community.ml: Common Engines Ir List Musketeer Option Workloads

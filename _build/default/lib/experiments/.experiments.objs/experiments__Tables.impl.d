@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Common Engines Format List Musketeer Workloads

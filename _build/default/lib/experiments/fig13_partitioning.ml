@@ -1,0 +1,84 @@
+(** Figure 13 — runtime of the DAG-partitioning algorithms over the
+    first x operators of the extended NetFlix workflow (§6.6).
+
+    This is the repository's one *real-time* measurement: the exhaustive
+    search is exponential (practical up to ~13 operators, as the paper
+    cuts over), the dynamic-programming heuristic stays in the
+    millisecond range at 18 operators. [measurements] is also exposed to
+    the Bechamel harness in bench/main.ml. *)
+
+let prefix_graph full x =
+  let op_ids =
+    List.filter_map
+      (fun (n : Ir.Operator.node) ->
+         match n.kind with Ir.Operator.Input _ -> None | _ -> Some n.id)
+      (Ir.Dag.topological_order full)
+  in
+  let ids = List.filteri (fun i _ -> i < x) op_ids in
+  Musketeer.Jobgraph.extract full ids
+
+let setup () =
+  let m = Common.musketeer_for (Common.ec2 16) in
+  let hdfs = Common.load_netflix ~movies:17000 in
+  let full = Workloads.Workflows.netflix_extended () in
+  (m, hdfs, full)
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let _ = f () in
+  Unix.gettimeofday () -. t0
+
+(** (operators, exhaustive seconds option, memoized-exhaustive seconds,
+    dynamic seconds). Exhaustive is skipped (None) once a previous size
+    exceeded [budget_s]. *)
+let measurements ?(max_ops = 18) ?(budget_s = 5.) () =
+  let m, hdfs, full = setup () in
+  let profile = Musketeer.profile m in
+  let backends = Engines.Backend.all in
+  let exhausted = ref false in
+  List.filter_map
+    (fun x ->
+       if x > Ir.Dag.operator_count full then None
+       else begin
+         let g = prefix_graph full x in
+         let est =
+           Musketeer.estimator m ~workflow:"netflix-prefix" ~hdfs g
+         in
+         let dyn =
+           time_once (fun () ->
+               Musketeer.Partitioner.dynamic ~profile ~est ~backends g)
+         in
+         let memo =
+           time_once (fun () ->
+               Musketeer.Partitioner.exhaustive_memoized ~profile ~est
+                 ~backends g)
+         in
+         let exh =
+           if !exhausted then None
+           else begin
+             let s =
+               time_once (fun () ->
+                   Musketeer.Partitioner.exhaustive ~profile ~est ~backends g)
+             in
+             if s > budget_s then exhausted := true;
+             Some s
+           end
+         in
+         Some (x, exh, memo, dyn)
+       end)
+    (List.init max_ops (fun i -> i + 1))
+
+let run ppf =
+  Common.table ppf
+    ~title:
+      "Figure 13: partitioning runtime over NetFlix-prefix DAGs (measured)"
+    ~header:[ "operators"; "exhaustive"; "exhaustive+memo"; "dynamic" ]
+    (List.map
+       (fun (x, exh, memo, dyn) ->
+          [ string_of_int x;
+            (match exh with
+             | Some s -> Printf.sprintf "%.1f ms" (1000. *. s)
+             | None -> "skipped (>budget)");
+            Printf.sprintf "%.2f ms" (1000. *. memo);
+            Printf.sprintf "%.2f ms" (1000. *. dyn) ])
+       (measurements ()))

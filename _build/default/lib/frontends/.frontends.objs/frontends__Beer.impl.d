@@ -1,0 +1,1 @@
+lib/frontends/beer.ml: Aggregate Expr Ir Lexer List Option Parse_state Printf Relation String

@@ -1,0 +1,1 @@
+lib/frontends/beer.mli: Ir

@@ -1,0 +1,1 @@
+lib/frontends/gas.ml: Aggregate Expr Ir Lexer List Parse_state Relation String

@@ -1,0 +1,1 @@
+lib/frontends/gas.mli: Ir Relation

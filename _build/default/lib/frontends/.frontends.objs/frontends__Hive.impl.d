@@ -1,0 +1,1 @@
+lib/frontends/hive.ml: Aggregate Ir Lexer List Parse_state Relation String

@@ -1,0 +1,1 @@
+lib/frontends/lexer.ml: List Printf String

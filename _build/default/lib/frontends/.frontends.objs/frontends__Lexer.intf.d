@@ -1,0 +1,1 @@
+lib/frontends/lexer.mli:

@@ -1,0 +1,1 @@
+lib/frontends/lindi.ml: Aggregate Expr Hashtbl Ir List Printf Relation Value

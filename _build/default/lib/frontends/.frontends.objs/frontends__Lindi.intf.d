@@ -1,0 +1,1 @@
+lib/frontends/lindi.mli: Ir Relation

@@ -1,0 +1,1 @@
+lib/frontends/parse_state.ml: Expr Lexer List Printf Relation String Value

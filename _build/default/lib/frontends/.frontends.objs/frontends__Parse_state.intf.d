@@ -1,0 +1,1 @@
+lib/frontends/parse_state.mli: Lexer Relation

@@ -1,0 +1,1 @@
+lib/frontends/pig.ml: Aggregate Expr Ir Lexer List Option Parse_state Printf Relation String

@@ -1,0 +1,1 @@
+lib/frontends/pig.mli: Ir

@@ -1,0 +1,121 @@
+type token =
+  | Ident of string
+  | Qualified of string * string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Punct of string
+  | Eof
+
+type t = {
+  token : token;
+  line : int;
+}
+
+exception Lex_error of string * int
+
+let lex_error line fmt =
+  Printf.ksprintf (fun s -> raise (Lex_error (s, line))) fmt
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let emit token = tokens := { token; line = !line } :: !tokens in
+  let rec go i =
+    if i >= n then ()
+    else
+      let c = src.[i] in
+      if c = '\n' then begin
+        incr line;
+        go (i + 1)
+      end
+      else if c = ' ' || c = '\t' || c = '\r' then go (i + 1)
+      else if c = '#' || (c = '-' && i + 1 < n && src.[i + 1] = '-') then begin
+        (* comment to end of line *)
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i)
+      end
+      else if is_ident_start c then begin
+        let rec scan j = if j < n && is_ident_char src.[j] then scan (j + 1) else j in
+        let j = scan i in
+        let name = String.sub src i (j - i) in
+        (* qualified name rel.column *)
+        if j < n && src.[j] = '.' && j + 1 < n && is_ident_start src.[j + 1]
+        then begin
+          let rec scan2 k =
+            if k < n && is_ident_char src.[k] then scan2 (k + 1) else k
+          in
+          let k = scan2 (j + 1) in
+          emit (Qualified (name, String.sub src (j + 1) (k - j - 1)));
+          go k
+        end
+        else begin
+          emit (Ident name);
+          go j
+        end
+      end
+      else if is_digit c then begin
+        let rec scan j ~dot =
+          if j < n && is_digit src.[j] then scan (j + 1) ~dot
+          else if j < n && src.[j] = '.' && (not dot) && j + 1 < n
+                  && is_digit src.[j + 1] then scan (j + 1) ~dot:true
+          else (j, dot)
+        in
+        let j, dot = scan i ~dot:false in
+        let text = String.sub src i (j - i) in
+        if dot then emit (Float_lit (float_of_string text))
+        else emit (Int_lit (int_of_string text));
+        go j
+      end
+      else if c = '\'' || c = '"' then begin
+        let quote = c in
+        let rec scan j =
+          if j >= n then lex_error !line "unterminated string"
+          else if src.[j] = quote then j
+          else scan (j + 1)
+        in
+        let j = scan (i + 1) in
+        emit (String_lit (String.sub src (i + 1) (j - i - 1)));
+        go (j + 1)
+      end
+      else begin
+        let two =
+          if i + 1 < n then Some (String.sub src i 2) else None
+        in
+        match two with
+        | Some (("<=" | ">=" | "!=" | "<>" | "==") as p) ->
+          emit (Punct (if p = "<>" then "!=" else if p = "==" then "=" else p));
+          go (i + 2)
+        | _ ->
+          (match c with
+           | '(' | ')' | '{' | '}' | '[' | ']' | ',' | ';' | '=' | '<' | '>'
+           | '+' | '-' | '*' | '/' | '.' ->
+             emit (Punct (String.make 1 c));
+             go (i + 1)
+           | _ -> lex_error !line "unexpected character %C" c)
+      end
+  in
+  go 0;
+  emit Eof;
+  List.rev !tokens
+
+let is_keyword token kw =
+  match token with
+  | Ident name -> String.lowercase_ascii name = String.lowercase_ascii kw
+  | _ -> false
+
+let token_to_string = function
+  | Ident s -> s
+  | Qualified (a, b) -> a ^ "." ^ b
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | String_lit s -> Printf.sprintf "%S" s
+  | Punct p -> p
+  | Eof -> "<eof>"

@@ -1,0 +1,28 @@
+(** Shared tokenizer for the textual front-ends (BEER, HiveQL subset,
+    GAS DSL). Keywords are case-insensitive; identifiers keep their
+    case. *)
+
+type token =
+  | Ident of string       (** bare identifier (lower/upper, _, digits) *)
+  | Qualified of string * string  (** [rel.column] *)
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string  (** single- or double-quoted *)
+  | Punct of string       (** ( ) { } [ ] , ; = < > <= >= != + - * / . *)
+  | Eof
+
+type t = {
+  token : token;
+  line : int;
+}
+
+exception Lex_error of string * int  (** message, line *)
+
+(** Tokenize a whole program. Comments run from [--] or [#] to end of
+    line. *)
+val tokenize : string -> t list
+
+(** Case-insensitive keyword match on an identifier token. *)
+val is_keyword : token -> string -> bool
+
+val token_to_string : token -> string

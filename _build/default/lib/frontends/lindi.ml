@@ -1,0 +1,186 @@
+open Relation
+
+type query = {
+  qid : int;
+  kind : kind;
+}
+
+and kind =
+  | Read of string
+  | Ref of string  (* loop-carried / seed reference inside iterate *)
+  | Where of Expr.t * query
+  | Select of string list * query
+  | Map of string * Expr.t * query
+  | Join of (string * string) * query * query
+  | Louter of (string * string) * Value.t list * query * query
+  | Semi of (string * string) * query * query
+  | Anti of (string * string) * query * query
+  | Cross of query * query
+  | Union of query * query
+  | Intersect of query * query
+  | Except of query * query
+  | Distinct of query
+  | Group_by of string list * Aggregate.t list * query
+  | Aggregate_q of Aggregate.t list * query
+  | Order_by of bool * string * query
+  | Top of bool * string * int * query
+  | Iterate of {
+      carrying : string list;
+      iterations : int;
+      seeds : (string * query) list;
+      body : (string -> query) -> (string * query) list;
+    }
+
+let counter = ref 0
+
+let mk kind =
+  incr counter;
+  { qid = !counter; kind }
+
+let read relation = mk (Read relation)
+
+let where pred q = mk (Where (pred, q))
+
+let select columns q = mk (Select (columns, q))
+
+let map ~target expr q = mk (Map (target, expr, q))
+
+let join ~on left right = mk (Join (on, left, right))
+
+let left_outer_join ~on ~defaults left right =
+  mk (Louter (on, defaults, left, right))
+
+let semi_join ~on left right = mk (Semi (on, left, right))
+
+let anti_join ~on left right = mk (Anti (on, left, right))
+
+let cross a b = mk (Cross (a, b))
+
+let union a b = mk (Union (a, b))
+
+let intersect a b = mk (Intersect (a, b))
+
+let except a b = mk (Except (a, b))
+
+let distinct q = mk (Distinct q)
+
+let group_by ~keys ~aggs q = mk (Group_by (keys, aggs, q))
+
+let aggregate aggs q = mk (Aggregate_q (aggs, q))
+
+let order_by ?(descending = false) by q = mk (Order_by (descending, by, q))
+
+let top ?(descending = true) ~by k q = mk (Top (descending, by, k, q))
+
+let iterate ~carrying ~iterations seeds body =
+  mk (Iterate { carrying; iterations; seeds; body })
+
+(* ---------------- elaboration ---------------- *)
+
+type ctx = {
+  builder : Ir.Builder.t;
+  memo : (int, Ir.Builder.handle) Hashtbl.t;
+  refs : (string, Ir.Builder.handle) Hashtbl.t;
+}
+
+let rec elaborate ctx ?name q =
+  match name, Hashtbl.find_opt ctx.memo q.qid with
+  | None, Some h -> h
+  | _ ->
+    let h =
+      match q.kind with
+      | Read relation -> Ir.Builder.input ctx.builder relation
+      | Ref r -> (
+        match Hashtbl.find_opt ctx.refs r with
+        | Some h -> h
+        | None -> invalid_arg (Printf.sprintf "Lindi: unbound reference %S" r))
+      | Where (pred, src) ->
+        Ir.Builder.select ctx.builder ?name ~pred (elaborate ctx src)
+      | Select (columns, src) ->
+        Ir.Builder.project ctx.builder ?name ~columns (elaborate ctx src)
+      | Map (target, expr, src) ->
+        Ir.Builder.map ctx.builder ?name ~target ~expr (elaborate ctx src)
+      | Join ((left_key, right_key), l, r) ->
+        Ir.Builder.join ctx.builder ?name ~left_key ~right_key
+          (elaborate ctx l) (elaborate ctx r)
+      | Louter ((left_key, right_key), defaults, l, r) ->
+        Ir.Builder.left_outer_join ctx.builder ?name ~left_key ~right_key
+          ~defaults (elaborate ctx l) (elaborate ctx r)
+      | Semi ((left_key, right_key), l, r) ->
+        Ir.Builder.semi_join ctx.builder ?name ~left_key ~right_key
+          (elaborate ctx l) (elaborate ctx r)
+      | Anti ((left_key, right_key), l, r) ->
+        Ir.Builder.anti_join ctx.builder ?name ~left_key ~right_key
+          (elaborate ctx l) (elaborate ctx r)
+      | Cross (l, r) ->
+        Ir.Builder.cross ctx.builder ?name (elaborate ctx l) (elaborate ctx r)
+      | Union (l, r) ->
+        Ir.Builder.union ctx.builder ?name (elaborate ctx l) (elaborate ctx r)
+      | Intersect (l, r) ->
+        Ir.Builder.intersect ctx.builder ?name (elaborate ctx l)
+          (elaborate ctx r)
+      | Except (l, r) ->
+        Ir.Builder.difference ctx.builder ?name (elaborate ctx l)
+          (elaborate ctx r)
+      | Distinct src -> Ir.Builder.distinct ctx.builder ?name (elaborate ctx src)
+      | Group_by (keys, aggs, src) ->
+        Ir.Builder.group_by ctx.builder ?name ~keys ~aggs (elaborate ctx src)
+      | Aggregate_q (aggs, src) ->
+        Ir.Builder.agg ctx.builder ?name ~aggs (elaborate ctx src)
+      | Order_by (descending, by, src) ->
+        Ir.Builder.sort ctx.builder ?name ~by ~descending (elaborate ctx src)
+      | Top (descending, by, k, src) ->
+        Ir.Builder.top_k ctx.builder ?name ~by ~descending ~k
+          (elaborate ctx src)
+      | Iterate { carrying; iterations; seeds; body } ->
+        elaborate_iterate ctx ?name ~carrying ~iterations ~seeds ~body ()
+    in
+    if name = None then Hashtbl.replace ctx.memo q.qid h;
+    h
+
+and elaborate_iterate ctx ?name ~carrying ~iterations ~seeds ~body () =
+  let body_builder = Ir.Builder.create () in
+  let body_ctx =
+    { builder = body_builder; memo = Hashtbl.create 16;
+      refs = Hashtbl.create 8 }
+  in
+  (* seed inputs, in seed order — the WHILE binds positionally *)
+  List.iter
+    (fun (seed_name, _) ->
+       Hashtbl.replace body_ctx.refs seed_name
+         (Ir.Builder.input body_builder seed_name))
+    seeds;
+  let next = body (fun r -> mk (Ref r)) in
+  let outputs =
+    List.map
+      (fun carried ->
+         match List.assoc_opt carried next with
+         | Some q -> elaborate body_ctx ~name:carried q
+         | None ->
+           invalid_arg
+             (Printf.sprintf "Lindi.iterate: body does not produce %S" carried))
+      carrying
+  in
+  let body_graph =
+    Ir.Builder.finish_body body_builder ~outputs ~loop_carried:carrying
+  in
+  let seed_handles = List.map (fun (_, q) -> elaborate ctx q) seeds in
+  Ir.Builder.while_ ctx.builder ?name
+    ~condition:(Ir.Operator.Fixed_iterations iterations)
+    ~max_iterations:(iterations + 1) ~body:body_graph seed_handles
+
+let fresh_ctx () =
+  { builder = Ir.Builder.create (); memo = Hashtbl.create 16;
+    refs = Hashtbl.create 8 }
+
+let finish ~name q =
+  let ctx = fresh_ctx () in
+  let h = elaborate ctx ~name q in
+  Ir.Builder.finish ctx.builder ~outputs:[ h ]
+
+let finish_all named =
+  let ctx = fresh_ctx () in
+  let handles =
+    List.map (fun (name, q) -> elaborate ctx ~name q) named
+  in
+  Ir.Builder.finish ctx.builder ~outputs:handles

@@ -1,0 +1,160 @@
+type t = {
+  mutable tokens : Lexer.t list;
+  mutable last_line : int;
+}
+
+exception Parse_error of string * int
+
+let of_string src =
+  try { tokens = Lexer.tokenize src; last_line = 1 }
+  with Lexer.Lex_error (msg, line) -> raise (Parse_error (msg, line))
+
+let peek t =
+  match t.tokens with
+  | { Lexer.token; _ } :: _ -> token
+  | [] -> Lexer.Eof
+
+let peek2 t =
+  match t.tokens with
+  | _ :: { Lexer.token; _ } :: _ -> token
+  | _ -> Lexer.Eof
+
+let line t =
+  match t.tokens with
+  | { Lexer.line; _ } :: _ -> line
+  | [] -> t.last_line
+
+let advance t =
+  match t.tokens with
+  | tok :: rest ->
+    t.tokens <- rest;
+    t.last_line <- tok.Lexer.line;
+    tok.Lexer.token
+  | [] -> Lexer.Eof
+
+let fail t fmt =
+  Printf.ksprintf (fun s -> raise (Parse_error (s, line t))) fmt
+
+let expect_punct t p =
+  match advance t with
+  | Lexer.Punct q when q = p -> ()
+  | tok -> fail t "expected %S, found %s" p (Lexer.token_to_string tok)
+
+let expect_kw t kw =
+  let tok = advance t in
+  if not (Lexer.is_keyword tok kw) then
+    fail t "expected keyword %s, found %s" (String.uppercase_ascii kw)
+      (Lexer.token_to_string tok)
+
+let ident t =
+  match advance t with
+  | Lexer.Ident name -> name
+  | tok -> fail t "expected identifier, found %s" (Lexer.token_to_string tok)
+
+let accept_kw t kw =
+  if Lexer.is_keyword (peek t) kw then begin
+    ignore (advance t);
+    true
+  end
+  else false
+
+let accept_punct t p =
+  match peek t with
+  | Lexer.Punct q when q = p ->
+    ignore (advance t);
+    true
+  | _ -> false
+
+let at_kw t kw = Lexer.is_keyword (peek t) kw
+
+(* ---- expressions ---- *)
+
+open Relation
+
+let keywordish name =
+  List.mem (String.lowercase_ascii name)
+    [ "and"; "or"; "not"; "true"; "false"; "if"; "then"; "else" ]
+
+let rec parse_or t =
+  let left = parse_and t in
+  if accept_kw t "or" then Expr.Or (left, parse_or t) else left
+
+and parse_and t =
+  let left = parse_not t in
+  if accept_kw t "and" then Expr.And (left, parse_and t) else left
+
+and parse_not t =
+  if accept_kw t "not" then Expr.Not (parse_not t) else parse_cmp t
+
+and parse_cmp t =
+  let left = parse_addsub t in
+  match peek t with
+  | Lexer.Punct "=" ->
+    ignore (advance t);
+    Expr.Cmp (Expr.Eq, left, parse_addsub t)
+  | Lexer.Punct "!=" ->
+    ignore (advance t);
+    Expr.Cmp (Expr.Neq, left, parse_addsub t)
+  | Lexer.Punct "<" ->
+    ignore (advance t);
+    Expr.Cmp (Expr.Lt, left, parse_addsub t)
+  | Lexer.Punct "<=" ->
+    ignore (advance t);
+    Expr.Cmp (Expr.Le, left, parse_addsub t)
+  | Lexer.Punct ">" ->
+    ignore (advance t);
+    Expr.Cmp (Expr.Gt, left, parse_addsub t)
+  | Lexer.Punct ">=" ->
+    ignore (advance t);
+    Expr.Cmp (Expr.Ge, left, parse_addsub t)
+  | _ -> left
+
+and parse_addsub t =
+  let rec loop left =
+    match peek t with
+    | Lexer.Punct "+" ->
+      ignore (advance t);
+      loop (Expr.Binop (Expr.Add, left, parse_muldiv t))
+    | Lexer.Punct "-" ->
+      ignore (advance t);
+      loop (Expr.Binop (Expr.Sub, left, parse_muldiv t))
+    | _ -> left
+  in
+  loop (parse_muldiv t)
+
+and parse_muldiv t =
+  let rec loop left =
+    match peek t with
+    | Lexer.Punct "*" ->
+      ignore (advance t);
+      loop (Expr.Binop (Expr.Mul, left, parse_primary t))
+    | Lexer.Punct "/" ->
+      ignore (advance t);
+      loop (Expr.Binop (Expr.Div, left, parse_primary t))
+    | _ -> left
+  in
+  loop (parse_primary t)
+
+and parse_primary t =
+  match advance t with
+  | Lexer.Int_lit i -> Expr.Const (Value.Int i)
+  | Lexer.Float_lit f -> Expr.Const (Value.Float f)
+  | Lexer.String_lit s -> Expr.Const (Value.Str s)
+  | Lexer.Punct "(" ->
+    let e = parse_or t in
+    expect_punct t ")";
+    e
+  | Lexer.Punct "-" -> (
+    match parse_primary t with
+    | Expr.Const (Value.Int i) -> Expr.Const (Value.Int (-i))
+    | Expr.Const (Value.Float f) -> Expr.Const (Value.Float (-.f))
+    | e -> Expr.Binop (Expr.Sub, Expr.Const (Value.Int 0), e))
+  | Lexer.Ident name when String.lowercase_ascii name = "true" ->
+    Expr.Const (Value.Bool true)
+  | Lexer.Ident name when String.lowercase_ascii name = "false" ->
+    Expr.Const (Value.Bool false)
+  | Lexer.Ident name when not (keywordish name) -> Expr.Col name
+  | Lexer.Qualified (_, column) -> Expr.Col column
+  | tok -> fail t "expected expression, found %s" (Lexer.token_to_string tok)
+
+let expr t = parse_or t

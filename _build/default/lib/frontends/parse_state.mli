@@ -1,0 +1,40 @@
+(** Mutable token-stream cursor shared by the recursive-descent
+    front-end parsers, plus the common SQL-style expression grammar. *)
+
+type t
+
+exception Parse_error of string * int  (** message, line *)
+
+val of_string : string -> t
+
+val peek : t -> Lexer.token
+
+val peek2 : t -> Lexer.token
+
+val line : t -> int
+
+val advance : t -> Lexer.token
+
+(** [expect_punct t ";"] — consume or fail. *)
+val expect_punct : t -> string -> unit
+
+(** [expect_kw t "select"] — consume the (case-insensitive) keyword. *)
+val expect_kw : t -> string -> unit
+
+(** Consume an identifier (or fail). *)
+val ident : t -> string
+
+(** [accept_kw t "where"] — consume iff present. *)
+val accept_kw : t -> string -> bool
+
+val accept_punct : t -> string -> bool
+
+val at_kw : t -> string -> bool
+
+val fail : t -> ('a, unit, string, 'b) format4 -> 'a
+
+(** Boolean/arithmetic expression with SQL-ish precedence:
+    OR < AND < NOT < comparison < [+ -] < [* /] < primary.
+    Qualified columns [rel.col] resolve to the bare column name [col]
+    (the IR wires relations structurally). *)
+val expr : t -> Relation.Expr.t

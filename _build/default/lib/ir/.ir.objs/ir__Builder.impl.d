@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Dag List Operator Printf

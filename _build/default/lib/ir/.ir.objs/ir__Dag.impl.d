@@ -1,0 +1,1 @@
+lib/ir/dag.ml: Buffer Format Hashtbl List Operator Printf String

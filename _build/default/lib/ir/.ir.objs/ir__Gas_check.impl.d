@@ -1,0 +1,1 @@
+lib/ir/gas_check.ml: Dag Hashtbl List Operator

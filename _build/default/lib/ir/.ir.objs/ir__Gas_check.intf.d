@@ -1,0 +1,1 @@
+lib/ir/gas_check.mli: Operator

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Dag Hashtbl Kernel List Operator Printf Relation Table

@@ -1,0 +1,1 @@
+lib/ir/operator.ml: Format List Printf Relation String

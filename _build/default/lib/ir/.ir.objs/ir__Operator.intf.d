@@ -1,0 +1,1 @@
+lib/ir/operator.mli: Format Relation

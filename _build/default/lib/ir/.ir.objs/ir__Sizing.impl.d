@@ -1,0 +1,1 @@
+lib/ir/sizing.ml: List Operator

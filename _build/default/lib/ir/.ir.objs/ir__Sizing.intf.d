@@ -1,0 +1,1 @@
+lib/ir/sizing.mli: Operator

@@ -1,0 +1,1 @@
+lib/ir/typing.ml: Aggregate Dag Expr Hashtbl List Operator Printf Relation Schema String Value

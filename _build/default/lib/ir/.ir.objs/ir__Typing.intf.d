@@ -1,0 +1,1 @@
+lib/ir/typing.mli: Dag Hashtbl Relation

@@ -1,0 +1,104 @@
+type handle = {
+  node_id : int;
+  out_name : string;
+}
+
+type t = {
+  mutable next_id : int;
+  mutable rev_nodes : Operator.node list;
+}
+
+let create () = { next_id = 0; rev_nodes = [] }
+
+let id h = h.node_id
+
+let relation h = h.out_name
+
+let add b ?name kind inputs =
+  let node_id = b.next_id in
+  b.next_id <- node_id + 1;
+  let out_name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "tmp%d" node_id
+  in
+  b.rev_nodes <-
+    { Operator.id = node_id; kind; inputs = List.map id inputs;
+      output = out_name }
+    :: b.rev_nodes;
+  { node_id; out_name }
+
+let input b relation = add b ~name:relation (Operator.Input { relation }) []
+
+let select b ?name ~pred h = add b ?name (Operator.Select { pred }) [ h ]
+
+let project b ?name ~columns h =
+  add b ?name (Operator.Project { columns }) [ h ]
+
+let map b ?name ~target ~expr h =
+  add b ?name (Operator.Map { target; expr }) [ h ]
+
+let join b ?name ~left_key ~right_key l r =
+  add b ?name (Operator.Join { left_key; right_key }) [ l; r ]
+
+let left_outer_join b ?name ~left_key ~right_key ~defaults l r =
+  add b ?name (Operator.Left_outer_join { left_key; right_key; defaults })
+    [ l; r ]
+
+let semi_join b ?name ~left_key ~right_key l r =
+  add b ?name (Operator.Semi_join { left_key; right_key }) [ l; r ]
+
+let anti_join b ?name ~left_key ~right_key l r =
+  add b ?name (Operator.Anti_join { left_key; right_key }) [ l; r ]
+
+let cross b ?name l r = add b ?name Operator.Cross [ l; r ]
+
+let union b ?name l r = add b ?name Operator.Union [ l; r ]
+
+let intersect b ?name l r = add b ?name Operator.Intersect [ l; r ]
+
+let difference b ?name l r = add b ?name Operator.Difference [ l; r ]
+
+let distinct b ?name h = add b ?name Operator.Distinct [ h ]
+
+let group_by b ?name ~keys ~aggs h =
+  add b ?name (Operator.Group_by { keys; aggs }) [ h ]
+
+let agg b ?name ~aggs h = add b ?name (Operator.Agg { aggs }) [ h ]
+
+let sort b ?name ~by ~descending h =
+  add b ?name (Operator.Sort { by; descending }) [ h ]
+
+let top_k b ?name ~by ~descending ~k h =
+  add b ?name (Operator.Top_k { by; descending; k }) [ h ]
+
+let udf b ?name u inputs = add b ?name (Operator.Udf u) inputs
+
+let while_ b ?name ~condition ~max_iterations ~body inputs =
+  let default_name =
+    match body.Operator.outputs with
+    | first :: _ -> Some (Dag.node body first).Operator.output
+    | [] -> None
+  in
+  let name =
+    match name, default_name with
+    | Some n, _ -> Some n
+    | None, d -> d
+  in
+  add b ?name (Operator.While { condition; max_iterations; body }) inputs
+
+let black_box b ?name ~backend_hint ~description inputs =
+  add b ?name (Operator.Black_box { backend_hint; description }) inputs
+
+let graph b ~outputs ~loop_carried =
+  let g =
+    { Operator.nodes = List.rev b.rev_nodes;
+      outputs = List.map id outputs;
+      loop_carried }
+  in
+  Dag.validate g;
+  g
+
+let finish b ~outputs = graph b ~outputs ~loop_carried:[]
+
+let finish_body b ~outputs ~loop_carried = graph b ~outputs ~loop_carried

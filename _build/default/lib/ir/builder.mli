@@ -1,0 +1,92 @@
+(** Imperative construction of IR graphs with the invariants {!Dag}
+    expects (strictly increasing ids, edges pointing forward).
+
+    Front-ends translate their ASTs through this interface; tests and
+    the Lindi combinator shim use it directly. *)
+
+type t
+
+(** Handle to a node under construction; produces one relation. *)
+type handle
+
+val create : unit -> t
+
+(** Id of the underlying node (stable once created). *)
+val id : handle -> int
+
+(** Relation name the node produces. *)
+val relation : handle -> string
+
+val input : t -> string -> handle
+
+(** Unary/binary operators. [?name] sets the output relation name
+    (defaults to a fresh ["tmp<N>"]). *)
+
+val select : t -> ?name:string -> pred:Relation.Expr.t -> handle -> handle
+
+val project : t -> ?name:string -> columns:string list -> handle -> handle
+
+val map :
+  t -> ?name:string -> target:string -> expr:Relation.Expr.t -> handle ->
+  handle
+
+val join :
+  t -> ?name:string -> left_key:string -> right_key:string -> handle ->
+  handle -> handle
+
+val left_outer_join :
+  t -> ?name:string -> left_key:string -> right_key:string ->
+  defaults:Relation.Value.t list -> handle -> handle -> handle
+
+val semi_join :
+  t -> ?name:string -> left_key:string -> right_key:string -> handle ->
+  handle -> handle
+
+val anti_join :
+  t -> ?name:string -> left_key:string -> right_key:string -> handle ->
+  handle -> handle
+
+val cross : t -> ?name:string -> handle -> handle -> handle
+
+val union : t -> ?name:string -> handle -> handle -> handle
+
+val intersect : t -> ?name:string -> handle -> handle -> handle
+
+val difference : t -> ?name:string -> handle -> handle -> handle
+
+val distinct : t -> ?name:string -> handle -> handle
+
+val group_by :
+  t -> ?name:string -> keys:string list -> aggs:Relation.Aggregate.t list ->
+  handle -> handle
+
+val agg : t -> ?name:string -> aggs:Relation.Aggregate.t list -> handle -> handle
+
+val sort : t -> ?name:string -> by:string -> descending:bool -> handle -> handle
+
+val top_k :
+  t -> ?name:string -> by:string -> descending:bool -> k:int -> handle ->
+  handle
+
+val udf : t -> ?name:string -> Operator.udf -> handle list -> handle
+
+(** [while_ b ~condition ~max_iterations ~body inputs] adds a WHILE node.
+    [body] must have been finished with {!finish_body}; [inputs] are
+    bound positionally to the body's INPUT relations in body order, and
+    the WHILE node's output relation is the body's first output. *)
+val while_ :
+  t -> ?name:string -> condition:Operator.loop_condition ->
+  max_iterations:int -> body:Operator.graph -> handle list -> handle
+
+val black_box :
+  t -> ?name:string -> backend_hint:string -> description:string ->
+  handle list -> handle
+
+(** Finish a top-level workflow graph. The graph is validated.
+    Raises {!Dag.Invalid} on inconsistency. *)
+val finish : t -> outputs:handle list -> Operator.graph
+
+(** Finish a WHILE body: [loop_carried] names relations rebound between
+    iterations; they must appear among the body's inputs and outputs. *)
+val finish_body :
+  t -> outputs:handle list -> loop_carried:string list -> Operator.graph

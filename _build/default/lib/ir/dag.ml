@@ -1,0 +1,317 @@
+type t = Operator.graph
+
+exception Invalid of string
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+let node_opt (g : t) id =
+  List.find_opt (fun (n : Operator.node) -> n.id = id) g.nodes
+
+let node g id =
+  match node_opt g id with
+  | Some n -> n
+  | None -> invalid "no node with id %d" id
+
+let rec validate (g : t) =
+  let seen = Hashtbl.create 16 in
+  let last_id = ref (-1) in
+  List.iter
+    (fun (n : Operator.node) ->
+       if Hashtbl.mem seen n.id then invalid "duplicate node id %d" n.id;
+       Hashtbl.add seen n.id ();
+       if n.id <= !last_id then
+         invalid "node ids not strictly increasing at %d" n.id;
+       last_id := n.id;
+       List.iter
+         (fun i ->
+            if i >= n.id then
+              invalid "node %d depends on later/self node %d" n.id i;
+            if not (Hashtbl.mem seen i) then
+              invalid "node %d depends on unknown node %d" n.id i)
+         n.inputs;
+       (match Operator.expected_arity n.kind with
+        | Some a when List.length n.inputs <> a ->
+          invalid "node %d (%s) has %d inputs, expected %d" n.id
+            (Operator.kind_name n.kind)
+            (List.length n.inputs) a
+        | Some _ | None -> ());
+       match n.kind with
+       | Operator.While { body; condition; max_iterations } ->
+         if max_iterations <= 0 then
+           invalid "node %d: WHILE max_iterations must be positive" n.id;
+         validate body;
+         let body_inputs =
+           List.filter_map
+             (fun (b : Operator.node) ->
+                match b.kind with
+                | Operator.Input { relation } -> Some relation
+                | _ -> None)
+             body.nodes
+         in
+         List.iter
+           (fun r ->
+              if not (List.mem r body_inputs) then
+                invalid
+                  "node %d: loop-carried relation %S is not a body input"
+                  n.id r)
+           body.loop_carried;
+         let body_outputs =
+           List.map
+             (fun id -> (node body id).Operator.output)
+             body.outputs
+         in
+         List.iter
+           (fun r ->
+              if not (List.mem r body_outputs) then
+                invalid
+                  "node %d: loop-carried relation %S not produced by body"
+                  n.id r)
+           body.loop_carried;
+         (match condition with
+          | Operator.Fixed_iterations k ->
+            if k <= 0 then invalid "node %d: WHILE iteration bound %d" n.id k
+          | Operator.Until_empty r | Operator.Until_fixpoint r ->
+            if not (List.mem r body.loop_carried) then
+              invalid
+                "node %d: WHILE condition relation %S is not loop-carried"
+                n.id r)
+       | _ -> ())
+    g.nodes;
+  List.iter
+    (fun id ->
+       if not (Hashtbl.mem seen id) then invalid "unknown output node %d" id)
+    g.outputs
+
+let rec operator_count (g : t) =
+  List.fold_left
+    (fun acc (n : Operator.node) ->
+       match n.kind with
+       | Operator.Input _ -> acc
+       | Operator.While { body; _ } -> acc + 1 + operator_count body
+       | _ -> acc + 1)
+    0 g.nodes
+
+let consumers (g : t) id =
+  List.filter_map
+    (fun (n : Operator.node) ->
+       if List.mem id n.inputs then Some n.id else None)
+    g.nodes
+
+let sinks (g : t) =
+  List.filter (fun (n : Operator.node) -> consumers g n.id = []) g.nodes
+
+let sources (g : t) =
+  List.filter
+    (fun (n : Operator.node) ->
+       match n.kind with Operator.Input _ -> true | _ -> false)
+    g.nodes
+
+(* Depth-first topological linearization, matching Figure 6: explore from
+   each sink, emitting a node after all of its ancestors. Ids break ties,
+   so the order is deterministic. *)
+let topological_order (g : t) =
+  let visited = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec visit id =
+    if not (Hashtbl.mem visited id) then begin
+      Hashtbl.add visited id ();
+      let n = node g id in
+      List.iter visit n.inputs;
+      order := n :: !order
+    end
+  in
+  List.iter (fun (n : Operator.node) -> visit n.id) g.nodes;
+  List.rev !order
+
+let topological_orders ?(limit = 64) (g : t) =
+  (* Kahn's algorithm with backtracking over every choice of the next
+     ready node; stops after [limit] complete orders. *)
+  let ids = List.map (fun (n : Operator.node) -> n.id) g.nodes in
+  let indeg = Hashtbl.create 16 in
+  List.iter
+    (fun (n : Operator.node) ->
+       Hashtbl.replace indeg n.id (List.length n.inputs))
+    g.nodes;
+  let results = ref [] in
+  let count = ref 0 in
+  let rec go acc remaining =
+    if !count >= limit then ()
+    else if remaining = [] then begin
+      incr count;
+      results := List.rev acc :: !results
+    end
+    else
+      let ready =
+        List.filter (fun id -> Hashtbl.find indeg id = 0) remaining
+      in
+      List.iter
+        (fun id ->
+           if !count < limit then begin
+             let n = node g id in
+             List.iter
+               (fun c ->
+                  Hashtbl.replace indeg c (Hashtbl.find indeg c - 1))
+               (consumers g id);
+             go (n :: acc) (List.filter (fun x -> x <> id) remaining);
+             List.iter
+               (fun c ->
+                  Hashtbl.replace indeg c (Hashtbl.find indeg c + 1))
+               (consumers g id)
+           end)
+        ready
+  in
+  go [] ids;
+  List.rev !results
+
+let undirected_neighbours (g : t) id =
+  let n = node g id in
+  n.inputs @ consumers g id
+
+let is_connected (g : t) ids =
+  match ids with
+  | [] -> true
+  | first :: _ ->
+    let in_set = Hashtbl.create 8 in
+    List.iter (fun id -> Hashtbl.replace in_set id ()) ids;
+    let visited = Hashtbl.create 8 in
+    let rec visit id =
+      if Hashtbl.mem in_set id && not (Hashtbl.mem visited id) then begin
+        Hashtbl.add visited id ();
+        List.iter visit (undirected_neighbours g id)
+      end
+    in
+    visit first;
+    Hashtbl.length visited = List.length ids
+
+let convex (g : t) ids =
+  (* A set is convex if no directed path leaves it and comes back. We
+     check: for every node outside the set reachable from the set, none
+     of its descendants are inside the set. *)
+  let in_set = Hashtbl.create 8 in
+  List.iter (fun id -> Hashtbl.replace in_set id ()) ids;
+  (* reachable-from-set, passing only through outside nodes *)
+  let tainted = Hashtbl.create 8 in
+  List.iter
+    (fun (n : Operator.node) ->
+       let from_set =
+         List.exists (fun i -> Hashtbl.mem in_set i) n.inputs
+       and from_tainted =
+         List.exists (fun i -> Hashtbl.mem tainted i) n.inputs
+       in
+       if
+         (not (Hashtbl.mem in_set n.id))
+         && (from_set || from_tainted)
+       then Hashtbl.replace tainted n.id ())
+    g.nodes;
+  not
+    (List.exists
+       (fun (n : Operator.node) ->
+          Hashtbl.mem in_set n.id
+          && List.exists (fun i -> Hashtbl.mem tainted i) n.inputs)
+       g.nodes)
+
+let external_inputs (g : t) ids =
+  let in_set = Hashtbl.create 8 in
+  List.iter (fun id -> Hashtbl.replace in_set id ()) ids;
+  let acc = ref [] in
+  List.iter
+    (fun id ->
+       let n = node g id in
+       match n.kind with
+       | Operator.Input { relation } ->
+         if not (List.mem relation !acc) then acc := relation :: !acc
+       | _ ->
+         List.iter
+           (fun i ->
+              if not (Hashtbl.mem in_set i) then begin
+                let producer = node g i in
+                if not (List.mem producer.output !acc) then
+                  acc := producer.output :: !acc
+              end)
+           n.inputs)
+    ids;
+  List.rev !acc
+
+let external_outputs (g : t) ids =
+  let in_set = Hashtbl.create 8 in
+  List.iter (fun id -> Hashtbl.replace in_set id ()) ids;
+  List.filter
+    (fun (n : Operator.node) ->
+       Hashtbl.mem in_set n.id
+       && (List.mem n.id g.outputs
+           || List.exists
+                (fun c -> not (Hashtbl.mem in_set c))
+                (consumers g n.id)))
+    g.nodes
+
+let output_relations (g : t) =
+  List.map (fun id -> (node g id).Operator.output) g.outputs
+
+let input_relations (g : t) =
+  List.filter_map
+    (fun (n : Operator.node) ->
+       match n.kind with
+       | Operator.Input { relation } -> Some relation
+       | _ -> None)
+    g.nodes
+
+let rec pp_graph indent ppf (g : t) =
+  List.iter
+    (fun (n : Operator.node) ->
+       Format.fprintf ppf "%s[%d] %s -> %s%s@." indent n.id
+         (Operator.describe n.kind)
+         n.output
+         (match n.inputs with
+          | [] -> ""
+          | inputs ->
+            Printf.sprintf "  (from %s)"
+              (String.concat ", " (List.map string_of_int inputs)));
+       match n.kind with
+       | Operator.While { body; _ } -> pp_graph (indent ^ "    ") ppf body
+       | _ -> ())
+    g.nodes
+
+let pp ppf g = pp_graph "" ppf g
+
+let to_string g = Format.asprintf "%a" pp g
+
+let dot_escape s =
+  String.concat "\\\"" (String.split_on_char '"' s)
+
+let to_dot ?(name = "workflow") (g : t) =
+  let buf = Buffer.create 512 in
+  let line fmt =
+    Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt
+  in
+  let rec emit prefix (g : t) =
+    List.iter
+      (fun (n : Operator.node) ->
+         let node_name = Printf.sprintf "%s%d" prefix n.id in
+         line "  %s [label=\"%s\\n-> %s\"%s];" node_name
+           (dot_escape (Operator.describe n.kind))
+           (dot_escape n.output)
+           (match n.kind with
+            | Operator.Input _ -> " shape=box"
+            | Operator.While _ -> " shape=diamond"
+            | _ -> "");
+         List.iter
+           (fun i -> line "  %s%d -> %s;" prefix i node_name)
+           n.inputs;
+         match n.kind with
+         | Operator.While { body; _ } ->
+           line "  subgraph cluster_%s {" node_name;
+           line "    label=\"%s body\";" (dot_escape n.output);
+           emit (node_name ^ "_") body;
+           line "  }";
+           (match sources body with
+            | first :: _ ->
+              line "  %s -> %s_%d [style=dashed];" node_name node_name
+                first.Operator.id
+            | [] -> ())
+         | _ -> ())
+      g.nodes
+  in
+  line "digraph \"%s\" {" name;
+  line "  rankdir=TB;";
+  emit "n" g;
+  Buffer.contents buf ^ "}\n"

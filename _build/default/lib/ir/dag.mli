@@ -1,0 +1,70 @@
+(** Operations over IR graphs ({!Operator.graph}).
+
+    Graph invariants (checked by {!validate}, established by
+    {!Builder}): node ids are unique and strictly increasing in
+    [nodes]; every edge points from a lower id to a higher id, so the
+    graph is acyclic by construction and [nodes] is already one valid
+    topological order. *)
+
+type t = Operator.graph
+
+exception Invalid of string
+
+(** Full structural validation; raises {!Invalid} with a description of
+    the first problem found. Recurses into WHILE bodies. *)
+val validate : t -> unit
+
+val node : t -> int -> Operator.node
+
+val node_opt : t -> int -> Operator.node option
+
+(** Number of operators, counting WHILE bodies recursively but not
+    INPUT nodes (matches how the paper counts workflow operators). *)
+val operator_count : t -> int
+
+(** Nodes with no consumers within the graph. *)
+val sinks : t -> Operator.node list
+
+(** INPUT nodes. *)
+val sources : t -> Operator.node list
+
+(** Ids of the nodes consuming the given node's output. *)
+val consumers : t -> int -> int list
+
+(** [topological_order g] is the node list in dependency order. The
+    depth-first linearization used by the dynamic partitioning heuristic
+    (paper §5.1.2, Figure 6); ties broken by id. *)
+val topological_order : t -> Operator.node list
+
+(** All distinct topological linearizations, capped at [limit] — used by
+    the §8 multi-order variant of the DP heuristic. *)
+val topological_orders : ?limit:int -> t -> Operator.node list list
+
+(** [is_connected g ids] — are the [ids] weakly connected (treating
+    edges as undirected)? Jobs must be connected sub-DAGs. *)
+val is_connected : t -> int list -> bool
+
+(** [no_external_path g ids] — no path that leaves the set and re-enters
+    it (such a partition would deadlock: the job needs its own output). *)
+val convex : t -> int list -> bool
+
+(** Relation names a node subset reads from outside itself (including
+    INPUT relations). *)
+val external_inputs : t -> int list -> string list
+
+(** Nodes within the subset whose output is consumed outside of it or is
+    a workflow output. *)
+val external_outputs : t -> int list -> Operator.node list
+
+(** Relation names produced by the graph's output nodes. *)
+val output_relations : t -> string list
+
+val input_relations : t -> string list
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** Graphviz rendering of the DAG (WHILE bodies become clusters);
+    useful with the CLI's [--dot] flag. *)
+val to_dot : ?name:string -> t -> string

@@ -1,0 +1,23 @@
+(** Structural test for the vertex-centric (GAS) idiom, shared by the
+    engine admission checks and the core idiom recognizer (paper
+    §4.3.1).
+
+    A WHILE body is vertex-centric when it contains a scatter JOIN —
+    one whose two sides cleanly separate the loop-carried vertex state
+    from a read-only edge relation — feeding a gather GROUP BY, and
+    uses no CROSS join (vertex engines cannot express one). This
+    separation is what excludes look-alikes such as the k-means body,
+    whose JOINs mix the carried centroids into both sides (§6.7: k-means
+    cannot be expressed in vertex-centric systems). *)
+
+(** [scatter_join body] — the id of a JOIN with one pure-carried side
+    and one pure-read-only side, if any. *)
+val scatter_join : Operator.graph -> int option
+
+(** [body_is_vertex_centric body] — scatter JOIN present, a GROUP BY
+    reachable from it, and no CROSS. *)
+val body_is_vertex_centric : Operator.graph -> bool
+
+(** [graph_is_gas g] — [g] consists of exactly one WHILE (plus INPUT
+    nodes) with a vertex-centric body. *)
+val graph_is_gas : Operator.graph -> bool

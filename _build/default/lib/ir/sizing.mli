@@ -1,0 +1,26 @@
+(** Per-operator data-volume bounds (paper §5.2, "Data volume").
+
+    Each operator constrains its output size as a function of its input
+    sizes. Selective operators are bounded by their input; generative
+    operators (JOIN, CROSS, UDF, WHILE) have no a-priori upper bound,
+    which is why Musketeer is conservative on a workflow's first run and
+    tightens the bounds from history afterwards. All sizes are modeled
+    megabytes. *)
+
+type estimate = {
+  expected : float;
+      (** default prediction used when no history is available *)
+  upper : float option;
+      (** hard bound implied by operator semantics; [None] = unbounded *)
+}
+
+(** [of_kind kind ~inputs] where [inputs] are the modeled input sizes in
+    MB, in argument order. INPUT nodes pass the stored relation size as
+    their single "input". *)
+val of_kind : Operator.kind -> inputs:float list -> estimate
+
+(** The conservative first-run policy (§5.2): merge an operator eagerly
+    only if its output is surely small — i.e. it is selective, or
+    generative with a known small upper bound. *)
+val safe_to_merge_without_history :
+  Operator.kind -> inputs:float list -> bool

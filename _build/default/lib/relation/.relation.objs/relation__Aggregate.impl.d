@@ -1,0 +1,1 @@
+lib/relation/aggregate.ml: Format Printf Value

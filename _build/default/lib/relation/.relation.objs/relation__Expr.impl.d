@@ -1,0 +1,1 @@
+lib/relation/expr.ml: Array Float Format Hashtbl List Printf Schema Stdlib Value

@@ -1,0 +1,1 @@
+lib/relation/kernel.ml: Aggregate Array Expr Hashtbl List Option Printf Random Schema Seq Table Value

@@ -1,0 +1,1 @@
+lib/relation/kernel.mli: Aggregate Expr Table Value

@@ -1,0 +1,1 @@
+lib/relation/table.ml: Array Buffer Format List Printf Schema String Value

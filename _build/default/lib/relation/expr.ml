@@ -1,0 +1,232 @@
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+
+type cmpop =
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type t =
+  | Col of string
+  | Const of Value.t
+  | Binop of binop * t * t
+  | Cmp of cmpop * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | If of t * t * t
+
+let col c = Col c
+let int i = Const (Value.Int i)
+let float f = Const (Value.Float f)
+let str s = Const (Value.Str s)
+let bool b = Const (Value.Bool b)
+
+let ( + ) a b = Binop (Add, a, b)
+let ( - ) a b = Binop (Sub, a, b)
+let ( * ) a b = Binop (Mul, a, b)
+let ( / ) a b = Binop (Div, a, b)
+let ( = ) a b = Cmp (Eq, a, b)
+let ( <> ) a b = Cmp (Neq, a, b)
+let ( < ) a b = Cmp (Lt, a, b)
+let ( <= ) a b = Cmp (Le, a, b)
+let ( > ) a b = Cmp (Gt, a, b)
+let ( >= ) a b = Cmp (Ge, a, b)
+let ( && ) a b = And (a, b)
+let ( || ) a b = Or (a, b)
+let not_ a = Not a
+
+let columns e =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec go = function
+    | Col c ->
+      if not (Hashtbl.mem seen c) then begin
+        Hashtbl.add seen c ();
+        acc := c :: !acc
+      end
+    | Const _ -> ()
+    | Binop (_, a, b) | Cmp (_, a, b) | And (a, b) | Or (a, b) ->
+      go a;
+      go b
+    | Not a -> go a
+    | If (c, a, b) ->
+      go c;
+      go a;
+      go b
+  in
+  go e;
+  List.rev !acc
+
+exception Type_error of string
+
+let type_error fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+let rec infer schema e =
+  match e with
+  | Col c ->
+    (try Schema.column_type schema c
+     with Not_found -> type_error "unknown column %S" c)
+  | Const v -> Value.type_of v
+  | Binop (op, a, b) -> infer_binop schema op a b
+  | Cmp (_, a, b) ->
+    let ta = infer schema a and tb = infer schema b in
+    if comparable ta tb then Value.Tbool
+    else
+      type_error "cannot compare %s with %s" (Value.ty_to_string ta)
+        (Value.ty_to_string tb)
+  | And (a, b) | Or (a, b) ->
+    check_bool schema a;
+    check_bool schema b;
+    Value.Tbool
+  | Not a ->
+    check_bool schema a;
+    Value.Tbool
+  | If (c, a, b) ->
+    check_bool schema c;
+    let ta = infer schema a and tb = infer schema b in
+    unify_numeric_or_equal ta tb
+
+and infer_binop schema op a b =
+  let ta = infer schema a and tb = infer schema b in
+  match ta, tb, op with
+  | Value.Tstring, Value.Tstring, Add -> Value.Tstring
+  | (Value.Tint | Value.Tfloat), (Value.Tint | Value.Tfloat), _ ->
+    if Stdlib.( || )
+         (Stdlib.( = ) ta Value.Tfloat)
+         (Stdlib.( = ) tb Value.Tfloat)
+    then Value.Tfloat
+    else Value.Tint
+  | _ ->
+    type_error "arithmetic on %s and %s" (Value.ty_to_string ta)
+      (Value.ty_to_string tb)
+
+and comparable ta tb =
+  match ta, tb with
+  | (Value.Tint | Value.Tfloat), (Value.Tint | Value.Tfloat) -> true
+  | a, b -> Stdlib.( = ) a b
+
+and unify_numeric_or_equal ta tb =
+  match ta, tb with
+  | Value.Tint, Value.Tfloat | Value.Tfloat, Value.Tint -> Value.Tfloat
+  | a, b when Stdlib.( = ) a b -> a
+  | a, b ->
+    type_error "branches have types %s and %s" (Value.ty_to_string a)
+      (Value.ty_to_string b)
+
+and check_bool schema e =
+  match infer schema e with
+  | Value.Tbool -> ()
+  | ty -> type_error "expected bool, got %s" (Value.ty_to_string ty)
+
+let eval_binop op va vb =
+  match va, vb with
+  | Value.Str a, Value.Str b when Stdlib.( = ) op Add -> Value.Str (a ^ b)
+  | Value.Int a, Value.Int b -> (
+    match op with
+    | Add -> Value.Int (Stdlib.( + ) a b)
+    | Sub -> Value.Int (Stdlib.( - ) a b)
+    | Mul -> Value.Int (Stdlib.( * ) a b)
+    | Div -> Value.Int (Stdlib.( / ) a b)
+    | Mod -> Value.Int (Stdlib.( mod ) a b))
+  | _ ->
+    let a = Value.to_float va and b = Value.to_float vb in
+    (match op with
+     | Add -> Value.Float (a +. b)
+     | Sub -> Value.Float (a -. b)
+     | Mul -> Value.Float (a *. b)
+     | Div -> Value.Float (if Stdlib.( = ) b 0. then 0. else a /. b)
+     | Mod -> Value.Float (Float.rem a b))
+
+let eval_cmp op va vb =
+  let c = Value.compare va vb in
+  match op with
+  | Eq -> Stdlib.( = ) c 0
+  | Neq -> Stdlib.( <> ) c 0
+  | Lt -> Stdlib.( < ) c 0
+  | Le -> Stdlib.( <= ) c 0
+  | Gt -> Stdlib.( > ) c 0
+  | Ge -> Stdlib.( >= ) c 0
+
+let compile schema e =
+  let rec go = function
+    | Col c ->
+      let i =
+        try Schema.index_of schema c
+        with Not_found -> type_error "unknown column %S" c
+      in
+      fun row -> row.(i)
+    | Const v -> fun _ -> v
+    | Binop (op, a, b) ->
+      let fa = go a and fb = go b in
+      fun row -> eval_binop op (fa row) (fb row)
+    | Cmp (op, a, b) ->
+      let fa = go a and fb = go b in
+      fun row -> Value.Bool (eval_cmp op (fa row) (fb row))
+    | And (a, b) ->
+      let fa = go a and fb = go b in
+      fun row ->
+        Value.Bool
+          (Stdlib.( && ) (as_bool (fa row)) (as_bool (fb row)))
+    | Or (a, b) ->
+      let fa = go a and fb = go b in
+      fun row ->
+        Value.Bool
+          (Stdlib.( || ) (as_bool (fa row)) (as_bool (fb row)))
+    | Not a ->
+      let fa = go a in
+      fun row -> Value.Bool (not (as_bool (fa row)))
+    | If (c, a, b) ->
+      let fc = go c and fa = go a and fb = go b in
+      fun row -> if as_bool (fc row) then fa row else fb row
+  and as_bool = function
+    | Value.Bool b -> b
+    | v -> type_error "expected bool, got %s" (Value.to_string v)
+  in
+  go e
+
+let eval schema row e = compile schema e row
+
+let eval_bool schema row e =
+  match eval schema row e with
+  | Value.Bool b -> b
+  | v -> type_error "predicate evaluated to %s" (Value.to_string v)
+
+let binop_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+
+let cmpop_symbol = function
+  | Eq -> "="
+  | Neq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec pp ppf = function
+  | Col c -> Format.pp_print_string ppf c
+  | Const v -> Value.pp ppf v
+  | Binop (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp a (binop_symbol op) pp b
+  | Cmp (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp a (cmpop_symbol op) pp b
+  | And (a, b) -> Format.fprintf ppf "(%a AND %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a OR %a)" pp a pp b
+  | Not a -> Format.fprintf ppf "(NOT %a)" pp a
+  | If (c, a, b) ->
+    Format.fprintf ppf "(IF %a THEN %a ELSE %a)" pp c pp a pp b
+
+let to_string e = Format.asprintf "%a" pp e
+
+let equal (a : t) (b : t) = Stdlib.( = ) a b

@@ -1,0 +1,84 @@
+(** Row-level expressions: predicates for SELECT and the column-algebra
+    bodies of Musketeer's SUM/SUB/MUL/DIV operators and the GAS DSL's
+    APPLY step.
+
+    Expressions are typed against a {!Schema.t} before evaluation; the
+    same inference drives the code generator's look-ahead optimization
+    (paper §4.3.4). *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+
+type cmpop =
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type t =
+  | Col of string                 (** column reference by name *)
+  | Const of Value.t
+  | Binop of binop * t * t
+  | Cmp of cmpop * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | If of t * t * t               (** conditional expression *)
+
+val col : string -> t
+val int : int -> t
+val float : float -> t
+val str : string -> t
+val bool : bool -> t
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( = ) : t -> t -> t
+val ( <> ) : t -> t -> t
+val ( < ) : t -> t -> t
+val ( <= ) : t -> t -> t
+val ( > ) : t -> t -> t
+val ( >= ) : t -> t -> t
+val ( && ) : t -> t -> t
+val ( || ) : t -> t -> t
+val not_ : t -> t
+
+(** Columns referenced by the expression, without duplicates, in first-use
+    order. The IR optimizer uses this for projection push-down. *)
+val columns : t -> string list
+
+exception Type_error of string
+
+(** [infer schema e] is the result type of [e] over rows of [schema].
+    Numeric binops yield [Tfloat] if either side is a float, else [Tint];
+    comparisons and boolean connectives yield [Tbool].
+    Raises {!Type_error} on ill-typed expressions or unknown columns. *)
+val infer : Schema.t -> t -> Value.ty
+
+(** [eval schema row e] evaluates [e] against one row. Division by zero
+    yields [Float 0.] for floats (mirrors the PageRank dangling-node
+    convention used by the paper's GAS example) and raises
+    [Division_by_zero] for ints. *)
+val eval : Schema.t -> Value.t array -> t -> Value.t
+
+(** [eval_bool] specializes {!eval} to predicates.
+    Raises {!Type_error} when the expression is not boolean. *)
+val eval_bool : Schema.t -> Value.t array -> t -> bool
+
+(** [compile schema e] resolves column indices once and returns a closure
+    for per-row evaluation; semantics are those of {!eval}. *)
+val compile : Schema.t -> t -> Value.t array -> Value.t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val equal : t -> t -> bool

@@ -1,0 +1,320 @@
+let select t pred =
+  let schema = Table.schema t in
+  let f = Expr.compile schema pred in
+  let keep row =
+    match f row with
+    | Value.Bool b -> b
+    | v ->
+      raise
+        (Expr.Type_error
+           (Printf.sprintf "SELECT predicate returned %s" (Value.to_string v)))
+  in
+  let rows =
+    Array.of_seq (Seq.filter keep (Array.to_seq (Table.rows t)))
+  in
+  Table.create_unchecked schema rows
+
+let project t cols =
+  let schema = Table.schema t in
+  let idxs = Array.of_list (List.map (Schema.index_of schema) cols) in
+  let out_schema = Schema.restrict schema cols in
+  let rows =
+    Array.map (fun row -> Array.map (fun i -> row.(i)) idxs) (Table.rows t)
+  in
+  Table.create_unchecked out_schema rows
+
+let map_column t ~target ~expr =
+  let schema = Table.schema t in
+  let ty = Expr.infer schema expr in
+  let f = Expr.compile schema expr in
+  let out_schema = Schema.with_column schema { Schema.name = target; ty } in
+  let replace = Schema.mem schema target in
+  let idx = if replace then Schema.index_of schema target else -1 in
+  let transform row =
+    let v = f row in
+    if replace then begin
+      let row' = Array.copy row in
+      row'.(idx) <- v;
+      row'
+    end
+    else Array.append row [| v |]
+  in
+  Table.create_unchecked out_schema (Array.map transform (Table.rows t))
+
+let rename_column t ~from_ ~to_ =
+  let schema = Table.schema t in
+  let cols =
+    List.map
+      (fun (c : Schema.column) ->
+         if c.name = from_ then { c with name = to_ } else c)
+      (Schema.columns schema)
+  in
+  if not (Schema.mem schema from_) then raise Not_found;
+  Table.create_unchecked (Schema.make cols) (Table.rows t)
+
+let join left right ~left_key ~right_key =
+  let ls = Table.schema left and rs = Table.schema right in
+  let li = Schema.index_of ls left_key and ri = Schema.index_of rs right_key in
+  (* right schema without its key column; a key-only right side adds
+     nothing (semi-join) *)
+  let r_cols_keep =
+    List.filteri (fun j _ -> j <> ri) (Schema.columns rs)
+  in
+  let out_schema =
+    if r_cols_keep = [] then ls
+    else Schema.concat ls (Schema.make r_cols_keep)
+  in
+  let build = Hashtbl.create (max 16 (Table.row_count left)) in
+  Array.iter
+    (fun row -> Hashtbl.add build row.(li) row)
+    (Table.rows left);
+  let out = ref [] in
+  let keep_idx =
+    Array.of_list
+      (List.filteri (fun j _ -> j <> ri)
+         (List.mapi (fun j _ -> j) (Schema.columns rs)))
+  in
+  Array.iter
+    (fun rrow ->
+       let matches = Hashtbl.find_all build rrow.(ri) in
+       List.iter
+         (fun lrow ->
+            let extra = Array.map (fun j -> rrow.(j)) keep_idx in
+            out := Array.append lrow extra :: !out)
+         matches)
+    (Table.rows right);
+  Table.create_unchecked out_schema (Array.of_list (List.rev !out))
+
+let right_keep_info right ~right_key =
+  let rs = Table.schema right in
+  let ri = Schema.index_of rs right_key in
+  let keep_cols = List.filteri (fun j _ -> j <> ri) (Schema.columns rs) in
+  let keep_idx =
+    Array.of_list
+      (List.filteri (fun j _ -> j <> ri)
+         (List.mapi (fun j _ -> j) (Schema.columns rs)))
+  in
+  (ri, keep_cols, keep_idx)
+
+let left_outer_join left right ~left_key ~right_key ~defaults =
+  let ls = Table.schema left in
+  let li = Schema.index_of ls left_key in
+  let ri, keep_cols, keep_idx = right_keep_info right ~right_key in
+  if List.length defaults <> List.length keep_cols then
+    invalid_arg
+      (Printf.sprintf
+         "Kernel.left_outer_join: %d defaults for %d right columns"
+         (List.length defaults) (List.length keep_cols));
+  List.iter2
+    (fun v (c : Schema.column) ->
+       if Value.type_of v <> c.ty then
+         invalid_arg
+           (Printf.sprintf
+              "Kernel.left_outer_join: default for %s has type %s, \
+               expected %s"
+              c.name
+              (Value.ty_to_string (Value.type_of v))
+              (Value.ty_to_string c.ty)))
+    defaults keep_cols;
+  let out_schema =
+    if keep_cols = [] then ls else Schema.concat ls (Schema.make keep_cols)
+  in
+  let matches = Hashtbl.create (max 16 (Table.row_count right)) in
+  Array.iter
+    (fun rrow -> Hashtbl.add matches rrow.(ri) rrow)
+    (Table.rows right);
+  let default_row = Array.of_list defaults in
+  let out = ref [] in
+  Array.iter
+    (fun lrow ->
+       match Hashtbl.find_all matches lrow.(li) with
+       | [] -> out := Array.append lrow default_row :: !out
+       | rrows ->
+         List.iter
+           (fun rrow ->
+              let extra = Array.map (fun j -> rrow.(j)) keep_idx in
+              out := Array.append lrow extra :: !out)
+           rrows)
+    (Table.rows left);
+  Table.create_unchecked out_schema (Array.of_list (List.rev !out))
+
+let key_membership right ~right_key =
+  let ri = Schema.index_of (Table.schema right) right_key in
+  let keys = Hashtbl.create (max 16 (Table.row_count right)) in
+  Array.iter (fun rrow -> Hashtbl.replace keys rrow.(ri) ()) (Table.rows right);
+  keys
+
+let semi_join left right ~left_key ~right_key =
+  let li = Schema.index_of (Table.schema left) left_key in
+  let keys = key_membership right ~right_key in
+  Table.create_unchecked (Table.schema left)
+    (Array.of_seq
+       (Seq.filter
+          (fun lrow -> Hashtbl.mem keys lrow.(li))
+          (Array.to_seq (Table.rows left))))
+
+let anti_join left right ~left_key ~right_key =
+  let li = Schema.index_of (Table.schema left) left_key in
+  let keys = key_membership right ~right_key in
+  Table.create_unchecked (Table.schema left)
+    (Array.of_seq
+       (Seq.filter
+          (fun lrow -> not (Hashtbl.mem keys lrow.(li)))
+          (Array.to_seq (Table.rows left))))
+
+let cross_join left right =
+  let out_schema = Schema.concat (Table.schema left) (Table.schema right) in
+  let out = ref [] in
+  Array.iter
+    (fun lrow ->
+       Array.iter
+         (fun rrow -> out := Array.append lrow rrow :: !out)
+         (Table.rows right))
+    (Table.rows left);
+  Table.create_unchecked out_schema (Array.of_list (List.rev !out))
+
+let check_union_compatible a b =
+  if not (Schema.equal (Table.schema a) (Table.schema b)) then
+    invalid_arg
+      (Printf.sprintf "Kernel: incompatible schemas %s vs %s"
+         (Schema.to_string (Table.schema a))
+         (Schema.to_string (Table.schema b)))
+
+let union_all a b =
+  check_union_compatible a b;
+  Table.create_unchecked (Table.schema a)
+    (Array.append (Table.rows a) (Table.rows b))
+
+let distinct t =
+  let seen = Hashtbl.create (max 16 (Table.row_count t)) in
+  let out = ref [] in
+  Array.iter
+    (fun row ->
+       if not (Hashtbl.mem seen row) then begin
+         Hashtbl.add seen row ();
+         out := row :: !out
+       end)
+    (Table.rows t);
+  Table.create_unchecked (Table.schema t) (Array.of_list (List.rev !out))
+
+let union a b = distinct (union_all a b)
+
+let intersect a b =
+  check_union_compatible a b;
+  let in_b = Hashtbl.create (max 16 (Table.row_count b)) in
+  Array.iter (fun row -> Hashtbl.replace in_b row ()) (Table.rows b);
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  Array.iter
+    (fun row ->
+       if Hashtbl.mem in_b row && not (Hashtbl.mem seen row) then begin
+         Hashtbl.add seen row ();
+         out := row :: !out
+       end)
+    (Table.rows a);
+  Table.create_unchecked (Table.schema a) (Array.of_list (List.rev !out))
+
+let difference a b =
+  check_union_compatible a b;
+  let in_b = Hashtbl.create (max 16 (Table.row_count b)) in
+  Array.iter (fun row -> Hashtbl.replace in_b row ()) (Table.rows b);
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  Array.iter
+    (fun row ->
+       if (not (Hashtbl.mem in_b row)) && not (Hashtbl.mem seen row) then begin
+         Hashtbl.add seen row ();
+         out := row :: !out
+       end)
+    (Table.rows a);
+  Table.create_unchecked (Table.schema a) (Array.of_list (List.rev !out))
+
+let group_by t ~keys ~aggs =
+  let schema = Table.schema t in
+  let key_idxs = Array.of_list (List.map (Schema.index_of schema) keys) in
+  let agg_inputs =
+    List.map
+      (fun (a : Aggregate.t) ->
+         match Aggregate.input_column a.fn with
+         | None -> None
+         | Some c -> Some (Schema.index_of schema c))
+      aggs
+  in
+  (* group order = first appearance, for deterministic output *)
+  let groups : (Value.t array, Aggregate.state list) Hashtbl.t =
+    Hashtbl.create (max 16 (Table.row_count t))
+  in
+  let order = ref [] in
+  Array.iter
+    (fun row ->
+       let key = Array.map (fun i -> row.(i)) key_idxs in
+       let states =
+         match Hashtbl.find_opt groups key with
+         | Some s -> s
+         | None ->
+           order := key :: !order;
+           List.map (fun (a : Aggregate.t) -> Aggregate.init a.fn) aggs
+       in
+       let states' =
+         List.map2
+           (fun ((a : Aggregate.t), input) st ->
+              let v = Option.map (fun i -> row.(i)) input in
+              Aggregate.step a.fn st v)
+           (List.combine aggs agg_inputs)
+           states
+       in
+       Hashtbl.replace groups key states')
+    (Table.rows t);
+  let key_cols =
+    List.map (fun k -> List.nth (Schema.columns schema) (Schema.index_of schema k)) keys
+  in
+  let agg_cols =
+    List.map2
+      (fun (a : Aggregate.t) input ->
+         let input_ty =
+           Option.map
+             (fun i -> (List.nth (Schema.columns schema) i).Schema.ty)
+             input
+         in
+         { Schema.name = a.as_name;
+           ty = Aggregate.result_type a.fn ~input:input_ty })
+      aggs agg_inputs
+  in
+  let out_schema = Schema.make (key_cols @ agg_cols) in
+  let mk_row key states =
+    let agg_vals =
+      List.map2 (fun (a : Aggregate.t) st -> Aggregate.finish a.fn st) aggs
+        states
+    in
+    Array.append key (Array.of_list agg_vals)
+  in
+  let out =
+    if keys = [] && Hashtbl.length groups = 0 then
+      (* global aggregate over an empty table still yields one row *)
+      [ mk_row [||] (List.map (fun (a : Aggregate.t) -> Aggregate.init a.fn) aggs) ]
+    else
+      List.rev_map
+        (fun key -> mk_row key (Hashtbl.find groups key))
+        !order
+  in
+  Table.create_unchecked out_schema (Array.of_list out)
+
+let top_k t ~by ~descending ~k =
+  let sorted = Table.sort_by t [ by ] in
+  let rows = Table.rows sorted in
+  let rows = if descending then Array.of_list (List.rev (Array.to_list rows)) else rows in
+  let n = min k (Array.length rows) in
+  Table.create_unchecked (Table.schema t) (Array.sub rows 0 n)
+
+let sample t ~fraction ~seed =
+  if fraction >= 1. then t
+  else begin
+    let state = Random.State.make [| seed |] in
+    let rows =
+      Array.of_seq
+        (Seq.filter
+           (fun _ -> Random.State.float state 1. < fraction)
+           (Array.to_seq (Table.rows t)))
+    in
+    Table.create_unchecked (Table.schema t) rows
+  end

@@ -1,0 +1,139 @@
+type t = {
+  schema : Schema.t;
+  rows : Value.t array array;
+}
+
+let check_row schema i row =
+  if Array.length row <> Schema.arity schema then
+    invalid_arg
+      (Printf.sprintf "Table.create: row %d has arity %d, schema %s" i
+         (Array.length row) (Schema.to_string schema));
+  List.iteri
+    (fun j (c : Schema.column) ->
+       let ty = Value.type_of row.(j) in
+       if ty <> c.ty then
+         invalid_arg
+           (Printf.sprintf
+              "Table.create: row %d column %s has type %s, expected %s" i
+              c.name (Value.ty_to_string ty) (Value.ty_to_string c.ty)))
+    (Schema.columns schema)
+
+let create schema rows =
+  List.iteri (check_row schema) rows;
+  { schema; rows = Array.of_list rows }
+
+let create_unchecked schema rows = { schema; rows }
+
+let empty schema = { schema; rows = [||] }
+
+let schema t = t.schema
+
+let rows t = t.rows
+
+let row_count t = Array.length t.rows
+
+let is_empty t = row_count t = 0
+
+let column t name =
+  let i = Schema.index_of t.schema name in
+  Array.map (fun row -> row.(i)) t.rows
+
+let get t i name = t.rows.(i).(Schema.index_of t.schema name)
+
+let encoded_bytes t =
+  Array.fold_left
+    (fun acc row ->
+       Array.fold_left (fun acc v -> acc + Value.encoded_size v) (acc + 1) row)
+    0 t.rows
+
+let encoded_mb t = float_of_int (encoded_bytes t) /. (1024. *. 1024.)
+
+let compare_rows a b =
+  let n = Array.length a in
+  let rec go i =
+    if i >= n then 0
+    else
+      match Value.compare a.(i) b.(i) with
+      | 0 -> go (i + 1)
+      | c -> c
+  in
+  go 0
+
+let sorted_rows t =
+  let copy = Array.copy t.rows in
+  Array.sort compare_rows copy;
+  copy
+
+let equal_unordered a b =
+  Schema.equal a.schema b.schema
+  && row_count a = row_count b
+  &&
+  let ra = sorted_rows a and rb = sorted_rows b in
+  let n = Array.length ra in
+  let rec go i = i >= n || (compare_rows ra.(i) rb.(i) = 0 && go (i + 1)) in
+  go 0
+
+(* CSV with '|' separators: none of the generated data contains '|', and
+   the simulated HDFS never faces adversarial input. *)
+let sep = '|'
+
+let to_csv t =
+  let buf = Buffer.create (16 * (row_count t + 1)) in
+  Array.iter
+    (fun row ->
+       Array.iteri
+         (fun j v ->
+            if j > 0 then Buffer.add_char buf sep;
+            Buffer.add_string buf (Value.to_string v))
+         row;
+       Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.contents buf
+
+let of_csv schema s =
+  let types = List.map (fun (c : Schema.column) -> c.ty) (Schema.columns schema) in
+  let parse_line line =
+    let fields = String.split_on_char sep line in
+    if List.length fields <> List.length types then
+      invalid_arg (Printf.sprintf "Table.of_csv: bad line %S" line);
+    Array.of_list (List.map2 Value.parse types fields)
+  in
+  let lines =
+    String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+  in
+  { schema; rows = Array.of_list (List.map parse_line lines) }
+
+let sort_by t names =
+  let idxs = List.map (Schema.index_of t.schema) names in
+  let cmp a b =
+    let rec go = function
+      | [] -> 0
+      | i :: rest -> (
+        match Value.compare a.(i) b.(i) with
+        | 0 -> go rest
+        | c -> c)
+    in
+    go idxs
+  in
+  let copy = Array.copy t.rows in
+  Array.sort cmp copy;
+  { t with rows = copy }
+
+let pp_rows ppf t limit =
+  Format.fprintf ppf "%a@." Schema.pp t.schema;
+  let n = min limit (row_count t) in
+  for i = 0 to n - 1 do
+    let row = t.rows.(i) in
+    Array.iteri
+      (fun j v ->
+         if j > 0 then Format.fprintf ppf " | ";
+         Value.pp ppf v)
+      row;
+    Format.pp_print_newline ppf ()
+  done;
+  if row_count t > n then
+    Format.fprintf ppf "... (%d rows total)@." (row_count t)
+
+let pp ppf t = pp_rows ppf t max_int
+
+let pp_sample ~n ppf t = pp_rows ppf t n

@@ -1,0 +1,58 @@
+(** In-memory relations: a schema plus an array of rows.
+
+    Tables are immutable; kernels in {!Kernel} return fresh tables.
+    Every engine simulator executes operators against these tables, so
+    the answers Musketeer returns are real — only the clock is modeled. *)
+
+type t
+
+(** [create schema rows] checks that every row matches [schema] in arity
+    and column types, then builds the table.
+    Raises [Invalid_argument] on a mismatch. *)
+val create : Schema.t -> Value.t array list -> t
+
+(** [create_unchecked] skips per-row validation; used by kernels whose
+    output rows are correct by construction. *)
+val create_unchecked : Schema.t -> Value.t array array -> t
+
+val empty : Schema.t -> t
+
+val schema : t -> Schema.t
+
+val rows : t -> Value.t array array
+
+val row_count : t -> int
+
+val is_empty : t -> bool
+
+(** [column t name] extracts one column. Raises [Not_found]. *)
+val column : t -> string -> Value.t array
+
+(** [get t i name] is the cell at row [i], column [name]. *)
+val get : t -> int -> string -> Value.t
+
+(** Actual encoded size of the stored rows, in bytes — the basis for the
+    simulated-HDFS modeled sizes. *)
+val encoded_bytes : t -> int
+
+val encoded_mb : t -> float
+
+(** Order-insensitive multiset equality; used pervasively by tests to
+    compare engine outputs against reference results. *)
+val equal_unordered : t -> t -> bool
+
+(** CSV round-trip used by the simulated HDFS and the CLI. *)
+val to_csv : t -> string
+
+(** [of_csv schema s] parses rows of [schema] from [to_csv] output.
+    Raises [Invalid_argument] on malformed input. *)
+val of_csv : Schema.t -> string -> t
+
+(** [sort_by t names] sorts rows lexicographically by the given columns
+    (deterministic output for display and tests). *)
+val sort_by : t -> string list -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** [pp_sample ~n] prints the first [n] rows plus a row count. *)
+val pp_sample : n:int -> Format.formatter -> t -> unit

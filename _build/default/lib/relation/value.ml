@@ -1,0 +1,94 @@
+type ty =
+  | Tint
+  | Tfloat
+  | Tstring
+  | Tbool
+
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+let type_of = function
+  | Int _ -> Tint
+  | Float _ -> Tfloat
+  | Str _ -> Tstring
+  | Bool _ -> Tbool
+
+let ty_to_string = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tstring -> "string"
+  | Tbool -> "bool"
+
+let type_rank = function
+  | Tint -> 0
+  | Tfloat -> 1
+  | Tstring -> 2
+  | Tbool -> 3
+
+let compare a b =
+  match a, b with
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Str x, Str y -> String.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | (Int _ | Float _ | Str _ | Bool _), _ ->
+    Int.compare (type_rank (type_of a)) (type_rank (type_of b))
+
+let equal a b = compare a b = 0
+
+let to_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | Bool true -> 1.
+  | Bool false -> 0.
+  | Str s ->
+    (match float_of_string_opt s with
+     | Some f -> f
+     | None -> invalid_arg (Printf.sprintf "Value.to_float: %S" s))
+
+let to_int = function
+  | Int i -> i
+  | Float f -> int_of_float f
+  | Bool true -> 1
+  | Bool false -> 0
+  | Str s ->
+    (match int_of_string_opt s with
+     | Some i -> i
+     | None -> invalid_arg (Printf.sprintf "Value.to_int: %S" s))
+
+let to_string = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.6g" f
+  | Str s -> s
+  | Bool b -> string_of_bool b
+
+let parse ty s =
+  match ty with
+  | Tint ->
+    (match int_of_string_opt s with
+     | Some i -> Int i
+     | None -> invalid_arg (Printf.sprintf "Value.parse int: %S" s))
+  | Tfloat ->
+    (match float_of_string_opt s with
+     | Some f -> Float f
+     | None -> invalid_arg (Printf.sprintf "Value.parse float: %S" s))
+  | Tstring -> Str s
+  | Tbool ->
+    (match bool_of_string_opt s with
+     | Some b -> Bool b
+     | None -> invalid_arg (Printf.sprintf "Value.parse bool: %S" s))
+
+let encoded_size = function
+  | Int _ -> 8
+  | Float _ -> 8
+  | Str s -> String.length s + 1
+  | Bool _ -> 1
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+let pp_ty ppf ty = Format.pp_print_string ppf (ty_to_string ty)

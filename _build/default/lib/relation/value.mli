@@ -1,0 +1,51 @@
+(** Scalar values stored in relation cells.
+
+    Musketeer's IR is loosely relational; cells hold one of four scalar
+    types. Comparison follows SQL-ish semantics: values of the same type
+    compare naturally, and [Int] / [Float] compare numerically across the
+    two types so that front-ends may mix them freely. *)
+
+type ty =
+  | Tint
+  | Tfloat
+  | Tstring
+  | Tbool
+
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+val type_of : t -> ty
+
+val ty_to_string : ty -> string
+
+(** Total order used by sorting, grouping and set operators. [Int] and
+    [Float] are compared numerically; other cross-type comparisons order
+    by type tag. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+(** Numeric view of a value: [Int] and [Float] convert directly; [Bool]
+    maps to 0/1. Raises [Invalid_argument] on strings that do not parse
+    as numbers. *)
+val to_float : t -> float
+
+val to_int : t -> int
+
+(** [to_string] prints the value the way the CSV layer stores it. *)
+val to_string : t -> string
+
+(** [parse ty s] reads a value of type [ty] from its CSV representation.
+    Raises [Invalid_argument] when [s] does not parse. *)
+val parse : ty -> string -> t
+
+(** Size in bytes the value occupies in the simulated on-disk encoding
+    (used to derive modeled data volumes). *)
+val encoded_size : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val pp_ty : Format.formatter -> ty -> unit

@@ -1,0 +1,1 @@
+lib/workloads/csv_loader.ml: Array Datagen In_channel List Printf Relation Schema String Table Value

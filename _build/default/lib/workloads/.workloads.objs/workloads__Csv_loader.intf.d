@@ -1,0 +1,1 @@
+lib/workloads/csv_loader.mli: Datagen Engines Relation

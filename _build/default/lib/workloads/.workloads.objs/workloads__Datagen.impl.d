@@ -1,0 +1,1 @@
+lib/workloads/datagen.ml: Array Engines Float List Printf Random Relation Schema Table Value

@@ -1,0 +1,1 @@
+lib/workloads/datagen.mli: Engines Relation

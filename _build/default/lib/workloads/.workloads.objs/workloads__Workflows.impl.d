@@ -1,0 +1,1 @@
+lib/workloads/workflows.ml: Aggregate Expr Frontends Ir Printf Relation

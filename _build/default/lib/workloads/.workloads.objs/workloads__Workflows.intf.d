@@ -1,0 +1,1 @@
+lib/workloads/workflows.mli: Ir

@@ -1,0 +1,91 @@
+open Relation
+
+exception Bad_spec of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad_spec s)) fmt
+
+let type_of_string = function
+  | "int" -> Value.Tint
+  | "float" -> Value.Tfloat
+  | "string" | "str" -> Value.Tstring
+  | "bool" -> Value.Tbool
+  | other -> bad "unknown column type %S" other
+
+let parse_schema spec =
+  let columns =
+    String.split_on_char ',' spec
+    |> List.map (fun col ->
+        match String.split_on_char ':' (String.trim col) with
+        | [ name; ty ] when name <> "" ->
+          { Schema.name; ty = type_of_string ty }
+        | _ -> bad "bad column spec %S (want name:type)" col)
+  in
+  if columns = [] then bad "empty schema";
+  try Schema.make columns
+  with Invalid_argument msg -> bad "%s" msg
+
+let load_csv ~schema path =
+  let types =
+    List.map (fun (c : Schema.column) -> c.ty) (Schema.columns schema)
+  in
+  let parse_row lineno line =
+    let fields = String.split_on_char ',' line |> List.map String.trim in
+    if List.length fields <> List.length types then
+      bad "%s:%d: %d fields, schema has %d" path lineno (List.length fields)
+        (List.length types);
+    try Array.of_list (List.map2 Value.parse types fields)
+    with Invalid_argument msg -> bad "%s:%d: %s" path lineno msg
+  in
+  let rows = ref [] in
+  In_channel.with_open_text path (fun ic ->
+      let lineno = ref 0 in
+      try
+        while true do
+          incr lineno;
+          let line = input_line ic in
+          let trimmed = String.trim line in
+          if trimmed <> "" && trimmed.[0] <> '#' then
+            rows := parse_row !lineno trimmed :: !rows
+        done
+      with End_of_file -> ());
+  Table.create_unchecked schema (Array.of_list (List.rev !rows))
+
+let parse_binding spec =
+  match String.index_opt spec '=' with
+  | None -> bad "binding %S lacks '=' (want name=path:schema)" spec
+  | Some eq ->
+    let name = String.sub spec 0 eq in
+    let rest = String.sub spec (eq + 1) (String.length spec - eq - 1) in
+    let rest, modeled_mb =
+      match String.rindex_opt rest '@' with
+      | Some at ->
+        let mb_str =
+          String.sub rest (at + 1) (String.length rest - at - 1)
+        in
+        (match float_of_string_opt mb_str with
+         | Some mb -> (String.sub rest 0 at, Some mb)
+         | None -> bad "bad modeled size %S" mb_str)
+      | None -> (rest, None)
+    in
+    (match String.index_opt rest ':' with
+     | None -> bad "binding %S lacks a schema (want name=path:schema)" spec
+     | Some colon ->
+       let path = String.sub rest 0 colon in
+       let schema_spec =
+         String.sub rest (colon + 1) (String.length rest - colon - 1)
+       in
+       let schema = parse_schema schema_spec in
+       let table = load_csv ~schema path in
+       let modeled_mb =
+         match modeled_mb with
+         | Some mb -> mb
+         | None -> Table.encoded_mb table
+       in
+       (name, { Datagen.table; modeled_mb }))
+
+let load_bindings hdfs specs =
+  List.iter
+    (fun spec ->
+       let name, sized = parse_binding spec in
+       Datagen.put hdfs name sized)
+    specs

@@ -1,0 +1,26 @@
+(** Loading user relations from comma-separated files — the CLI's
+    [run-file] path. A relation is described as
+
+    {v name=path.csv:col1:type1,col2:type2,... v}
+
+    with types [int], [float], [string], [bool]. The modeled HDFS size
+    defaults to the file's actual size; append [@<mb>] to override it
+    (e.g. [purchases=p.csv:uid:int,amount:int@2048] models 2 GB). *)
+
+exception Bad_spec of string
+
+(** [parse_schema "uid:int,amount:int"] — raises {!Bad_spec}. *)
+val parse_schema : string -> Relation.Schema.t
+
+(** [load_csv ~schema path] reads comma-separated rows (no header; a
+    leading [#] comments a line out). Raises {!Bad_spec} on rows that do
+    not match the schema. *)
+val load_csv : schema:Relation.Schema.t -> string -> Relation.Table.t
+
+(** [parse_binding "name=path:schema[@mb]"] — loads the file and returns
+    the relation name with its sized table. *)
+val parse_binding : string -> string * Datagen.sized
+
+(** [load_bindings hdfs specs] applies {!parse_binding} to each spec and
+    stores the results. *)
+val load_bindings : Engines.Hdfs.t -> string list -> unit

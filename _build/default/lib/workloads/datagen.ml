@@ -1,0 +1,309 @@
+open Relation
+
+type sized = {
+  table : Table.t;
+  modeled_mb : float;
+}
+
+let put hdfs name { table; modeled_mb } =
+  Engines.Hdfs.put hdfs name ~modeled_mb table
+
+let mb_of_bytes bytes = bytes /. (1024. *. 1024.)
+
+let col name ty = { Schema.name; ty }
+
+(* ---- micro-benchmarks ---- *)
+
+let words =
+  [| "alpha"; "bravo"; "charlie"; "delta"; "echo"; "foxtrot"; "golf";
+     "hotel"; "india"; "juliet"; "kilo"; "lima"; "mike"; "november" |]
+
+let two_column_schema =
+  Schema.make [ col "key" Value.Tstring; col "value" Value.Tstring ]
+
+let two_column_ascii ?(sample_rows = 2000) ?(seed = 11) ~modeled_mb () =
+  let state = Random.State.make [| seed |] in
+  let word () = words.(Random.State.int state (Array.length words)) in
+  let rows =
+    Array.init sample_rows (fun i ->
+        [| Value.Str (Printf.sprintf "%s%d" (word ()) i);
+           Value.Str (word ()) |])
+  in
+  { table = Table.create_unchecked two_column_schema rows; modeled_mb }
+
+let pair_schema =
+  Schema.make [ col "key" Value.Tint; col "value" Value.Tint ]
+
+let uniform_pairs ?(sample_rows = 2500) ?(seed = 13) ~rows () =
+  let state = Random.State.make [| seed |] in
+  (* key domain sized so the symmetric join blows up like the paper's
+     39M x 39M -> 1.5B rows / 29 GB (~20x row amplification) *)
+  let domain = max 1 (sample_rows / 14) in
+  let data =
+    Array.init sample_rows (fun i ->
+        [| Value.Int (Random.State.int state domain); Value.Int i |])
+  in
+  { table = Table.create_unchecked pair_schema data;
+    modeled_mb = mb_of_bytes (float_of_int rows *. 16.) }
+
+(* power-law target: pick vertex v with probability ~ 1/(v+1) *)
+let zipf state n =
+  let u = Random.State.float state 1. in
+  let v =
+    int_of_float (Float.pow (float_of_int n) u) - 1
+  in
+  max 0 (min (n - 1) v)
+
+let asymmetric_join_tables ?(seed = 19) () =
+  let state = Random.State.make [| seed |] in
+  let left_rows = 600 in
+  let left =
+    Array.init left_rows (fun i ->
+        [| Value.Int i; Value.Int (Random.State.int state 1000) |])
+  in
+  let right =
+    Array.init 2400 (fun i ->
+        [| Value.Int (zipf state left_rows); Value.Int i |])
+  in
+  ( { table = Table.create_unchecked pair_schema left;
+      modeled_mb = mb_of_bytes (4_800_000. *. 20.) },
+    { table = Table.create_unchecked pair_schema right;
+      modeled_mb = mb_of_bytes (69_000_000. *. 15.) } )
+
+(* ---- graphs ---- *)
+
+type graph_spec = {
+  spec_name : string;
+  vertices : int;
+  edges : int;
+}
+
+let livejournal = { spec_name = "LiveJournal"; vertices = 4_800_000; edges = 69_000_000 }
+
+let orkut = { spec_name = "Orkut"; vertices = 3_000_000; edges = 117_000_000 }
+
+let twitter = { spec_name = "Twitter"; vertices = 43_000_000; edges = 1_400_000_000 }
+
+let web_community =
+  { spec_name = "WebCommunity"; vertices = 5_800_000; edges = 82_000_000 }
+
+let edge_schema = Schema.make [ col "src" Value.Tint; col "dst" Value.Tint ]
+
+let vertex_schema =
+  Schema.make
+    [ col "id" Value.Tint; col "vertex_value" Value.Tfloat;
+      col "vertex_degree" Value.Tint ]
+
+let edge_bytes = 15.
+
+let vertex_bytes = 22.
+
+let sample_edge_rows ~state ~sample_vertices ~sample_edges =
+  (* ring backbone: every vertex has one in- and one out-edge *)
+  let ring =
+    List.init sample_vertices (fun i ->
+        [| Value.Int i; Value.Int ((i + 1) mod sample_vertices) |])
+  in
+  let extra =
+    List.init (max 0 (sample_edges - sample_vertices)) (fun _ ->
+        let src = zipf state sample_vertices in
+        let dst = Random.State.int state sample_vertices in
+        [| Value.Int src; Value.Int dst |])
+  in
+  Array.of_list (ring @ extra)
+
+let degrees_of_edges rows sample_vertices =
+  let deg = Array.make sample_vertices 0 in
+  Array.iter
+    (fun row ->
+       match row.(0) with
+       | Value.Int src -> deg.(src) <- deg.(src) + 1
+       | _ -> ())
+    rows;
+  deg
+
+let graph_tables ?(sample_vertices = 400) ?(seed = 17) spec ~edges:() =
+  let state = Random.State.make [| seed |] in
+  let ratio =
+    float_of_int spec.edges /. float_of_int (max 1 spec.vertices)
+  in
+  let sample_edges =
+    max sample_vertices
+      (int_of_float (float_of_int sample_vertices *. ratio /. 4.))
+  in
+  let sample_edges = min sample_edges (sample_vertices * 12) in
+  let rows = sample_edge_rows ~state ~sample_vertices ~sample_edges in
+  let deg = degrees_of_edges rows sample_vertices in
+  let vertex_rows =
+    Array.init sample_vertices (fun i ->
+        [| Value.Int i; Value.Float 1.0; Value.Int (max 1 deg.(i)) |])
+  in
+  ( { table = Table.create_unchecked edge_schema rows;
+      modeled_mb = mb_of_bytes (float_of_int spec.edges *. edge_bytes) },
+    { table = Table.create_unchecked vertex_schema vertex_rows;
+      modeled_mb = mb_of_bytes (float_of_int spec.vertices *. vertex_bytes) } )
+
+let community_pair ?(sample_vertices = 400) ?(seed = 23) () =
+  let mk extra_seed =
+    let st = Random.State.make [| seed + extra_seed |] in
+    let sample_edges = sample_vertices * 8 in
+    sample_edge_rows ~state:st ~sample_vertices ~sample_edges
+  in
+  let a = mk 0 in
+  (* the second community shares the ring backbone and ~40% of the rest *)
+  let b_own = mk 1 in
+  let shared_count = Array.length a * 2 / 5 in
+  let shared = Array.sub a 0 shared_count in
+  let b =
+    Array.append shared
+      (Array.sub b_own 0 (Array.length b_own - shared_count))
+  in
+  ( { table = Table.create_unchecked edge_schema a;
+      modeled_mb = mb_of_bytes (float_of_int livejournal.edges *. edge_bytes) },
+    { table = Table.create_unchecked edge_schema b;
+      modeled_mb =
+        mb_of_bytes (float_of_int web_community.edges *. edge_bytes) } )
+
+let sssp_edge_schema =
+  Schema.make
+    [ col "src" Value.Tint; col "dst" Value.Tint; col "weight" Value.Tint ]
+
+let sssp_seed_schema =
+  Schema.make [ col "node" Value.Tint; col "cost" Value.Tint ]
+
+let sssp_tables ?(sample_vertices = 300) ?(seed = 29) spec () =
+  let state = Random.State.make [| seed |] in
+  let plain =
+    sample_edge_rows ~state ~sample_vertices
+      ~sample_edges:(sample_vertices * 6)
+  in
+  let rows =
+    Array.map
+      (fun row ->
+         Array.append row [| Value.Int (1 + Random.State.int state 9) |])
+      plain
+  in
+  ( { table = Table.create_unchecked sssp_edge_schema rows;
+      modeled_mb =
+        mb_of_bytes (float_of_int spec.edges *. (edge_bytes +. 4.)) },
+    { table =
+        Table.create_unchecked sssp_seed_schema
+          [| [| Value.Int 0; Value.Int 0 |] |];
+      modeled_mb = 0.001 } )
+
+(* ---- relational workloads ---- *)
+
+let lineitem_schema =
+  Schema.make
+    [ col "l_partkey" Value.Tint; col "l_quantity" Value.Tint;
+      col "l_extendedprice" Value.Tfloat ]
+
+let part_schema =
+  Schema.make
+    [ col "p_partkey" Value.Tint; col "p_brand" Value.Tstring;
+      col "p_container" Value.Tstring ]
+
+let brands = [| "Brand#11"; "Brand#23"; "Brand#34"; "Brand#45"; "Brand#55" |]
+
+let containers = [| "MED BOX"; "JUMBO PKG"; "LG CASE"; "SM PACK" |]
+
+let tpch ?(sample_rows = 3000) ?(seed = 31) ~scale_factor () =
+  let state = Random.State.make [| seed |] in
+  let parts = max 20 (sample_rows / 15) in
+  let lineitem_rows =
+    Array.init sample_rows (fun _ ->
+        [| Value.Int (Random.State.int state parts);
+           Value.Int (1 + Random.State.int state 50);
+           Value.Float (Random.State.float state 1000.) |])
+  in
+  let part_rows =
+    Array.init parts (fun i ->
+        [| Value.Int i;
+           Value.Str (brands.(Random.State.int state (Array.length brands)));
+           Value.Str
+             (containers.(Random.State.int state (Array.length containers)))
+        |])
+  in
+  let sf = float_of_int scale_factor in
+  ( { table = Table.create_unchecked lineitem_schema lineitem_rows;
+      modeled_mb = 720. *. sf },
+    { table = Table.create_unchecked part_schema part_rows;
+      modeled_mb = 30. *. sf } )
+
+let purchase_schema =
+  Schema.make
+    [ col "uid" Value.Tint; col "region" Value.Tstring;
+      col "amount" Value.Tint ]
+
+let regions = [| "EU"; "US"; "APAC"; "LATAM" |]
+
+let purchases ?(sample_rows = 3000) ?(seed = 37) ~users () =
+  let state = Random.State.make [| seed |] in
+  let sample_users = max 10 (sample_rows / 5) in
+  let rows =
+    Array.init sample_rows (fun _ ->
+        [| Value.Int (Random.State.int state sample_users);
+           Value.Str (regions.(Random.State.int state (Array.length regions)));
+           Value.Int (1 + Random.State.int state 500) |])
+  in
+  { table = Table.create_unchecked purchase_schema rows;
+    (* ~5 purchases per user, 30 bytes each *)
+    modeled_mb = mb_of_bytes (float_of_int users *. 5. *. 30.) }
+
+let rating_schema =
+  Schema.make
+    [ col "user" Value.Tint; col "movie" Value.Tint;
+      col "rating" Value.Tint ]
+
+let movie_schema =
+  Schema.make [ col "movie" Value.Tint; col "genre" Value.Tstring ]
+
+let genres = [| "drama"; "comedy"; "action"; "documentary"; "scifi" |]
+
+let netflix ?(sample_rows = 2500) ?(seed = 41) ~movies () =
+  let state = Random.State.make [| seed |] in
+  let sample_movies = max 5 (min movies 120) in
+  let sample_users = max 20 (sample_rows / 12) in
+  let rating_rows =
+    Array.init sample_rows (fun _ ->
+        [| Value.Int (Random.State.int state sample_users);
+           Value.Int (Random.State.int state sample_movies);
+           Value.Int (1 + Random.State.int state 5) |])
+  in
+  let movie_rows =
+    Array.init sample_movies (fun i ->
+        [| Value.Int i;
+           Value.Str (genres.(Random.State.int state (Array.length genres)))
+        |])
+  in
+  (* ratings volume scales with the fraction of the 17k movies used *)
+  let fraction = float_of_int movies /. 17_000. in
+  ( { table = Table.create_unchecked rating_schema rating_rows;
+      modeled_mb = 2560. *. Float.min 1. fraction },
+    { table = Table.create_unchecked movie_schema movie_rows;
+      modeled_mb = 0.5 *. Float.min 1. fraction } )
+
+let point_schema =
+  Schema.make
+    [ col "pid" Value.Tint; col "px" Value.Tfloat; col "py" Value.Tfloat ]
+
+let centroid_schema =
+  Schema.make
+    [ col "cid" Value.Tint; col "cx" Value.Tfloat; col "cy" Value.Tfloat ]
+
+let kmeans_points ?(sample_rows = 1200) ?(seed = 43) ~points ~k () =
+  let state = Random.State.make [| seed |] in
+  let point_rows =
+    Array.init sample_rows (fun i ->
+        [| Value.Int i; Value.Float (Random.State.float state 100.);
+           Value.Float (Random.State.float state 100.) |])
+  in
+  let centroid_rows =
+    Array.init k (fun i ->
+        [| Value.Int i; Value.Float (Random.State.float state 100.);
+           Value.Float (Random.State.float state 100.) |])
+  in
+  ( { table = Table.create_unchecked point_schema point_rows;
+      modeled_mb = mb_of_bytes (float_of_int points *. 24.) },
+    { table = Table.create_unchecked centroid_schema centroid_rows;
+      modeled_mb = mb_of_bytes (float_of_int k *. 24.) } )

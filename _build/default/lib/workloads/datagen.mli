@@ -1,0 +1,89 @@
+(** Synthetic workload generators (paper §2, §6.1).
+
+    Every generator produces a {!sized} relation: a small executed
+    sample (so operators really run and results can be checked) plus
+    the modeled on-disk size at the paper's data scale, which drives
+    the engine performance models and the cost function — see
+    DESIGN.md §2, "Modeled vs executed size".
+
+    Generators are deterministic given their [seed]. *)
+
+type sized = {
+  table : Relation.Table.t;
+  modeled_mb : float;
+}
+
+val put : Engines.Hdfs.t -> string -> sized -> unit
+
+(* ---- micro-benchmarks (§2.1) ---- *)
+
+(** Two-column space-separated ASCII strings; the PROJECT workload's
+    input. [modeled_mb] is the figure's x-axis value. *)
+val two_column_ascii : ?sample_rows:int -> ?seed:int -> modeled_mb:float ->
+  unit -> sized
+
+(** Uniformly random (key, value) rows for the symmetric JOIN benchmark;
+    [rows] at paper scale (e.g. 39 million). *)
+val uniform_pairs : ?sample_rows:int -> ?seed:int -> rows:int -> unit -> sized
+
+(** The asymmetric JOIN of §2.1: the LiveJournal vertex list (4.8M rows)
+    joined with its edge list (69M rows), producing ~1.9 GB. Returns
+    (vertex side, edge side); both expose a [key] column. *)
+val asymmetric_join_tables : ?seed:int -> unit -> sized * sized
+
+(* ---- graphs ---- *)
+
+type graph_spec = {
+  spec_name : string;
+  vertices : int;       (** paper-scale vertex count *)
+  edges : int;          (** paper-scale edge count *)
+}
+
+val livejournal : graph_spec   (** 4.8M vertices, 69M edges *)
+
+val orkut : graph_spec         (** 3M vertices, 117M edges *)
+
+val twitter : graph_spec       (** 43M vertices, 1.4B edges *)
+
+val web_community : graph_spec (** 5.8M vertices, 82M edges (synthetic) *)
+
+(** Power-law edge relation [(src:int, dst:int)] plus PageRank vertex
+    state [(id:int, vertex_value:float, vertex_degree:int)]. A ring
+    backbone guarantees every vertex has in- and out-edges. *)
+val graph_tables : ?sample_vertices:int -> ?seed:int -> graph_spec ->
+  edges:unit -> sized * sized
+
+(** The LiveJournal edge set and an overlapping synthetic web-community
+    edge set over the same vertex id space (~40% shared edges) — the
+    cross-community PageRank inputs (§6.3). *)
+val community_pair : ?sample_vertices:int -> ?seed:int -> unit ->
+  sized * sized
+
+(** Edges with costs [(src, dst, weight:int)] and a seed frontier
+    [(node, cost)] for SSSP on the Twitter graph (§6.7). *)
+val sssp_tables : ?sample_vertices:int -> ?seed:int -> graph_spec ->
+  unit -> sized * sized
+
+(* ---- relational workloads ---- *)
+
+(** TPC-H Q17 inputs at [scale_factor] (7.5 GB at SF 10):
+    [lineitem(l_partkey, l_quantity, l_extendedprice)] and
+    [part(p_partkey, p_brand, p_container)]. *)
+val tpch : ?sample_rows:int -> ?seed:int -> scale_factor:int -> unit ->
+  sized * sized
+
+(** Purchases [(uid, region, amount)] for top-shopper; [users] at paper
+    scale (tens of millions). *)
+val purchases : ?sample_rows:int -> ?seed:int -> users:int -> unit -> sized
+
+(** NetFlix inputs: ratings [(user, movie, rating)] (100M rows, 2.5 GB)
+    and a movie list [(movie, genre)] (17k rows, 0.5 MB); [movies]
+    bounds how many distinct movies are rated (the x-axis of
+    Figure 10). *)
+val netflix : ?sample_rows:int -> ?seed:int -> movies:int -> unit ->
+  sized * sized
+
+(** Random 2-D points [(pid, px, py)] and [k] initial centroids
+    [(cid, cx, cy)] for k-means (100M points in the paper). *)
+val kmeans_points : ?sample_rows:int -> ?seed:int -> points:int -> k:int ->
+  unit -> sized * sized

@@ -1,0 +1,206 @@
+open Relation
+
+(* ---------------- TPC-H Q17 (HiveQL) ---------------- *)
+
+let tpch_q17_hive =
+  "SELECT l_partkey, AVG(l_quantity) AS avg_qty FROM lineitem \
+   GROUP BY l_partkey AS part_avg;\n\
+   part JOIN part_avg ON p_partkey = l_partkey AS part_join;\n\
+   SELECT p_partkey, avg_qty FROM part_join \
+   WHERE p_brand = 'Brand#23' AS branded;\n\
+   lineitem JOIN branded ON l_partkey = p_partkey AS li_branded;\n\
+   SELECT SUM(l_extendedprice) AS revenue FROM li_branded \
+   WHERE l_quantity < avg_qty / 5 AS revenue;\n"
+
+let tpch_q17 () = Frontends.Hive.parse tpch_q17_hive
+
+(* ---------------- top-shopper (BEER) ---------------- *)
+
+let top_shopper_beer =
+  "spend = SELECT uid, SUM(amount) AS total FROM purchases \
+   WHERE region = 'EU' GROUP BY uid;\n\
+   big_spenders = SELECT uid, total FROM spend WHERE total > 1000;\n\
+   OUTPUT big_spenders;\n"
+
+let top_shopper () = Frontends.Beer.parse top_shopper_beer
+
+(* ---------------- NetFlix recommendation (BEER) ---------------- *)
+
+let netflix_core =
+  "r0 = INPUT 'ratings';\n\
+   m = INPUT 'movies';\n\
+   r = SELECT user, movie, rating FROM r0 WHERE rating > 0;\n\
+   rm = r JOIN m ON movie = movie;\n\
+   rm2 = SELECT user, movie, rating FROM rm;\n\
+   pairs = rm2 JOIN rm2 ON user = user;\n\
+   prod = MAP pairs SET product = rating * r_rating;\n\
+   sims = SELECT movie, r_movie, SUM(product) AS sim FROM prod \
+   GROUP BY movie AND r_movie;\n\
+   cand = sims JOIN r0 ON movie = movie;\n\
+   scored = MAP cand SET score = sim * rating;\n\
+   userscores = SELECT user, r_movie, SUM(score) AS total FROM scored \
+   GROUP BY user AND r_movie;\n\
+   best = SELECT user AS buser, MAX(total) AS top_score FROM userscores \
+   GROUP BY user;\n\
+   pick = userscores JOIN best ON user = buser;\n\
+   recommendation = SELECT user, r_movie FROM pick WHERE total = top_score;\n"
+
+let netflix () = Frontends.Beer.parse (netflix_core ^ "OUTPUT recommendation;\n")
+
+(* five more mergeable operators on top of the 13-operator core *)
+let netflix_extended () =
+  Frontends.Beer.parse
+    (netflix_core
+     ^ "r2 = SELECT user, r_movie FROM recommendation WHERE user > 0;\n\
+        r3 = MAP r2 SET boost = user * 2;\n\
+        r4 = SELECT user, r_movie, boost FROM r3 WHERE boost >= 0;\n\
+        r5 = DISTINCT r4;\n\
+        r6 = TOP 100 OF r5 BY boost;\n\
+        OUTPUT r6;\n")
+
+(* ---------------- PageRank (GAS DSL, Listing 2) ---------------- *)
+
+let pagerank_gas_source ~iterations =
+  Printf.sprintf
+    "GATHER = {\n\
+    \  SUM (vertex_value)\n\
+     }\n\
+     APPLY = {\n\
+    \  MUL [vertex_value, 0.85]\n\
+    \  SUM [vertex_value, 0.15]\n\
+     }\n\
+     SCATTER = {\n\
+    \  DIV [vertex_value, vertex_degree]\n\
+     }\n\
+     ITERATION_STOP = (iteration < %d)\n\
+     ITERATION = {\n\
+    \  SUM [iteration, 1]\n\
+     }\n"
+    iterations
+
+let pagerank_gas ?(iterations = 5) () =
+  Frontends.Gas.parse_to_graph
+    (pagerank_gas_source ~iterations)
+    ~vertices:"vertices" ~edges:"edges"
+
+(* ---------------- connected components (GAS, MIN gather) ----------- *)
+
+(* label propagation: each vertex keeps the minimum of its own label and
+   the labels its in-neighbours scatter. The 0-valued default a dangling
+   vertex would receive must not win the MIN, so the APPLY step compares
+   against the vertex's own label explicitly via the gather of
+   min(own, received): we scatter labels unchanged and gather MIN, then
+   APPLY keeps the received minimum only when it is smaller — expressed
+   with pure column algebra as min(a,b) = (a+b - |a-b|)/2 being
+   unavailable, we instead rely on self-loops: every vertex scatters to
+   itself (ring/self edges exist in all generated graphs), so the gather
+   always includes the vertex's own label. *)
+let connected_components_gas_source ~iterations =
+  Printf.sprintf
+    "GATHER = {
+    \  MIN (vertex_value)
+     }
+     APPLY = {
+     }
+     SCATTER = {
+     }
+     ITERATION_STOP = (iteration < %d)
+     ITERATION = {
+    \  SUM [iteration, 1]
+     }
+"
+    iterations
+
+let connected_components ?(iterations = 10) () =
+  Frontends.Gas.parse_to_graph
+    (connected_components_gas_source ~iterations)
+    ~vertices:"vertices" ~edges:"edges"
+
+(* ---------------- cross-community PageRank (§6.3) ---------------- *)
+
+let cross_community_pagerank ?(iterations = 5) () =
+  let b = Ir.Builder.create () in
+  let ea = Ir.Builder.input b "edges_a" in
+  let eb = Ir.Builder.input b "edges_b" in
+  let common = Ir.Builder.intersect b ~name:"common_edges" ea eb in
+  (* derive PageRank vertex state from the common edge set *)
+  let deg =
+    Ir.Builder.group_by b ~keys:[ "src" ]
+      ~aggs:[ Aggregate.make Aggregate.Count ~as_name:"vertex_degree" ]
+      common
+  in
+  let with_id =
+    Ir.Builder.map b ~target:"id" ~expr:(Expr.col "src") deg
+  in
+  let with_value =
+    Ir.Builder.map b ~target:"vertex_value" ~expr:(Expr.float 1.) with_id
+  in
+  let vertices =
+    Ir.Builder.project b ~name:"cc_vertices"
+      ~columns:[ "id"; "vertex_value"; "vertex_degree" ]
+      with_value
+  in
+  let gas_program =
+    Frontends.Gas.parse (pagerank_gas_source ~iterations)
+  in
+  let body =
+    Frontends.Gas.body_graph gas_program ~vertices:"cc_vertices"
+      ~edges:"common_edges"
+  in
+  let loop =
+    Ir.Builder.while_ b ~name:"cc_ranks"
+      ~condition:(Ir.Operator.Fixed_iterations iterations)
+      ~max_iterations:(iterations + 1)
+      ~body [ vertices; common ]
+  in
+  Ir.Builder.finish b ~outputs:[ loop ]
+
+(* ---------------- SSSP (BEER, WHILE CHANGES) ---------------- *)
+
+let sssp_beer ~max_rounds =
+  Printf.sprintf
+    "dists = INPUT 'sssp_seeds';\n\
+     edges = INPUT 'sssp_edges';\n\
+     WHILE (CHANGES dists) MAXITER %d {\n\
+    \  step = dists JOIN edges ON node = src;\n\
+    \  cand = MAP step SET cost = cost + weight;\n\
+    \  cand2 = SELECT dst AS node, MIN(cost) AS cost FROM cand GROUP BY dst;\n\
+    \  all = cand2 UNION dists;\n\
+    \  dists = SELECT node, MIN(cost) AS cost FROM all GROUP BY node;\n\
+     }\n\
+     OUTPUT dists;\n"
+    max_rounds
+
+let sssp ?(max_rounds = 50) () = Frontends.Beer.parse (sssp_beer ~max_rounds)
+
+(* ---------------- k-means (BEER; CROSS JOIN by design) ------------- *)
+
+let kmeans_beer ~iterations =
+  Printf.sprintf
+    "points = INPUT 'points';\n\
+     centroids = INPUT 'centroids';\n\
+     WHILE (ITERATION < %d) {\n\
+    \  asg = points CROSS centroids;\n\
+    \  d = MAP asg SET dist = (px - cx) * (px - cx) + (py - cy) * (py - cy);\n\
+    \  best = SELECT pid AS pid2, MIN(dist) AS bd FROM d GROUP BY pid;\n\
+    \  j = d JOIN best ON pid = pid2;\n\
+    \  near = SELECT pid, px, py, cid FROM j WHERE dist = bd;\n\
+    \  one = SELECT pid, MIN(cid) AS cid FROM near GROUP BY pid;\n\
+    \  withxy = one JOIN points ON pid = pid;\n\
+    \  centroids = SELECT cid, AVG(px) AS cx, AVG(py) AS cy FROM withxy \
+     GROUP BY cid;\n\
+     }\n\
+     OUTPUT centroids;\n"
+    iterations
+
+let kmeans ?(iterations = 5) () =
+  Frontends.Beer.parse (kmeans_beer ~iterations)
+
+(* ---------------- §2.1 micro-benchmarks ---------------- *)
+
+let simple_join () =
+  Frontends.Beer.parse
+    "j = left JOIN right ON key = key;\nOUTPUT j;\n"
+
+let project_only () =
+  Frontends.Beer.parse "out = SELECT value FROM lines;\nOUTPUT out;\n"

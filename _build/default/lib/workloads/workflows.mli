@@ -1,0 +1,63 @@
+(** The paper's workflow zoo (§6.1): three batch workflows (TPC-H Q17,
+    top-shopper, NetFlix recommendation), three iterative ones
+    (PageRank, SSSP, k-means) and the hybrid cross-community PageRank.
+
+    Each workflow is expressed through a front-end — HiveQL for Q17,
+    BEER for the relational ones, the GAS DSL for PageRank — so these
+    builders also serve as integration tests of the front-end layer.
+    The relation names match the {!Datagen} loaders. *)
+
+(** TPC-H query 17 over [lineitem]/[part] (HiveQL; three shuffles, so
+    Hive-on-Hadoop needs three jobs — §6.2). Output: [revenue]. *)
+val tpch_q17 : unit -> Ir.Operator.graph
+
+(** The HiveQL source of {!tpch_q17} (CLI / docs). *)
+val tpch_q17_hive : string
+
+(** Top-shopper over [purchases] (BEER; three mergeable operators —
+    the Figure 12 micro-benchmark). Output: [big_spenders]. *)
+val top_shopper : unit -> Ir.Operator.graph
+
+val top_shopper_beer : string
+
+(** NetFlix movie recommendation over [ratings]/[movies] (BEER;
+    13 operators, data-intensive — §6.4). Output: [recommendation]. *)
+val netflix : unit -> Ir.Operator.graph
+
+(** Extended NetFlix variant with 18 operators (the Figure 13 DAG). *)
+val netflix_extended : unit -> Ir.Operator.graph
+
+(** Five-iteration PageRank over [vertices]/[edges] (GAS DSL,
+    Listing 2). *)
+val pagerank_gas : ?iterations:int -> unit -> Ir.Operator.graph
+
+val pagerank_gas_source : iterations:int -> string
+
+(** Connected components via the GAS DSL (MIN gather): every vertex
+    repeatedly adopts the smallest label among itself and its
+    in-neighbours. [vertices] must carry the vertex id as the initial
+    [vertex_value]; with enough iterations the labels converge to each
+    component's smallest vertex id. *)
+val connected_components : ?iterations:int -> unit -> Ir.Operator.graph
+
+val connected_components_gas_source : iterations:int -> string
+
+(** Cross-community PageRank (§6.3): INTERSECT of [edges_a]/[edges_b],
+    degree computation, then PageRank on the common sub-graph. *)
+val cross_community_pagerank : ?iterations:int -> unit -> Ir.Operator.graph
+
+(** Single-source shortest paths over [sssp_edges]/[sssp_seeds] (BEER
+    WHILE CHANGES). Output: [dists]. *)
+val sssp : ?max_rounds:int -> unit -> Ir.Operator.graph
+
+val sssp_beer : max_rounds:int -> string
+
+(** k-means over [points]/[centroids] (BEER; CROSS JOIN, the §6.7
+    footnote's inefficiency included by design). *)
+val kmeans : ?iterations:int -> unit -> Ir.Operator.graph
+
+(** The §2.1 JOIN micro-benchmark over [left]/[right] (BEER). *)
+val simple_join : unit -> Ir.Operator.graph
+
+(** The §2.1 PROJECT micro-benchmark over [lines] (BEER). *)
+val project_only : unit -> Ir.Operator.graph

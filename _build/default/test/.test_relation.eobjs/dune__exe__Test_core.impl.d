@@ -1,0 +1,1 @@
+test/test_core.ml: Aggregate Alcotest Buffer Engines Expr Filename Float Format Hashtbl Ir List Musketeer Option QCheck QCheck_alcotest Relation Schema String Sys Table Value Workloads

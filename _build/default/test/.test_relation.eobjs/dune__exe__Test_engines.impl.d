@@ -1,0 +1,1 @@
+test/test_engines.ml: Aggregate Alcotest Engines Expr Float Ir List QCheck QCheck_alcotest Relation Schema Table Value Workloads

@@ -1,0 +1,1 @@
+test/test_frontends.ml: Aggregate Alcotest Array Expr Frontends Ir Kernel List Option Printf QCheck QCheck_alcotest Relation Schema Table Value Workloads

@@ -1,0 +1,1 @@
+test/test_ir.ml: Aggregate Alcotest Array Engines Expr Hashtbl Ir Kernel List QCheck QCheck_alcotest Relation Schema String Table Value

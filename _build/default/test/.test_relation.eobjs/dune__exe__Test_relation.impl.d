@@ -1,0 +1,1 @@
+test/test_relation.ml: Aggregate Alcotest Array Expr Format Kernel List QCheck QCheck_alcotest Relation Schema Stdlib String Table Value

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Filename Hashtbl Ir Kernel List Option Out_channel Printf QCheck QCheck_alcotest Random Relation Schema Sys Table Value Workloads

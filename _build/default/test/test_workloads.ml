@@ -1,0 +1,387 @@
+(* Tests for the workload layer: data generators (determinism, schemas,
+   modeled sizes, structural invariants) and the workflow zoo's
+   semantics (reference implementations in plain OCaml). *)
+
+open Relation
+
+let last_output graph bindings =
+  snd
+    (List.hd
+       (Ir.Interp.outputs ~store:(Ir.Interp.store_of_list bindings) graph))
+
+(* ---------------- generators ---------------- *)
+
+let test_generators_deterministic () =
+  let a = Workloads.Datagen.purchases ~users:1_000_000 ()
+  and b = Workloads.Datagen.purchases ~users:1_000_000 () in
+  Alcotest.(check bool) "same tables" true
+    (Table.equal_unordered a.Workloads.Datagen.table b.Workloads.Datagen.table);
+  Alcotest.(check (float 1e-9)) "same modeled size"
+    a.Workloads.Datagen.modeled_mb b.Workloads.Datagen.modeled_mb
+
+let test_two_column_ascii () =
+  let s = Workloads.Datagen.two_column_ascii ~modeled_mb:4096. () in
+  Alcotest.(check (float 1e-9)) "modeled size honoured" 4096.
+    s.Workloads.Datagen.modeled_mb;
+  Alcotest.(check (list string)) "schema" [ "key"; "value" ]
+    (Schema.column_names (Table.schema s.Workloads.Datagen.table))
+
+let test_graph_tables_invariants () =
+  let edges, vertices =
+    Workloads.Datagen.graph_tables ~sample_vertices:120
+      Workloads.Datagen.orkut ~edges:()
+  in
+  let et = edges.Workloads.Datagen.table
+  and vt = vertices.Workloads.Datagen.table in
+  Alcotest.(check int) "vertex count" 120 (Table.row_count vt);
+  (* vertex_degree matches the actual out-degree in the edge table *)
+  let out_deg = Hashtbl.create 128 in
+  Array.iter
+    (fun row ->
+       let src = Value.to_int row.(0) in
+       Hashtbl.replace out_deg src
+         (1 + Option.value (Hashtbl.find_opt out_deg src) ~default:0))
+    (Table.rows et);
+  Array.iter
+    (fun row ->
+       let id = Value.to_int row.(0)
+       and deg = Value.to_int row.(2) in
+       let actual = Option.value (Hashtbl.find_opt out_deg id) ~default:0 in
+       Alcotest.(check int) "degree column correct" (max 1 actual) deg)
+    (Table.rows vt);
+  (* every edge endpoint is a valid vertex id *)
+  Array.iter
+    (fun row ->
+       let src = Value.to_int row.(0) and dst = Value.to_int row.(1) in
+       Alcotest.(check bool) "endpoints in range" true
+         (src >= 0 && src < 120 && dst >= 0 && dst < 120))
+    (Table.rows et);
+  (* modeled sizes at paper scale *)
+  Alcotest.(check bool) "orkut edges ~1.7GB modeled" true
+    (edges.Workloads.Datagen.modeled_mb > 1000.
+     && edges.Workloads.Datagen.modeled_mb < 3000.)
+
+let test_community_pair_overlap () =
+  let a, b = Workloads.Datagen.community_pair () in
+  let inter =
+    Kernel.intersect
+      (Kernel.distinct a.Workloads.Datagen.table)
+      (Kernel.distinct b.Workloads.Datagen.table)
+  in
+  Alcotest.(check bool) "communities overlap" true (Table.row_count inter > 50)
+
+let test_tpch_tables () =
+  let lineitem, part = Workloads.Datagen.tpch ~scale_factor:10 () in
+  Alcotest.(check (float 1.)) "7.5 GB at SF 10" 7500.
+    (lineitem.Workloads.Datagen.modeled_mb +. part.Workloads.Datagen.modeled_mb);
+  Alcotest.(check (list string)) "lineitem schema"
+    [ "l_partkey"; "l_quantity"; "l_extendedprice" ]
+    (Schema.column_names (Table.schema lineitem.Workloads.Datagen.table))
+
+let test_netflix_scaling () =
+  let small, _ = Workloads.Datagen.netflix ~movies:4000 ()
+  and large, _ = Workloads.Datagen.netflix ~movies:17000 () in
+  Alcotest.(check bool) "ratings volume grows with movie count" true
+    (large.Workloads.Datagen.modeled_mb > small.Workloads.Datagen.modeled_mb)
+
+let test_kmeans_points () =
+  let pts, cents = Workloads.Datagen.kmeans_points ~points:1000 ~k:7 () in
+  Alcotest.(check int) "k centroids" 7
+    (Table.row_count cents.Workloads.Datagen.table);
+  (* pids are unique *)
+  let d = Kernel.distinct (Kernel.project pts.Workloads.Datagen.table [ "pid" ]) in
+  Alcotest.(check int) "unique pids" (Table.row_count pts.Workloads.Datagen.table)
+    (Table.row_count d)
+
+(* ---------------- CSV loader ---------------- *)
+
+let write_temp contents =
+  let file = Filename.temp_file "musketeer_csv" ".csv" in
+  Out_channel.with_open_text file (fun oc ->
+      Out_channel.output_string oc contents);
+  file
+
+let test_csv_loader_roundtrip () =
+  let file = write_temp "# comment\n1,EU,800\n2,US,50\n\n3,EU,900\n" in
+  let name, sized =
+    Workloads.Csv_loader.parse_binding
+      (Printf.sprintf "purchases=%s:uid:int,region:string,amount:int@2048"
+         file)
+  in
+  Sys.remove file;
+  Alcotest.(check string) "name" "purchases" name;
+  Alcotest.(check int) "rows (comments and blanks skipped)" 3
+    (Table.row_count sized.Workloads.Datagen.table);
+  Alcotest.(check (float 1e-9)) "modeled override" 2048.
+    sized.Workloads.Datagen.modeled_mb;
+  Alcotest.(check (list string)) "schema" [ "uid"; "region"; "amount" ]
+    (Schema.column_names (Table.schema sized.Workloads.Datagen.table))
+
+let test_csv_loader_errors () =
+  let expect_bad f =
+    try
+      ignore (f ());
+      Alcotest.fail "expected Bad_spec"
+    with Workloads.Csv_loader.Bad_spec _ -> ()
+  in
+  expect_bad (fun () -> Workloads.Csv_loader.parse_schema "uid");
+  expect_bad (fun () -> Workloads.Csv_loader.parse_schema "uid:intish");
+  expect_bad (fun () -> Workloads.Csv_loader.parse_binding "nopath");
+  let file = write_temp "1,2\n1\n" in
+  expect_bad (fun () ->
+      Workloads.Csv_loader.load_csv
+        ~schema:(Workloads.Csv_loader.parse_schema "a:int,b:int")
+        file);
+  Sys.remove file
+
+(* ---------------- workflow semantics ---------------- *)
+
+let test_top_shopper_semantics () =
+  let purchases =
+    Table.create
+      (Schema.make
+         [ { Schema.name = "uid"; ty = Value.Tint };
+           { Schema.name = "region"; ty = Value.Tstring };
+           { Schema.name = "amount"; ty = Value.Tint } ])
+      [ [| Value.Int 1; Value.Str "EU"; Value.Int 800 |];
+        [| Value.Int 1; Value.Str "EU"; Value.Int 400 |];
+        [| Value.Int 2; Value.Str "US"; Value.Int 5000 |];
+        [| Value.Int 3; Value.Str "EU"; Value.Int 100 |] ]
+  in
+  let out =
+    last_output (Workloads.Workflows.top_shopper ())
+      [ ("purchases", purchases) ]
+  in
+  (* only user 1 spends > 1000 within the EU *)
+  Alcotest.(check int) "one big spender" 1 (Table.row_count out);
+  Alcotest.(check int) "user 1" 1 (Value.to_int (Table.get out 0 "uid"))
+
+(* SSSP must equal a textbook Dijkstra on the sampled graph *)
+let test_sssp_against_dijkstra () =
+  let edges, seeds =
+    Workloads.Datagen.sssp_tables ~sample_vertices:60
+      Workloads.Datagen.twitter ()
+  in
+  let et = edges.Workloads.Datagen.table in
+  let n = 60 in
+  let adj = Array.make n [] in
+  Array.iter
+    (fun row ->
+       let src = Value.to_int row.(0)
+       and dst = Value.to_int row.(1)
+       and w = Value.to_int row.(2) in
+       adj.(src) <- (dst, w) :: adj.(src))
+    (Table.rows et);
+  (* O(V^2) Dijkstra from vertex 0 *)
+  let dist = Array.make n max_int in
+  dist.(0) <- 0;
+  let visited = Array.make n false in
+  for _ = 1 to n do
+    let u = ref (-1) in
+    for v = 0 to n - 1 do
+      if (not visited.(v)) && dist.(v) < max_int
+         && (!u = -1 || dist.(v) < dist.(!u)) then u := v
+    done;
+    if !u >= 0 then begin
+      visited.(!u) <- true;
+      List.iter
+        (fun (v, w) ->
+           if dist.(!u) + w < dist.(v) then dist.(v) <- dist.(!u) + w)
+        adj.(!u)
+    end
+  done;
+  let out =
+    last_output
+      (Workloads.Workflows.sssp ~max_rounds:100 ())
+      [ ("sssp_edges", et); ("sssp_seeds", seeds.Workloads.Datagen.table) ]
+  in
+  Array.iter
+    (fun row ->
+       let node = Value.to_int row.(0) and cost = Value.to_int row.(1) in
+       Alcotest.(check int)
+         (Printf.sprintf "distance to %d" node)
+         dist.(node) cost)
+    (Table.rows out);
+  (* every reachable vertex is present *)
+  let reachable = Array.to_list dist |> List.filter (fun d -> d < max_int) in
+  Alcotest.(check int) "all reachable vertices" (List.length reachable)
+    (Table.row_count out)
+
+let test_kmeans_converges_to_k_or_fewer () =
+  let pts, cents = Workloads.Datagen.kmeans_points ~points:400 ~k:5 () in
+  let out =
+    last_output
+      (Workloads.Workflows.kmeans ~iterations:4 ())
+      [ ("points", pts.Workloads.Datagen.table);
+        ("centroids", cents.Workloads.Datagen.table) ]
+  in
+  Alcotest.(check bool) "at most k centroids" true (Table.row_count out <= 5);
+  Alcotest.(check bool) "at least one centroid" true (Table.row_count out >= 1);
+  Alcotest.(check (list string)) "schema stable" [ "cid"; "cx"; "cy" ]
+    (Schema.column_names (Table.schema out))
+
+(* connected components: symmetric edges + self-loops; compare against
+   a union-find reference *)
+let test_connected_components_against_union_find () =
+  let n = 24 in
+  let state = Random.State.make [| 77 |] in
+  let undirected =
+    List.init 20 (fun _ ->
+        (Random.State.int state n, Random.State.int state n))
+  in
+  let edges_list =
+    List.concat_map (fun (a, b) -> [ (a, b); (b, a) ]) undirected
+    @ List.init n (fun i -> (i, i))
+  in
+  let edge_schema =
+    Schema.make [ { Schema.name = "src"; ty = Value.Tint };
+                  { Schema.name = "dst"; ty = Value.Tint } ]
+  and vertex_schema =
+    Schema.make
+      [ { Schema.name = "id"; ty = Value.Tint };
+        { Schema.name = "vertex_value"; ty = Value.Tfloat };
+        { Schema.name = "vertex_degree"; ty = Value.Tint } ]
+  in
+  let edges =
+    Table.create edge_schema
+      (List.map (fun (a, b) -> [| Value.Int a; Value.Int b |]) edges_list)
+  in
+  let vertices =
+    Table.create vertex_schema
+      (List.init n (fun i ->
+           [| Value.Int i; Value.Float (float_of_int i); Value.Int 1 |]))
+  in
+  (* union-find reference *)
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  List.iter
+    (fun (a, b) ->
+       let ra = find a and rb = find b in
+       if ra <> rb then parent.(max ra rb) <- min ra rb)
+    undirected;
+  let expected_label i =
+    (* smallest vertex id in i's component *)
+    let root = find i in
+    List.fold_left min n
+      (List.filteri (fun j _ -> find j = root) (List.init n (fun j -> j)))
+  in
+  let out =
+    last_output
+      (Workloads.Workflows.connected_components ~iterations:n ())
+      [ ("vertices", vertices); ("edges", edges) ]
+  in
+  Alcotest.(check int) "all vertices labelled" n (Table.row_count out);
+  Array.iter
+    (fun row ->
+       let id = Value.to_int row.(0)
+       and label = int_of_float (Value.to_float row.(1)) in
+       Alcotest.(check int)
+         (Printf.sprintf "component label of %d" id)
+         (expected_label id) label)
+    (Table.rows out)
+
+let test_netflix_recommends_rated_movies () =
+  let ratings, movies = Workloads.Datagen.netflix ~movies:1000 () in
+  let out =
+    last_output (Workloads.Workflows.netflix ())
+      [ ("ratings", ratings.Workloads.Datagen.table);
+        ("movies", movies.Workloads.Datagen.table) ]
+  in
+  Alcotest.(check bool) "nonempty" true (Table.row_count out > 0);
+  Alcotest.(check (list string)) "schema" [ "user"; "r_movie" ]
+    (Schema.column_names (Table.schema out))
+
+let test_cross_community_runs () =
+  let a, b = Workloads.Datagen.community_pair ~sample_vertices:80 () in
+  let out =
+    last_output
+      (Workloads.Workflows.cross_community_pagerank ~iterations:2 ())
+      [ ("edges_a", a.Workloads.Datagen.table);
+        ("edges_b", b.Workloads.Datagen.table) ]
+  in
+  Alcotest.(check bool) "ranks computed" true (Table.row_count out > 0);
+  Array.iter
+    (fun row ->
+       Alcotest.(check bool) "positive ranks" true
+         (Value.to_float row.(1) > 0.))
+    (Table.rows out)
+
+let test_operator_counts () =
+  Alcotest.(check bool) "netflix is a large workflow" true
+    (Ir.Dag.operator_count (Workloads.Workflows.netflix ()) >= 13);
+  Alcotest.(check bool) "extended netflix has 18+ operators" true
+    (Ir.Dag.operator_count (Workloads.Workflows.netflix_extended ()) >= 18);
+  Alcotest.(check int) "simple join is one operator" 1
+    (Ir.Dag.operator_count (Workloads.Workflows.simple_join ()))
+
+(* ---------------- properties ---------------- *)
+
+let prop_pagerank_ranks_bounded =
+  QCheck.Test.make ~name:"pagerank ranks stay in (0, n)" ~count:10
+    (QCheck.int_range 20 100) (fun n ->
+      let edges, vertices =
+        Workloads.Datagen.graph_tables ~sample_vertices:n ~seed:n
+          Workloads.Datagen.orkut ~edges:()
+      in
+      let out =
+        last_output
+          (Workloads.Workflows.pagerank_gas ~iterations:3 ())
+          [ ("edges", edges.Workloads.Datagen.table);
+            ("vertices", vertices.Workloads.Datagen.table) ]
+      in
+      Table.row_count out = n
+      && Array.for_all
+           (fun row ->
+              let r = Value.to_float row.(1) in
+              r > 0. && r < float_of_int n)
+           (Table.rows out))
+
+let prop_sssp_costs_nonnegative_and_monotone =
+  QCheck.Test.make ~name:"sssp costs nonnegative" ~count:10
+    (QCheck.int_range 20 80) (fun n ->
+      let edges, seeds =
+        Workloads.Datagen.sssp_tables ~sample_vertices:n ~seed:n
+          Workloads.Datagen.twitter ()
+      in
+      let out =
+        last_output
+          (Workloads.Workflows.sssp ~max_rounds:200 ())
+          [ ("sssp_edges", edges.Workloads.Datagen.table);
+            ("sssp_seeds", seeds.Workloads.Datagen.table) ]
+      in
+      Array.for_all
+        (fun row -> Value.to_int row.(1) >= 0)
+        (Table.rows out))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_pagerank_ranks_bounded; prop_sssp_costs_nonnegative_and_monotone ]
+
+let () =
+  Alcotest.run "workloads"
+    [ ( "datagen",
+        [ Alcotest.test_case "deterministic" `Quick
+            test_generators_deterministic;
+          Alcotest.test_case "two-column ascii" `Quick test_two_column_ascii;
+          Alcotest.test_case "graph invariants" `Quick
+            test_graph_tables_invariants;
+          Alcotest.test_case "community overlap" `Quick
+            test_community_pair_overlap;
+          Alcotest.test_case "tpch" `Quick test_tpch_tables;
+          Alcotest.test_case "netflix scaling" `Quick test_netflix_scaling;
+          Alcotest.test_case "kmeans points" `Quick test_kmeans_points ] );
+      ( "csv_loader",
+        [ Alcotest.test_case "roundtrip" `Quick test_csv_loader_roundtrip;
+          Alcotest.test_case "errors" `Quick test_csv_loader_errors ] );
+      ( "workflows",
+        [ Alcotest.test_case "top shopper" `Quick test_top_shopper_semantics;
+          Alcotest.test_case "sssp = dijkstra" `Quick
+            test_sssp_against_dijkstra;
+          Alcotest.test_case "kmeans" `Quick test_kmeans_converges_to_k_or_fewer;
+          Alcotest.test_case "connected components" `Quick
+            test_connected_components_against_union_find;
+          Alcotest.test_case "netflix" `Quick
+            test_netflix_recommends_rated_movies;
+          Alcotest.test_case "cross community" `Quick test_cross_community_runs;
+          Alcotest.test_case "operator counts" `Quick test_operator_counts ] );
+      ("properties", qcheck_cases) ]
