@@ -2,7 +2,11 @@
    (see DESIGN.md's per-experiment index). With no argument all
    experiments run in order; pass target names to run a subset;
    `bechamel` runs the Bechamel micro-benchmarks of the partitioning
-   algorithms (the Figure 13 measurement). *)
+   algorithms (the Figure 13 measurement).
+
+   `--trace FILE` (anywhere on the command line) records a Chrome
+   trace_event JSON trace of the selected experiments — one span per
+   target wrapping the pipeline spans underneath. *)
 
 let ppf = Format.std_formatter
 
@@ -124,28 +128,52 @@ let bechamel () =
     (fun (name, est) -> Printf.printf "%-36s %s\n" name est)
     (List.sort compare !rows)
 
+(* pull "--trace FILE" out of the argument list *)
+let rec extract_trace = function
+  | [] -> (None, [])
+  | "--trace" :: file :: rest ->
+    let _, rest = extract_trace rest in
+    (Some file, rest)
+  | arg :: rest ->
+    let trace, rest = extract_trace rest in
+    (trace, arg :: rest)
+
+let run_target name f =
+  Obs.Trace.with_span
+    ~attrs:[ ("target", Obs.Trace.String name) ]
+    "bench.target" f
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  match args with
-  | [ "list" ] | [ "--list" ] ->
-    List.iter
-      (fun (name, descr, _) -> Printf.printf "%-8s %s\n" name descr)
-      targets;
-    print_endline "bechamel  Bechamel micro-benchmarks (partitioning)"
-  | [ "bechamel" ] -> bechamel ()
-  | [] ->
-    List.iter
-      (fun (name, _, f) ->
-         Printf.printf "\n###### %s ######\n%!" name;
-         f ())
-      targets
-  | names ->
-    List.iter
-      (fun raw ->
-         let name = resolve raw in
-         match List.find_opt (fun (n, _, _) -> n = name) targets with
-         | Some (_, _, f) -> f ()
-         | None ->
-           if raw = "bechamel" then bechamel ()
-           else Printf.eprintf "unknown target %s (try: list)\n" raw)
-      names
+  let trace_file, args = extract_trace (List.tl (Array.to_list Sys.argv)) in
+  let go () =
+    match args with
+    | [ "list" ] | [ "--list" ] ->
+      List.iter
+        (fun (name, descr, _) -> Printf.printf "%-8s %s\n" name descr)
+        targets;
+      print_endline "bechamel  Bechamel micro-benchmarks (partitioning)"
+    | [ "bechamel" ] -> run_target "bechamel" bechamel
+    | [] ->
+      List.iter
+        (fun (name, _, f) ->
+           Printf.printf "\n###### %s ######\n%!" name;
+           run_target name f)
+        targets
+    | names ->
+      List.iter
+        (fun raw ->
+           let name = resolve raw in
+           match List.find_opt (fun (n, _, _) -> n = name) targets with
+           | Some (_, _, f) -> run_target name f
+           | None ->
+             if raw = "bechamel" then run_target "bechamel" bechamel
+             else Printf.eprintf "unknown target %s (try: list)\n" raw)
+        names
+  in
+  match trace_file with
+  | None -> go ()
+  | Some file ->
+    let trace, () = Obs.Trace.collecting go in
+    Obs.Export.write_file (Obs.Export.chrome_trace trace) ~filename:file;
+    Printf.eprintf "trace: %d spans written to %s\n"
+      (Obs.Trace.span_count trace) file

@@ -4,13 +4,16 @@
      plan      plan a workflow from the built-in zoo and show the mapping
      run       plan + execute, printing per-job reports and result samples
      run-file  run a user workflow file against user CSV relations
+     stats     run a workflow (repeatedly) and dump the metrics registry
      parse     parse a front-end source file and print its IR DAG
      calibrate print the calibrated rate parameters (paper Table 1)
      engines   print the system feature matrix (paper Table 3)
 
    The zoo workflows ship with synthetic inputs at the paper's modeled
    scales, so `musketeer run -w pagerank -n 100` reproduces a Figure 8
-   data point from the shell. *)
+   data point from the shell. `--trace FILE` on plan / run / run-file /
+   explain / stats records a Chrome trace_event JSON trace of the whole
+   pipeline (open in chrome://tracing or https://ui.perfetto.dev). *)
 
 open Cmdliner
 
@@ -121,6 +124,26 @@ let tables_arg =
            purchases=p.csv:uid:int,region:string,amount:int@2048 (the \
            optional @MB models the HDFS size). Repeatable.")
 
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a span trace of the pipeline (parse, optimize, \
+           partition, codegen, per-job dispatch) and write it to FILE \
+           as Chrome trace_event JSON; open in chrome://tracing or \
+           Perfetto. FILE.jsonl additionally gets the structured \
+           event log.")
+
+let repeat_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "repeat" ] ~docv:"N"
+        ~doc:
+          "Execute the workflow N times (history accumulates between \
+           runs, so later runs show the cost model's history-informed \
+           accuracy, paper Figure 14).")
+
 let history_arg =
   Arg.(
     value & opt (some string) None
@@ -149,6 +172,27 @@ let with_parse_errors f =
     Format.eprintf "bad --table spec: %s@." msg;
     exit 1
 
+(* run [f] under a trace collector when [--trace FILE] was given, then
+   export the collected spans (Chrome trace + JSONL sidecar) *)
+let with_trace trace_file f =
+  match trace_file with
+  | None -> f ()
+  | Some file ->
+    let trace, result = Obs.Trace.collecting f in
+    (try
+       Obs.Export.write_file (Obs.Export.chrome_trace trace) ~filename:file;
+       Obs.Export.write_file (Obs.Export.jsonl trace)
+         ~filename:(file ^ ".jsonl");
+       Format.eprintf "trace: %d spans written to %s (events: %s.jsonl)@."
+         (Obs.Trace.span_count trace) file file
+     with Sys_error msg -> Format.eprintf "cannot write trace: %s@." msg);
+    result
+
+let pp_run_telemetry ppf () =
+  let metrics = Obs.Metrics.default in
+  if Obs.Metrics.predictions metrics <> [] then
+    Format.fprintf ppf "@.%a" Obs.Metrics.pp_predictions metrics
+
 (* ---- commands ---- *)
 
 let setup kind nodes =
@@ -158,7 +202,8 @@ let setup kind nodes =
   (m, hdfs, graph)
 
 let plan_cmd =
-  let run kind nodes backend dot =
+  let run kind nodes backend dot trace =
+    with_trace trace @@ fun () ->
     let m, hdfs, graph = setup kind nodes in
     let backends = Option.map (fun b -> [ b ]) backend in
     match Musketeer.plan m ?backends ~workflow:"cli" ~hdfs graph with
@@ -175,13 +220,17 @@ let plan_cmd =
        ~doc:
          "Show the IR and the chosen job mapping (with --dot, a \
           Graphviz rendering colored per job).")
-    Term.(const run $ workflow_arg $ nodes_arg $ backend_arg $ dot_arg)
+    Term.(
+      const run $ workflow_arg $ nodes_arg $ backend_arg $ dot_arg
+      $ trace_arg)
 
 let run_cmd =
-  let run kind nodes backend show_code =
+  let run kind nodes backend show_code trace =
+    with_trace trace @@ fun () ->
     let m, hdfs, graph = setup kind nodes in
     let backends = Option.map (fun b -> [ b ]) backend in
-    match Musketeer.plan m ?backends ~workflow:"cli" ~hdfs graph with
+    let workflow = List.assoc kind (List.map (fun (n, k) -> (k, n)) zoo) in
+    match Musketeer.plan m ?backends ~workflow ~hdfs graph with
     | None -> Format.printf "no feasible plan@."
     | Some (plan, g') ->
       Format.printf "plan:@.%a@." Musketeer.Partitioner.pp_plan plan;
@@ -190,7 +239,7 @@ let run_cmd =
           (fun (label, source) ->
              Format.printf "@.---- %s ----@.%s@." label source)
           (Musketeer.show_code ~graph:g' plan);
-      (match Musketeer.execute_plan m ~workflow:"cli" ~hdfs ~graph:g' plan with
+      (match Musketeer.execute_plan m ~workflow ~hdfs ~graph:g' plan with
        | Error e ->
          Format.printf "execution failed: %s@."
            (Engines.Report.error_to_string e)
@@ -200,6 +249,7 @@ let run_cmd =
            result.Musketeer.Executor.reports;
          Format.printf "@.workflow makespan: %.1fs@."
            result.Musketeer.Executor.makespan_s;
+         pp_run_telemetry Format.std_formatter ();
          List.iter
            (fun (name, table) ->
               Format.printf "@.output %s:@.%a" name
@@ -210,7 +260,9 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Plan and execute a workflow on the simulated cluster.")
-    Term.(const run $ workflow_arg $ nodes_arg $ backend_arg $ show_code_arg)
+    Term.(
+      const run $ workflow_arg $ nodes_arg $ backend_arg $ show_code_arg
+      $ trace_arg)
 
 let parse_cmd =
   let run frontend file dot =
@@ -231,7 +283,8 @@ let parse_cmd =
       $ frontend_arg $ file_arg $ dot_arg)
 
 let run_file_cmd =
-  let run frontend file tables nodes backend show_code history_file =
+  let run frontend file tables nodes backend show_code history_file trace =
+    with_trace trace @@ fun () ->
     let source = In_channel.with_open_text file In_channel.input_all in
     let graph = parse_frontend frontend source in
     let hdfs = Engines.Hdfs.create () in
@@ -266,6 +319,7 @@ let run_file_cmd =
            result.Musketeer.Executor.reports;
          Format.printf "@.workflow makespan: %.1fs@."
            result.Musketeer.Executor.makespan_s;
+         pp_run_telemetry Format.std_formatter ();
          List.iter
            (fun (name, table) ->
               Format.printf "@.output %s:@.%a" name
@@ -284,14 +338,15 @@ let run_file_cmd =
          "Parse a workflow file, load CSV relations, plan and execute it \
           on the simulated cluster.")
     Term.(
-      const (fun frontend file tables nodes backend show_code history ->
+      const (fun frontend file tables nodes backend show_code history trace ->
           with_parse_errors (fun () ->
-              run frontend file tables nodes backend show_code history))
+              run frontend file tables nodes backend show_code history trace))
       $ frontend_arg $ file_arg $ tables_arg $ nodes_arg $ backend_arg
-      $ show_code_arg $ history_arg)
+      $ show_code_arg $ history_arg $ trace_arg)
 
 let explain_cmd =
-  let run kind nodes backend =
+  let run kind nodes backend trace =
+    with_trace trace @@ fun () ->
     let m, hdfs, graph = setup kind nodes in
     let backends = Option.map (fun b -> [ b ]) backend in
     let report = Musketeer.explain ?backends m ~workflow:"cli" ~hdfs graph in
@@ -302,7 +357,39 @@ let explain_cmd =
        ~doc:
          "Show the optimized IR, the per-operator volume estimates and \
           why the chosen mapping beats the alternatives.")
-    Term.(const run $ workflow_arg $ nodes_arg $ backend_arg)
+    Term.(const run $ workflow_arg $ nodes_arg $ backend_arg $ trace_arg)
+
+let stats_cmd =
+  let run kind nodes backend repeat trace =
+    with_trace trace @@ fun () ->
+    let cluster = Engines.Cluster.ec2 ~nodes in
+    let m = Experiments.Common.musketeer_for cluster in
+    let backends = Option.map (fun b -> [ b ]) backend in
+    let workflow = List.assoc kind (List.map (fun (n, k) -> (k, n)) zoo) in
+    for i = 1 to max 1 repeat do
+      (* fresh inputs per run; history persists in [m] between runs, so
+         run 2+ shows the history-informed prediction accuracy *)
+      let hdfs, graph = load_workflow kind in
+      match Musketeer.execute m ?backends ~workflow ~hdfs graph with
+      | Error e ->
+        Format.printf "run %d failed: %s@." i
+          (Engines.Report.error_to_string e)
+      | Ok (result, _) ->
+        Format.printf "run %d: makespan %.1fs@." i
+          result.Musketeer.Executor.makespan_s
+    done;
+    Format.printf "@.%a" Musketeer.Obs.Metrics.pp Obs.Metrics.default
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Execute a workflow --repeat times and dump the metrics \
+          registry: jobs per backend, rewrite hits, partitioner search \
+          sizes and per-job predicted-vs-observed makespan error (the \
+          live Figure 14 signal).")
+    Term.(
+      const run $ workflow_arg $ nodes_arg $ backend_arg $ repeat_arg
+      $ trace_arg)
 
 let calibrate_cmd =
   let run nodes =
@@ -332,5 +419,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ plan_cmd; run_cmd; run_file_cmd; parse_cmd; explain_cmd;
-            calibrate_cmd; engines_cmd ]))
+          [ plan_cmd; run_cmd; run_file_cmd; stats_cmd; parse_cmd;
+            explain_cmd; calibrate_cmd; engines_cmd ]))

@@ -74,9 +74,18 @@ let options_for ~share_scans ~infer_types ~passes ~backend =
     naiad_vertex_group_by = share_scans || infer_types }
 
 let generate ?(share_scans = true) ?(infer_types = true) ~label ~backend g =
+  Obs.Trace.with_span
+    ~attrs:[ ("backend", Obs.Trace.String (Engines.Backend.name backend));
+             ("label", Obs.Trace.String label);
+             ("share_scans", Obs.Trace.Bool share_scans);
+             ("infer_types", Obs.Trace.Bool infer_types) ]
+    "codegen"
+  @@ fun () ->
   let naive_passes, passes = pass_counts ~share_scans ~infer_types ~backend g in
   let options = options_for ~share_scans ~infer_types ~passes ~backend in
   let source = Render.render backend ~shared_scans:share_scans g in
+  Obs.Trace.add_attr "passes" (Obs.Trace.Int passes);
+  Obs.Trace.add_attr "naive_passes" (Obs.Trace.Int naive_passes);
   { job = Engines.Job.make ~options ~label ~backend g; source;
     naive_passes; passes }
 

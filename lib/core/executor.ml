@@ -28,18 +28,43 @@ let job_for ~mode ~label ~backend g =
 (* run one engine job, recording observed sizes into history *)
 let dispatch ~mode ~profile ~history ~workflow ~record_history ~hdfs ~label
     ~backend g mapping =
+  Obs.Trace.with_span
+    ~attrs:[ ("backend", Obs.Trace.String (Engines.Backend.name backend));
+             ("operators", Obs.Trace.Int (Ir.Dag.operator_count g)) ]
+    ("job:" ^ label)
+  @@ fun () ->
   let cluster = Profile.cluster profile in
   let job = job_for ~mode ~label ~backend g in
   Log.debug (fun m ->
       m "dispatch %s to %s" label (Engines.Backend.name backend));
   match Engines.Registry.run backend ~cluster ~hdfs job with
   | Error e ->
+    Obs.Trace.add_attr "error" (Obs.Trace.String
+                                  (Engines.Report.error_to_string e));
+    Obs.Metrics.incr Obs.Metrics.default
+      ("jobs.failed." ^ Engines.Backend.name backend);
     Log.err (fun m ->
         m "%s failed on %s: %s" label
           (Engines.Backend.name backend)
           (Engines.Report.error_to_string e));
     raise (Execution_failed e)
   | Ok report ->
+    (* the simulated makespan breakdown (§6.1) rides on the span *)
+    Obs.Trace.add_attr "makespan_s"
+      (Obs.Trace.Float report.Engines.Report.makespan_s);
+    List.iter
+      (fun (field, v) -> Obs.Trace.add_attr field (Obs.Trace.Float v))
+      (Engines.Report.breakdown_fields report.Engines.Report.breakdown);
+    Obs.Trace.add_attr "input_mb"
+      (Obs.Trace.Float report.Engines.Report.input_mb);
+    Obs.Trace.add_attr "output_mb"
+      (Obs.Trace.Float report.Engines.Report.output_mb);
+    Obs.Trace.add_attr "iterations"
+      (Obs.Trace.Int report.Engines.Report.iterations);
+    Obs.Metrics.incr Obs.Metrics.default
+      ("jobs." ^ Engines.Backend.name backend);
+    Obs.Metrics.observe Obs.Metrics.default "job.makespan_s"
+      report.Engines.Report.makespan_s;
     Log.info (fun m ->
         m "%s on %s: %.1fs (in %.0f MB, out %.0f MB)" label
           (Engines.Backend.name backend) report.Engines.Report.makespan_s
@@ -114,28 +139,34 @@ let expand_while ~mode ~profile ~history ~workflow ~record_history ~hdfs
         (Execution_failed (Engines.Report.Unsupported "WHILE body no output"))
   in
   let rec iterate i =
-    let previous_tables =
-      List.map
-        (fun r -> (r, Engines.Hdfs.table hdfs r))
-        body.Ir.Operator.loop_carried
-    in
-    List.iteri
-      (fun j (job_backend, ids) ->
-         let job_graph, mapping = Jobgraph.extract_mapped body ids in
-         let label =
-           Printf.sprintf "%s/iter%d/job%d" n.Ir.Operator.output i j
-         in
-         let report =
-           dispatch ~mode ~profile ~history ~workflow
-             ~record_history:false ~hdfs ~label ~backend:job_backend
-             job_graph mapping
-         in
-         ignore record_history;
-         reports := report :: !reports)
-      body_plan.Partitioner.jobs;
-    let current r = Engines.Hdfs.table hdfs r in
-    let previous r = List.assoc r previous_tables in
     let finished =
+      (* one sibling span per dynamically expanded iteration (§4.2) *)
+      Obs.Trace.with_span
+        ~attrs:[ ("loop", Obs.Trace.String n.Ir.Operator.output);
+                 ("iteration", Obs.Trace.Int i) ]
+        "while.iter"
+      @@ fun () ->
+      let previous_tables =
+        List.map
+          (fun r -> (r, Engines.Hdfs.table hdfs r))
+          body.Ir.Operator.loop_carried
+      in
+      List.iteri
+        (fun j (job_backend, ids) ->
+           let job_graph, mapping = Jobgraph.extract_mapped body ids in
+           let label =
+             Printf.sprintf "%s/iter%d/job%d" n.Ir.Operator.output i j
+           in
+           let report =
+             dispatch ~mode ~profile ~history ~workflow
+               ~record_history:false ~hdfs ~label ~backend:job_backend
+               job_graph mapping
+           in
+           ignore record_history;
+           reports := report :: !reports)
+        body_plan.Partitioner.jobs;
+      let current r = Engines.Hdfs.table hdfs r in
+      let previous r = List.assoc r previous_tables in
       Ir.Interp.loop_finished condition ~iteration:i ~max_iterations ~current
         ~previous
     in
@@ -163,21 +194,67 @@ let is_expandable_while ~backend ~graph ids =
 
 let run_plan ?(mode = Generated) ?(record_history = true) ~profile ~history
     ~workflow ~hdfs ~graph ~plan () =
+  Obs.Trace.with_span
+    ~attrs:[ ("workflow", Obs.Trace.String workflow);
+             ("jobs", Obs.Trace.Int (List.length plan.Partitioner.jobs)) ]
+    "execute"
+  @@ fun () ->
+  (* rebuild the planner's volume estimator against the pre-run HDFS
+     state so every job's cost-model prediction can be joined with its
+     observed makespan — the live mapping-quality signal (Figure 14) *)
+  let est =
+    try
+      Some
+        (Estimator.build
+           ~input_mb:(fun r ->
+             if Engines.Hdfs.mem hdfs r then
+               Some (Engines.Hdfs.modeled_mb hdfs r)
+             else None)
+           ~history ~workflow graph)
+    with _ -> None
+  in
+  let predicted_s backend ids =
+    match est with
+    | None -> None
+    | Some est -> (
+      match Cost.job_cost ~profile ~graph ~est backend ids with
+      | Cost.Finite s -> Some s
+      | Cost.Infeasible _ -> None)
+  in
   try
     let reports =
       List.concat
         (List.mapi
            (fun i (backend, ids) ->
-              if is_expandable_while ~backend ~graph ids then
-                expand_while ~mode ~profile ~history ~workflow
-                  ~record_history ~hdfs ~graph ~backend
-                  (Ir.Dag.node graph (List.hd ids))
-              else begin
-                let job_graph, mapping = Jobgraph.extract_mapped graph ids in
-                let label = Printf.sprintf "%s/job%d" workflow i in
-                [ dispatch ~mode ~profile ~history ~workflow ~record_history
-                    ~hdfs ~label ~backend job_graph mapping ]
-              end)
+              let prediction = predicted_s backend ids in
+              let label = Printf.sprintf "%s/job%d" workflow i in
+              let job_reports =
+                if is_expandable_while ~backend ~graph ids then
+                  expand_while ~mode ~profile ~history ~workflow
+                    ~record_history ~hdfs ~graph ~backend
+                    (Ir.Dag.node graph (List.hd ids))
+                else begin
+                  let job_graph, mapping =
+                    Jobgraph.extract_mapped graph ids
+                  in
+                  [ dispatch ~mode ~profile ~history ~workflow
+                      ~record_history ~hdfs ~label ~backend job_graph
+                      mapping ]
+                end
+              in
+              let observed_s =
+                List.fold_left
+                  (fun acc (r : Engines.Report.t) -> acc +. r.makespan_s)
+                  0. job_reports
+              in
+              (match prediction with
+               | Some predicted_s when observed_s > 0. ->
+                 Obs.Metrics.record_prediction Obs.Metrics.default ~workflow
+                   ~job:label
+                   ~backend:(Engines.Backend.name backend)
+                   ~predicted_s ~observed_s
+               | _ -> ());
+              job_reports)
            plan.Partitioner.jobs)
     in
     let makespan_s =
@@ -185,6 +262,7 @@ let run_plan ?(mode = Generated) ?(record_history = true) ~profile ~history
         (fun acc (r : Engines.Report.t) -> acc +. r.makespan_s)
         0. reports
     in
+    Obs.Trace.add_attr "makespan_s" (Obs.Trace.Float makespan_s);
     if record_history then
       History.record_runtime history ~workflow ~makespan_s;
     let outputs =

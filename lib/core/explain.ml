@@ -9,6 +9,10 @@ type report = {
 
 let explain ?(backends = Engines.Backend.all) ~profile ~history ~workflow
     ~hdfs graph =
+  Obs.Trace.with_span
+    ~attrs:[ ("workflow", Obs.Trace.String workflow) ]
+    "explain"
+  @@ fun () ->
   let catalog r = Relation.Table.schema (Engines.Hdfs.table hdfs r) in
   let optimized = Optimizer.optimize ~catalog graph in
   let rewrites_applied = Optimizer.last_rewrite_count () in

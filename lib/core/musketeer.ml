@@ -13,6 +13,7 @@ module Render = Render
 module Executor = Executor
 module Mapper = Mapper
 module Explain = Explain
+module Obs = Obs
 
 type t = {
   profile : Profile.t;
@@ -44,6 +45,11 @@ let optimize_ir ~hdfs g = Optimizer.optimize ~catalog:(catalog_of_hdfs hdfs) g
 
 let plan ?(backends = Engines.Backend.all) ?(merging = true)
     ?(optimize = true) t ~workflow ~hdfs g =
+  Obs.Trace.with_span
+    ~attrs:[ ("workflow", Obs.Trace.String workflow);
+             ("backends", Obs.Trace.Int (List.length backends)) ]
+    "plan"
+  @@ fun () ->
   let g = if optimize then optimize_ir ~hdfs g else g in
   let est = estimator t ~workflow ~hdfs g in
   let plan =

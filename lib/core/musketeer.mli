@@ -34,6 +34,10 @@ module Executor = Executor
 module Mapper = Mapper
 module Explain = Explain
 
+(** Observability: tracing, metrics and exporters (also available as
+    the stand-alone [musketeer.obs] library). *)
+module Obs = Obs
+
 type t
 
 val create : ?probe_mb:float -> cluster:Engines.Cluster.t -> unit -> t

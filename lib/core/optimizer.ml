@@ -305,16 +305,29 @@ let rewrites ~catalog =
      fun g _schemas -> Column_pruning.prune_inputs ~catalog g) ]
 
 let rec optimize_graph ~catalog (g : Ir.Dag.t) =
-  let schemas = Ir.Typing.infer ~catalog g in
-  let applied =
-    List.find_map
-      (fun (rule, rw) ->
-         Option.map (fun g' -> (rule, g')) (rw g schemas))
-      (rewrites ~catalog)
+  let schemas, applied =
+    (* one span per fixpoint pass: the type check plus the first rewrite
+       that fires (or none, ending the loop) *)
+    Obs.Trace.with_span "optimize.pass" @@ fun () ->
+    let schemas =
+      Obs.Trace.with_span "ir.typecheck" (fun () ->
+          Ir.Typing.infer ~catalog g)
+    in
+    let applied =
+      List.find_map
+        (fun (rule, rw) ->
+           Option.map (fun g' -> (rule, g')) (rw g schemas))
+        (rewrites ~catalog)
+    in
+    Obs.Trace.add_attr "applied"
+      (Obs.Trace.String
+         (match applied with Some (rule, _) -> rule | None -> "fixpoint"));
+    (schemas, applied)
   in
   match applied with
   | Some (rule, g') ->
     incr rewrite_count;
+    Obs.Metrics.incr Obs.Metrics.default ("rewrite." ^ rule);
     Log.debug (fun m -> m "applied rewrite %s" rule);
     optimize_graph ~catalog g'
   | None -> optimize_bodies ~catalog ~schemas g
@@ -356,8 +369,13 @@ and optimize_bodies ~catalog ~schemas (g : Ir.Dag.t) =
   | _ -> g
 
 let optimize ~catalog g =
+  Obs.Trace.with_span "optimize" @@ fun () ->
   rewrite_count := 0;
-  try optimize_graph ~catalog g with
-  | Ir.Typing.Type_error _ | Not_found ->
-    (* workflows we cannot fully type (e.g. black boxes) run unoptimized *)
-    g
+  let result =
+    try optimize_graph ~catalog g with
+    | Ir.Typing.Type_error _ | Not_found ->
+      (* workflows we cannot fully type (e.g. black boxes) run unoptimized *)
+      g
+  in
+  Obs.Trace.add_attr "rewrites" (Obs.Trace.Int !rewrite_count);
+  result

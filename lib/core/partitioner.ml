@@ -18,8 +18,14 @@ let op_nodes (g : Ir.Dag.t) =
        match n.kind with Ir.Operator.Input _ -> false | _ -> true)
     g.Ir.Operator.nodes
 
+(* candidate operator sets priced since process start; the per-search
+   delta is attached to the "partition" span (like
+   Optimizer.last_rewrite_count, not thread-safe) *)
+let sets_scored = ref 0
+
 (* Cheapest feasible backend for a node set; memoized by the caller. *)
 let best_backend ~profile ~est ~backends g ids =
+  incr sets_scored;
   List.fold_left
     (fun best backend ->
        match Cost.job_cost ~profile ~graph:g ~est backend ids with
@@ -179,11 +185,34 @@ let exhaustive_generic ~memoize ~profile ~est ~backends (g : Ir.Dag.t) =
   | None -> None
   | Some (cost_s, jobs) -> Some { jobs = order_jobs g jobs; cost_s }
 
+(* span + search-size telemetry shared by every public search strategy *)
+let instrumented ~strategy g f =
+  Obs.Trace.with_span
+    ~attrs:[ ("strategy", Obs.Trace.String strategy);
+             ("operators", Obs.Trace.Int (Ir.Dag.operator_count g)) ]
+    "partition"
+  @@ fun () ->
+  let before = !sets_scored in
+  let plan = f () in
+  let scored = !sets_scored - before in
+  Obs.Trace.add_attr "sets_scored" (Obs.Trace.Int scored);
+  Obs.Metrics.incr Obs.Metrics.default ("partition." ^ strategy);
+  Obs.Metrics.observe Obs.Metrics.default "partition.sets_scored"
+    (float_of_int scored);
+  (match plan with
+   | Some p ->
+     Obs.Trace.add_attr "jobs" (Obs.Trace.Int (List.length p.jobs));
+     Obs.Trace.add_attr "cost_s" (Obs.Trace.Float p.cost_s)
+   | None -> Obs.Trace.add_attr "feasible" (Obs.Trace.Bool false));
+  plan
+
 let exhaustive ~profile ~est ~backends g =
-  exhaustive_generic ~memoize:false ~profile ~est ~backends g
+  instrumented ~strategy:"exhaustive" g (fun () ->
+      exhaustive_generic ~memoize:false ~profile ~est ~backends g)
 
 let exhaustive_memoized ~profile ~est ~backends g =
-  exhaustive_generic ~memoize:true ~profile ~est ~backends g
+  instrumented ~strategy:"exhaustive-memo" g (fun () ->
+      exhaustive_generic ~memoize:true ~profile ~est ~backends g)
 
 (* ------------------------- dynamic heuristic ------------------------- *)
 
@@ -221,7 +250,7 @@ let dynamic_over_order ~profile ~est ~backends (g : Ir.Dag.t) order =
       Some { jobs = order_jobs g (List.rev jobs); cost_s }
   end
 
-let dynamic ~profile ~est ~backends (g : Ir.Dag.t) =
+let dynamic_impl ~profile ~est ~backends (g : Ir.Dag.t) =
   let order =
     List.filter
       (fun (n : Ir.Operator.node) ->
@@ -230,7 +259,12 @@ let dynamic ~profile ~est ~backends (g : Ir.Dag.t) =
   in
   dynamic_over_order ~profile ~est ~backends g order
 
+let dynamic ~profile ~est ~backends (g : Ir.Dag.t) =
+  instrumented ~strategy:"dynamic" g (fun () ->
+      dynamic_impl ~profile ~est ~backends g)
+
 let dynamic_multi_order ?(orders = 8) ~profile ~est ~backends (g : Ir.Dag.t) =
+  instrumented ~strategy:"dynamic-multi-order" g @@ fun () ->
   let candidates = Ir.Dag.topological_orders ~limit:orders g in
   List.fold_left
     (fun best order ->
@@ -249,6 +283,7 @@ let dynamic_multi_order ?(orders = 8) ~profile ~est ~backends (g : Ir.Dag.t) =
     None candidates
 
 let no_merging ~profile ~est ~backends (g : Ir.Dag.t) =
+  instrumented ~strategy:"no-merging" g @@ fun () ->
   let ops = op_nodes g in
   let jobs =
     List.map
@@ -269,5 +304,8 @@ let partition ?(threshold = 13) ~profile ~est ~backends (g : Ir.Dag.t) =
   (* the memoized exhaustive search returns the same optimum as the
      paper's plain enumeration (a tested invariant), just faster *)
   if Ir.Dag.operator_count g <= threshold then
-    exhaustive_memoized ~profile ~est ~backends g
-  else dynamic ~profile ~est ~backends g
+    instrumented ~strategy:"auto/exhaustive-memo" g (fun () ->
+        exhaustive_generic ~memoize:true ~profile ~est ~backends g)
+  else
+    instrumented ~strategy:"auto/dynamic" g (fun () ->
+        dynamic_impl ~profile ~est ~backends g)

@@ -54,6 +54,11 @@ let gas_message_volumes ~(job : Job.t) ~stats volumes =
 
 let of_spec spec =
   let run ~cluster ~hdfs (job : Job.t) =
+    Obs.Trace.with_span
+      ~attrs:[ ("backend", Obs.Trace.String (Backend.name spec.spec_backend));
+               ("label", Obs.Trace.String job.Job.label) ]
+      "engine.run"
+    @@ fun () ->
     match spec.spec_supports job.graph with
     | Error reason -> Error (Report.Unsupported reason)
     | Ok () ->

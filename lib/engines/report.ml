@@ -33,6 +33,11 @@ let zero_breakdown =
 let total b =
   b.overhead_s +. b.pull_s +. b.load_s +. b.process_s +. b.comm_s +. b.push_s
 
+let breakdown_fields b =
+  [ ("overhead_s", b.overhead_s); ("pull_s", b.pull_s);
+    ("load_s", b.load_s); ("process_s", b.process_s);
+    ("comm_s", b.comm_s); ("push_s", b.push_s) ]
+
 let add_breakdown a b =
   { overhead_s = a.overhead_s +. b.overhead_s;
     pull_s = a.pull_s +. b.pull_s;

@@ -37,6 +37,11 @@ val zero_breakdown : breakdown
 
 val total : breakdown -> float
 
+(** The breakdown as labelled fields, in phase order — used to attach
+    it to trace spans and to export it without enumerating the record
+    at every call site. *)
+val breakdown_fields : breakdown -> (string * float) list
+
 val pp : Format.formatter -> t -> unit
 
 (** Sum of sequential job reports: makespans add; volumes add; the

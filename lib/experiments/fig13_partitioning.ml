@@ -23,10 +23,9 @@ let setup () =
   let full = Workloads.Workflows.netflix_extended () in
   (m, hdfs, full)
 
-let time_once f =
-  let t0 = Unix.gettimeofday () in
-  let _ = f () in
-  Unix.gettimeofday () -. t0
+(* on the shared observability clock, so experiment timings and
+   pipeline traces are directly comparable *)
+let time_once f = snd (Obs.Trace.time f)
 
 (** (operators, exhaustive seconds option, memoized-exhaustive seconds,
     dynamic seconds). Exhaustive is skipped (None) once a previous size

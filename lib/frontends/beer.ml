@@ -460,6 +460,11 @@ and elaborate_while env ~cond ~maxiter ~body =
   bind env (List.hd loop_carried) loop_handle
 
 let parse source =
+  Obs.Trace.with_span
+    ~attrs:[ ("lang", Obs.Trace.String "beer");
+             ("bytes", Obs.Trace.Int (String.length source)) ]
+    "frontend.parse"
+  @@ fun () ->
   try
     let ps = Parse_state.of_string source in
     let items = parse_items ps ~in_block:false [] in

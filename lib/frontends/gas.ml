@@ -214,4 +214,8 @@ let to_dataflow p ~vertices ~edges =
   Ir.Builder.finish b ~outputs:[ loop ]
 
 let parse_to_graph source ~vertices ~edges =
-  to_dataflow (parse source) ~vertices ~edges
+  Obs.Trace.with_span
+    ~attrs:[ ("lang", Obs.Trace.String "gas");
+             ("bytes", Obs.Trace.Int (String.length source)) ]
+    "frontend.parse"
+  @@ fun () -> to_dataflow (parse source) ~vertices ~edges

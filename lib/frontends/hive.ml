@@ -191,6 +191,11 @@ let parse_join_or_setop ps env left_name =
   end
 
 let parse source =
+  Obs.Trace.with_span
+    ~attrs:[ ("lang", Obs.Trace.String "hive");
+             ("bytes", Obs.Trace.Int (String.length source)) ]
+    "frontend.parse"
+  @@ fun () ->
   try
     let ps = Parse_state.of_string source in
     let env = { builder = Ir.Builder.create (); relations = []; consumed = [] } in

@@ -286,6 +286,11 @@ let parse_statement ps env =
   end
 
 let parse source =
+  Obs.Trace.with_span
+    ~attrs:[ ("lang", Obs.Trace.String "pig");
+             ("bytes", Obs.Trace.Int (String.length source)) ]
+    "frontend.parse"
+  @@ fun () ->
   try
     let ps = Parse_state.of_string source in
     let env =

@@ -91,12 +91,15 @@ let black_box b ?name ~backend_hint ~description inputs =
   add b ?name (Operator.Black_box { backend_hint; description }) inputs
 
 let graph b ~outputs ~loop_carried =
+  Obs.Trace.with_span "ir.build" @@ fun () ->
   let g =
     { Operator.nodes = List.rev b.rev_nodes;
       outputs = List.map id outputs;
       loop_carried }
   in
   Dag.validate g;
+  Obs.Trace.add_attr "nodes" (Obs.Trace.Int (List.length g.Operator.nodes));
+  Obs.Trace.add_attr "outputs" (Obs.Trace.Int (List.length g.Operator.outputs));
   g
 
 let finish b ~outputs = graph b ~outputs ~loop_carried:[]

@@ -1,0 +1,17 @@
+(* gettimeofday with a monotonic clamp; all durations in the repo's
+   telemetry come from this one source.
+
+   Readings are taken relative to process start before converting to
+   nanoseconds: absolute Unix time in ns does not fit a double's 53-bit
+   mantissa and would quantize every timestamp to ~1 us steps. *)
+
+let base = Unix.gettimeofday ()
+
+let last = ref 0.
+
+let now_ns () =
+  let t = Unix.gettimeofday () -. base in
+  if t > !last then last := t;
+  Int64.of_float (!last *. 1e9)
+
+let elapsed_s ~since ~until = Int64.to_float (Int64.sub until since) /. 1e9

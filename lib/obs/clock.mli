@@ -1,0 +1,14 @@
+(** The observability clock: one time source shared by the tracer, the
+    metrics registry and the experiment timers, so every reported
+    duration is comparable.
+
+    Backed by [Unix.gettimeofday] with a monotonic clamp — the reading
+    never goes backwards within a process, even if the wall clock is
+    stepped. Nanosecond units; resolution is whatever gettimeofday
+    provides (~1 us). *)
+
+(** Nanoseconds since an arbitrary per-process epoch; non-decreasing. *)
+val now_ns : unit -> int64
+
+(** Seconds between two [now_ns] readings. *)
+val elapsed_s : since:int64 -> until:int64 -> float

@@ -1,0 +1,104 @@
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | '\b' -> Buffer.add_string buf "\\b"
+       | '\012' -> Buffer.add_string buf "\\f"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* JSON has no NaN/Infinity literals *)
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.6g" f
+  else Printf.sprintf "\"%s\"" (Float.to_string f)
+
+let json_value = function
+  | Trace.Bool b -> string_of_bool b
+  | Trace.Int i -> string_of_int i
+  | Trace.Float f -> json_float f
+  | Trace.String s -> Printf.sprintf "\"%s\"" (json_escape s)
+
+let json_attrs attrs =
+  String.concat ","
+    (List.map
+       (fun (k, v) ->
+          Printf.sprintf "\"%s\":%s" (json_escape k) (json_value v))
+       attrs)
+
+let us_of_ns ns = Int64.to_float ns /. 1e3
+
+let chrome_trace t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  List.iteri
+    (fun i (s : Trace.span) ->
+       if i > 0 then Buffer.add_char buf ',';
+       Buffer.add_string buf
+         (Printf.sprintf
+            "{\"name\":\"%s\",\"cat\":\"musketeer\",\"ph\":\"X\",\
+             \"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1,\"args\":{%s}}"
+            (json_escape s.Trace.name)
+            (us_of_ns s.Trace.start_ns)
+            (us_of_ns s.Trace.dur_ns)
+            (json_attrs
+               (("span_id", Trace.Int s.Trace.id)
+                :: (match s.Trace.parent with
+                    | Some p -> [ ("parent_id", Trace.Int p) ]
+                    | None -> [])
+                @ s.Trace.attrs))))
+    (Trace.spans t);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let jsonl t =
+  String.concat ""
+    (List.map
+       (fun (s : Trace.span) ->
+          Printf.sprintf
+            "{\"id\":%d,\"parent\":%s,\"name\":\"%s\",\"start_ns\":%Ld,\
+             \"dur_ns\":%Ld,\"attrs\":{%s}}\n"
+            s.Trace.id
+            (match s.Trace.parent with
+             | Some p -> string_of_int p
+             | None -> "null")
+            (json_escape s.Trace.name)
+            s.Trace.start_ns s.Trace.dur_ns
+            (json_attrs s.Trace.attrs))
+       (Trace.spans t))
+
+let summary ppf t =
+  let all = Trace.spans t in
+  let children parent =
+    List.filter (fun (s : Trace.span) -> s.Trace.parent = parent) all
+  in
+  let rec render depth (s : Trace.span) =
+    Format.fprintf ppf "%s%-*s %8.3f ms" (String.make (2 * depth) ' ')
+      (max 1 (36 - (2 * depth)))
+      s.Trace.name
+      (Int64.to_float s.Trace.dur_ns /. 1e6);
+    (match s.Trace.attrs with
+     | [] -> ()
+     | attrs ->
+       Format.fprintf ppf "  [%s]"
+         (String.concat ", "
+            (List.map
+               (fun (k, v) ->
+                  Format.asprintf "%s=%a" k Trace.pp_value v)
+               attrs)));
+    Format.fprintf ppf "@.";
+    List.iter (render (depth + 1)) (children (Some s.Trace.id))
+  in
+  List.iter (render 0) (children None)
+
+let write_file content ~filename =
+  Out_channel.with_open_text filename (fun oc ->
+      Out_channel.output_string oc content)

@@ -1,0 +1,29 @@
+(** Trace exporters.
+
+    Three formats over the same span tree:
+    - {!chrome_trace}: Chrome [trace_event] JSON ("X" complete events)
+      — load the file in [chrome://tracing] or {{:https://ui.perfetto.dev}
+      Perfetto} for a flame view of the pipeline;
+    - {!jsonl}: one structured JSON object per span per line, for
+      grep/jq-style post-processing;
+    - {!summary}: human-readable span tree on a formatter.
+
+    The JSON is emitted with no external dependency; {!json_escape} is
+    exposed because correct string escaping is the part worth testing. *)
+
+(** Escape a string for inclusion inside JSON double quotes (handles
+    quotes, backslashes and control characters; other bytes pass
+    through untouched). *)
+val json_escape : string -> string
+
+(** The whole trace as a Chrome [trace_event] JSON object. *)
+val chrome_trace : Trace.t -> string
+
+(** One JSON object per span, newline-separated, in start order. *)
+val jsonl : Trace.t -> string
+
+(** Indented span tree with durations and attributes. *)
+val summary : Format.formatter -> Trace.t -> unit
+
+(** [write_file content ~filename]. *)
+val write_file : string -> filename:string -> unit

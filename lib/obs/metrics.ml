@@ -1,0 +1,182 @@
+type histogram_stats = {
+  count : int;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type prediction = {
+  workflow : string;
+  job : string;
+  backend : string;
+  predicted_s : float;
+  observed_s : float;
+}
+
+let rel_error p =
+  if p.observed_s > 0. then (p.predicted_s -. p.observed_s) /. p.observed_s
+  else infinity
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  histos : (string, float list ref) Hashtbl.t;  (* reverse record order *)
+  mutable preds : prediction list;              (* reverse record order *)
+}
+
+let create () =
+  { counters = Hashtbl.create 16; gauges = Hashtbl.create 16;
+    histos = Hashtbl.create 16; preds = [] }
+
+let default = create ()
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.gauges;
+  Hashtbl.reset t.histos;
+  t.preds <- []
+
+let cell tbl name init =
+  match Hashtbl.find_opt tbl name with
+  | Some r -> r
+  | None ->
+    let r = ref init in
+    Hashtbl.add tbl name r;
+    r
+
+let incr t ?(by = 1) name =
+  let r = cell t.counters name 0 in
+  r := !r + by
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) tbl []
+  |> List.sort compare
+
+let counters t = sorted_bindings t.counters
+
+let set_gauge t name v = cell t.gauges name v := v
+
+let gauge t name = Option.map ( ! ) (Hashtbl.find_opt t.gauges name)
+
+let gauges t = sorted_bindings t.gauges
+
+let observe t name v =
+  let r = cell t.histos name [] in
+  r := v :: !r
+
+(* linear interpolation between order statistics *)
+let quantile_of_sorted a q =
+  let n = Array.length a in
+  if n = 0 || q < 0. || q > 1. then None
+  else begin
+    let h = q *. float_of_int (n - 1) in
+    let lo = int_of_float (floor h) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = h -. float_of_int lo in
+    Some (a.(lo) +. (frac *. (a.(hi) -. a.(lo))))
+  end
+
+let stats_of_values values =
+  match values with
+  | [] -> None
+  | _ ->
+    let a = Array.of_list values in
+    Array.sort compare a;
+    let n = Array.length a in
+    let sum = Array.fold_left ( +. ) 0. a in
+    let q p = Option.get (quantile_of_sorted a p) in
+    Some
+      { count = n; min = a.(0); max = a.(n - 1);
+        mean = sum /. float_of_int n; p50 = q 0.5; p90 = q 0.9; p99 = q 0.99 }
+
+let quantile t name q =
+  match Hashtbl.find_opt t.histos name with
+  | None -> None
+  | Some r ->
+    let a = Array.of_list !r in
+    Array.sort compare a;
+    quantile_of_sorted a q
+
+let histogram t name =
+  match Hashtbl.find_opt t.histos name with
+  | None -> None
+  | Some r -> stats_of_values !r
+
+let histograms t =
+  Hashtbl.fold
+    (fun name r acc ->
+       match stats_of_values !r with
+       | Some s -> (name, s) :: acc
+       | None -> acc)
+    t.histos []
+  |> List.sort compare
+
+let record_prediction t ~workflow ~job ~backend ~predicted_s ~observed_s =
+  t.preds <-
+    { workflow; job; backend; predicted_s; observed_s } :: t.preds
+
+let predictions t = List.rev t.preds
+
+let prediction_error t =
+  stats_of_values
+    (List.filter_map
+       (fun p ->
+          let e = rel_error p in
+          if Float.is_finite e then Some (Float.abs e) else None)
+       t.preds)
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "n=%d min=%.3g mean=%.3g p50=%.3g p90=%.3g p99=%.3g max=%.3g"
+    s.count s.min s.mean s.p50 s.p90 s.p99 s.max
+
+let pp_predictions ppf t =
+  match predictions t with
+  | [] -> Format.fprintf ppf "no prediction records@."
+  | preds ->
+    Format.fprintf ppf "predicted vs observed makespan per job:@.";
+    Format.fprintf ppf "  %-28s %-10s %10s %10s %8s@." "job" "backend"
+      "predicted" "observed" "error";
+    List.iter
+      (fun p ->
+         let e = rel_error p in
+         Format.fprintf ppf "  %-28s %-10s %9.1fs %9.1fs %+7.1f%%@."
+           p.job p.backend p.predicted_s p.observed_s
+           (if Float.is_finite e then 100. *. e else Float.nan))
+      preds;
+    (match prediction_error t with
+     | Some s ->
+       Format.fprintf ppf "  |relative error|: %a@." pp_stats s
+     | None -> ())
+
+let pp ppf t =
+  let section title = Format.fprintf ppf "%s:@." title in
+  (match counters t with
+   | [] -> ()
+   | cs ->
+     section "counters";
+     List.iter
+       (fun (name, v) -> Format.fprintf ppf "  %-36s %d@." name v)
+       cs);
+  (match gauges t with
+   | [] -> ()
+   | gs ->
+     section "gauges";
+     List.iter
+       (fun (name, v) -> Format.fprintf ppf "  %-36s %g@." name v)
+       gs);
+  (match histograms t with
+   | [] -> ()
+   | hs ->
+     section "histograms";
+     List.iter
+       (fun (name, s) ->
+          Format.fprintf ppf "  %-36s %a@." name pp_stats s)
+       hs);
+  pp_predictions ppf t

@@ -1,0 +1,97 @@
+(** Metrics registry: counters, gauges, histograms with quantile
+    summaries, and predicted-vs-observed makespan records.
+
+    The pipeline instrumentation records into {!default} (jobs per
+    backend, rewrite hit counts, partitioner search sizes, per-job
+    prediction error); experiments and tests can use private registries
+    via {!create}. Everything is process-local and not thread-safe —
+    matching the single-threaded simulator.
+
+    The prediction records are the live Figure-14 signal: every
+    executed job joins the cost model's estimate against the observed
+    (simulated) makespan, so mapping quality is measurable on any run
+    rather than only in the dedicated experiment. *)
+
+type histogram_stats = {
+  count : int;
+  min : float;
+  max : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type prediction = {
+  workflow : string;
+  job : string;              (** job label, e.g. ["pagerank/job0"] *)
+  backend : string;
+  predicted_s : float;       (** cost-model estimate (§5.1) *)
+  observed_s : float;        (** executed makespan (§6.1) *)
+}
+
+(** Signed relative error [(predicted - observed) / observed];
+    [infinity] when nothing was observed. *)
+val rel_error : prediction -> float
+
+type t
+
+val create : unit -> t
+
+(** The registry the built-in instrumentation records into. *)
+val default : t
+
+val reset : t -> unit
+
+(** {2 Counters} *)
+
+val incr : t -> ?by:int -> string -> unit
+
+(** 0 when never incremented. *)
+val counter : t -> string -> int
+
+(** All counters, sorted by name. *)
+val counters : t -> (string * int) list
+
+(** {2 Gauges} *)
+
+val set_gauge : t -> string -> float -> unit
+
+val gauge : t -> string -> float option
+
+val gauges : t -> (string * float) list
+
+(** {2 Histograms} *)
+
+(** Record one observation. *)
+val observe : t -> string -> float -> unit
+
+(** [quantile t name q] with [q] in [\[0, 1\]]; linear interpolation
+    between order statistics. [None] for unknown or empty histograms
+    (or out-of-range [q]). *)
+val quantile : t -> string -> float -> float option
+
+val histogram : t -> string -> histogram_stats option
+
+val histograms : t -> (string * histogram_stats) list
+
+(** {2 Prediction accuracy} *)
+
+val record_prediction :
+  t -> workflow:string -> job:string -> backend:string ->
+  predicted_s:float -> observed_s:float -> unit
+
+(** In record order. *)
+val predictions : t -> prediction list
+
+(** Summary over the absolute relative errors of all recorded
+    predictions; [None] when none were recorded. *)
+val prediction_error : t -> histogram_stats option
+
+(** {2 Reporting} *)
+
+(** Per-job prediction table plus the mean/percentile error summary. *)
+val pp_predictions : Format.formatter -> t -> unit
+
+(** Full registry dump: counters, gauges, histograms, predictions. *)
+val pp : Format.formatter -> t -> unit
