@@ -40,7 +40,9 @@ let targets : (string * string * (unit -> unit)) list =
     ("sec7", "student JOIN baseline anecdote (Sec 7)",
      fun () -> Experiments.Tables.student_join ppf);
     ("ablations", "beyond-paper design-choice ablations",
-     fun () -> Experiments.Ablations.run ppf) ]
+     fun () -> Experiments.Ablations.run ppf);
+    ("faults", "injected worker failure vs analytic recovery model",
+     fun () -> Experiments.Fault_recovery.run ppf) ]
 
 (* fig2b is part of the fig2a module; accept both names *)
 let resolve name = if name = "fig2b" then "fig2a" else name

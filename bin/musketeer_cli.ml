@@ -135,6 +135,54 @@ let trace_arg =
            Perfetto. FILE.jsonl additionally gets the structured \
            event log.")
 
+let inject_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "inject" ] ~docv:"SPEC"
+        ~doc:
+          "Inject faults into engine runs: a ';'-separated budget of \
+           $(b,worker\\@F) (worker failure after fraction F of a job), \
+           $(b,oom) / $(b,reject) (engine rejection) and \
+           $(b,straggler*X) (slowdown by factor X), optionally followed \
+           by $(b,:p=P) (per-job injection probability, default 1). \
+           E.g. --inject 'worker\\@0.5;straggler*2:p=0.8'. Deterministic \
+           for a given --seed; see docs/fault-tolerance.md.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"Seed for the fault injector's deterministic RNG.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Re-execute a failed job up to N times on its planned engine \
+           before re-planning it onto the next-best engine (graceful \
+           degradation); 0 retries with fallback still enabled.")
+
+(* parse --inject; [f] receives the --retries-derived recovery policy
+   and an [injected] bracket to wrap around execution ONLY — installing
+   the injector for the whole command would let the calibration probe
+   jobs consume the fault budget before the real run *)
+let with_injection inject seed retries f =
+  let recovery =
+    { Musketeer.Recovery.default with
+      Musketeer.Recovery.max_retries = max 0 retries }
+  in
+  match inject with
+  | None -> f recovery (fun exec -> exec ())
+  | Some spec -> (
+    match Engines.Faults.parse_plan ~seed spec with
+    | Error msg ->
+      Format.eprintf "bad --inject spec: %s@." msg;
+      exit 1
+    | Ok plan ->
+      Format.eprintf "injecting: %a@." Engines.Faults.pp_plan plan;
+      f recovery (fun exec -> Engines.Injector.with_plan plan exec))
+
 let repeat_arg =
   Arg.(
     value & opt int 2
@@ -190,6 +238,8 @@ let with_trace trace_file f =
 
 let pp_run_telemetry ppf () =
   let metrics = Obs.Metrics.default in
+  if Obs.Metrics.recoveries metrics <> [] then
+    Format.fprintf ppf "@.%a" Obs.Metrics.pp_recoveries metrics;
   if Obs.Metrics.predictions metrics <> [] then
     Format.fprintf ppf "@.%a" Obs.Metrics.pp_predictions metrics
 
@@ -225,8 +275,9 @@ let plan_cmd =
       $ trace_arg)
 
 let run_cmd =
-  let run kind nodes backend show_code trace =
+  let run kind nodes backend show_code trace inject seed retries =
     with_trace trace @@ fun () ->
+    with_injection inject seed retries @@ fun recovery injected ->
     let m, hdfs, graph = setup kind nodes in
     let backends = Option.map (fun b -> [ b ]) backend in
     let workflow = List.assoc kind (List.map (fun (n, k) -> (k, n)) zoo) in
@@ -239,7 +290,11 @@ let run_cmd =
           (fun (label, source) ->
              Format.printf "@.---- %s ----@.%s@." label source)
           (Musketeer.show_code ~graph:g' plan);
-      (match Musketeer.execute_plan m ~workflow ~hdfs ~graph:g' plan with
+      (match
+         injected (fun () ->
+             Musketeer.execute_plan ~recovery
+               ?candidates:backends m ~workflow ~hdfs ~graph:g' plan)
+       with
        | Error e ->
          Format.printf "execution failed: %s@."
            (Engines.Report.error_to_string e)
@@ -262,7 +317,7 @@ let run_cmd =
        ~doc:"Plan and execute a workflow on the simulated cluster.")
     Term.(
       const run $ workflow_arg $ nodes_arg $ backend_arg $ show_code_arg
-      $ trace_arg)
+      $ trace_arg $ inject_arg $ seed_arg $ retries_arg)
 
 let parse_cmd =
   let run frontend file dot =
@@ -283,8 +338,10 @@ let parse_cmd =
       $ frontend_arg $ file_arg $ dot_arg)
 
 let run_file_cmd =
-  let run frontend file tables nodes backend show_code history_file trace =
+  let run frontend file tables nodes backend show_code history_file trace
+      inject seed retries =
     with_trace trace @@ fun () ->
+    with_injection inject seed retries @@ fun recovery injected ->
     let source = In_channel.with_open_text file In_channel.input_all in
     let graph = parse_frontend frontend source in
     let hdfs = Engines.Hdfs.create () in
@@ -309,7 +366,11 @@ let run_file_cmd =
           (fun (label, job_source) ->
              Format.printf "@.---- %s ----@.%s@." label job_source)
           (Musketeer.show_code ~graph:g' plan);
-      (match Musketeer.execute_plan m ~workflow ~hdfs ~graph:g' plan with
+      (match
+         injected (fun () ->
+             Musketeer.execute_plan ~recovery ?candidates:backends m
+               ~workflow ~hdfs ~graph:g' plan)
+       with
        | Error e ->
          Format.printf "execution failed: %s@."
            (Engines.Report.error_to_string e)
@@ -338,11 +399,15 @@ let run_file_cmd =
          "Parse a workflow file, load CSV relations, plan and execute it \
           on the simulated cluster.")
     Term.(
-      const (fun frontend file tables nodes backend show_code history trace ->
+      const
+        (fun frontend file tables nodes backend show_code history trace inject
+          seed retries ->
           with_parse_errors (fun () ->
-              run frontend file tables nodes backend show_code history trace))
+              run frontend file tables nodes backend show_code history trace
+                inject seed retries))
       $ frontend_arg $ file_arg $ tables_arg $ nodes_arg $ backend_arg
-      $ show_code_arg $ history_arg $ trace_arg)
+      $ show_code_arg $ history_arg $ trace_arg $ inject_arg $ seed_arg
+      $ retries_arg)
 
 let explain_cmd =
   let run kind nodes backend trace =
@@ -360,8 +425,9 @@ let explain_cmd =
     Term.(const run $ workflow_arg $ nodes_arg $ backend_arg $ trace_arg)
 
 let stats_cmd =
-  let run kind nodes backend repeat trace =
+  let run kind nodes backend repeat trace inject seed retries =
     with_trace trace @@ fun () ->
+    with_injection inject seed retries @@ fun recovery injected ->
     let cluster = Engines.Cluster.ec2 ~nodes in
     let m = Experiments.Common.musketeer_for cluster in
     let backends = Option.map (fun b -> [ b ]) backend in
@@ -370,7 +436,10 @@ let stats_cmd =
       (* fresh inputs per run; history persists in [m] between runs, so
          run 2+ shows the history-informed prediction accuracy *)
       let hdfs, graph = load_workflow kind in
-      match Musketeer.execute m ?backends ~workflow ~hdfs graph with
+      match
+        injected (fun () ->
+            Musketeer.execute m ?backends ~recovery ~workflow ~hdfs graph)
+      with
       | Error e ->
         Format.printf "run %d failed: %s@." i
           (Engines.Report.error_to_string e)
@@ -389,7 +458,7 @@ let stats_cmd =
           live Figure 14 signal).")
     Term.(
       const run $ workflow_arg $ nodes_arg $ backend_arg $ repeat_arg
-      $ trace_arg)
+      $ trace_arg $ inject_arg $ seed_arg $ retries_arg)
 
 let calibrate_cmd =
   let run nodes =

@@ -82,7 +82,7 @@ let dispatch ~mode ~profile ~history ~workflow ~record_history ~hdfs ~label
 
 (* WHILE on a MapReduce engine: per-iteration job chains (§4.2) *)
 let expand_while ~mode ~profile ~history ~workflow ~record_history ~hdfs
-    ~graph ~backend (n : Ir.Operator.node) =
+    ~graph ~recovery ~backend (n : Ir.Operator.node) =
   let condition, max_iterations, body =
     match n.kind with
     | Ir.Operator.While { condition; max_iterations; body } ->
@@ -157,10 +157,21 @@ let expand_while ~mode ~profile ~history ~workflow ~record_history ~hdfs
            let label =
              Printf.sprintf "%s/iter%d/job%d" n.Ir.Operator.output i j
            in
+           (* a failed iteration job writes nothing, so an in-place
+              retry resumes the loop from consistent HDFS state *)
            let report =
-             dispatch ~mode ~profile ~history ~workflow
-               ~record_history:false ~hdfs ~label ~backend:job_backend
-               job_graph mapping
+             match
+               Recovery.with_retries ~policy:recovery ~workflow ~label
+                 ~backend:job_backend (fun () ->
+                   try
+                     Ok
+                       (dispatch ~mode ~profile ~history ~workflow
+                          ~record_history:false ~hdfs ~label
+                          ~backend:job_backend job_graph mapping)
+                   with Execution_failed e -> Error e)
+             with
+             | Ok report -> report
+             | Error e -> raise (Execution_failed e)
            in
            ignore record_history;
            reports := report :: !reports)
@@ -192,8 +203,9 @@ let is_expandable_while ~backend ~graph ids =
     | _ -> false)
   | _ -> false
 
-let run_plan ?(mode = Generated) ?(record_history = true) ~profile ~history
-    ~workflow ~hdfs ~graph ~plan () =
+let run_plan ?(mode = Generated) ?(record_history = true)
+    ?(recovery = Recovery.none) ?(candidates = Engines.Backend.all) ~profile
+    ~history ~workflow ~hdfs ~graph ~plan () =
   Obs.Trace.with_span
     ~attrs:[ ("workflow", Obs.Trace.String workflow);
              ("jobs", Obs.Trace.Int (List.length plan.Partitioner.jobs)) ]
@@ -228,27 +240,50 @@ let run_plan ?(mode = Generated) ?(record_history = true) ~profile ~history
            (fun i (backend, ids) ->
               let prediction = predicted_s backend ids in
               let label = Printf.sprintf "%s/job%d" workflow i in
-              let job_reports =
-                if is_expandable_while ~backend ~graph ids then
-                  expand_while ~mode ~profile ~history ~workflow
-                    ~record_history ~hdfs ~graph ~backend
-                    (Ir.Dag.node graph (List.hd ids))
-                else begin
-                  let job_graph, mapping =
-                    Jobgraph.extract_mapped graph ids
-                  in
-                  [ dispatch ~mode ~profile ~history ~workflow
-                      ~record_history ~hdfs ~label ~backend job_graph
-                      mapping ]
-                end
+              (* re-attempts restore the job's pre-run HDFS snapshot:
+                 recovery resumes from the intermediates upstream jobs
+                 already materialized, never re-running them *)
+              let pre = Engines.Hdfs.snapshot hdfs in
+              let reset () = Engines.Hdfs.restore hdfs ~from:pre in
+              let dispatch_on b =
+                try
+                  if is_expandable_while ~backend:b ~graph ids then
+                    Ok
+                      (expand_while ~mode ~profile ~history ~workflow
+                         ~record_history ~hdfs ~graph ~recovery ~backend:b
+                         (Ir.Dag.node graph (List.hd ids)))
+                  else begin
+                    let job_graph, mapping =
+                      Jobgraph.extract_mapped graph ids
+                    in
+                    Ok
+                      [ dispatch ~mode ~profile ~history ~workflow
+                          ~record_history ~hdfs ~label ~backend:b job_graph
+                          mapping ]
+                  end
+                with Execution_failed e -> Error e
               in
+              let outcome =
+                match
+                  Recovery.run_job ~policy:recovery ~profile ~graph ~est
+                    ~candidates ~workflow ~label ~ids ~reset
+                    ~dispatch:dispatch_on backend
+                with
+                | Ok outcome -> outcome
+                | Error e -> raise (Execution_failed e)
+              in
+              let job_reports = outcome.Recovery.reports in
               let observed_s =
                 List.fold_left
                   (fun acc (r : Engines.Report.t) -> acc +. r.makespan_s)
                   0. job_reports
               in
+              (* a replanned job ran elsewhere: joining its observation
+                 with the original engine's estimate would pollute the
+                 mapping-quality signal *)
               (match prediction with
-               | Some predicted_s when observed_s > 0. ->
+               | Some predicted_s
+                 when observed_s > 0. && not outcome.Recovery.replanned ->
                  Obs.Metrics.record_prediction Obs.Metrics.default ~workflow
                    ~job:label
                    ~backend:(Engines.Backend.name backend)

@@ -28,12 +28,21 @@ exception Execution_failed of Engines.Report.error
 
 (** [run_plan ~profile ~history ~workflow ~hdfs ~graph ~plan ()] executes
     the plan and returns the aggregated result, or [Error _] when an
-    engine rejects its job (e.g. Spark OOM).
+    engine rejects its job (e.g. Spark OOM) and the recovery policy is
+    exhausted.
 
     @param mode code-generation mode (default {!Generated}).
-    @param record_history update [history] on success (default true). *)
+    @param record_history update [history] on success (default true).
+    @param recovery retry/fallback policy (default {!Recovery.none} —
+           fail on the first error, the pre-recovery semantics). Failed
+           jobs are re-attempted from their pre-run HDFS snapshot, so
+           upstream intermediates are reused, not recomputed.
+    @param candidates engines eligible when recovery re-plans a failed
+           job (default all; pass the planner's backend list to respect
+           a forced mapping). *)
 val run_plan :
-  ?mode:mode -> ?record_history:bool -> profile:Profile.t ->
+  ?mode:mode -> ?record_history:bool -> ?recovery:Recovery.policy ->
+  ?candidates:Engines.Backend.t list -> profile:Profile.t ->
   history:History.t -> workflow:string -> hdfs:Engines.Hdfs.t ->
   graph:Ir.Dag.t -> plan:Partitioner.plan -> unit ->
   (result, Engines.Report.error) Stdlib.result

@@ -11,6 +11,7 @@ module Column_pruning = Column_pruning
 module Codegen = Codegen
 module Render = Render
 module Executor = Executor
+module Recovery = Recovery
 module Mapper = Mapper
 module Explain = Explain
 module Obs = Obs
@@ -59,18 +60,24 @@ let plan ?(backends = Engines.Backend.all) ?(merging = true)
   in
   Option.map (fun p -> (p, g)) plan
 
-let execute_plan ?mode ?record_history t ~workflow ~hdfs ~graph p =
-  Executor.run_plan ?mode ?record_history ~profile:t.profile
-    ~history:t.history ~workflow ~hdfs ~graph ~plan:p ()
+let execute_plan ?mode ?record_history ?recovery ?candidates t ~workflow
+    ~hdfs ~graph p =
+  Executor.run_plan ?mode ?record_history ?recovery ?candidates
+    ~profile:t.profile ~history:t.history ~workflow ~hdfs ~graph ~plan:p ()
 
-let execute ?backends ?merging ?optimize ?mode t ~workflow ~hdfs g =
+let execute ?backends ?merging ?optimize ?mode ?recovery t ~workflow ~hdfs g =
   match plan ?backends ?merging ?optimize t ~workflow ~hdfs g with
   | None ->
     Error
       (Engines.Report.Unsupported
          "no back-end combination can express this workflow")
   | Some (p, g') -> (
-    match execute_plan ?mode t ~workflow ~hdfs ~graph:g' p with
+    (* re-planning is confined to the engines the caller allowed *)
+    let candidates =
+      Option.value backends ~default:Engines.Backend.all
+    in
+    match execute_plan ?mode ?recovery ~candidates t ~workflow ~hdfs
+            ~graph:g' p with
     | Ok result -> Ok (result, p)
     | Error e -> Error e)
 

@@ -31,6 +31,7 @@ module Column_pruning = Column_pruning
 module Codegen = Codegen
 module Render = Render
 module Executor = Executor
+module Recovery = Recovery
 module Mapper = Mapper
 module Explain = Explain
 
@@ -77,17 +78,21 @@ val plan :
   (Partitioner.plan * Ir.Dag.t) option
 
 (** Plan and run. Returns the executor result together with the plan
-    used. History is updated on success. *)
+    used. History is updated on success. [recovery] (default
+    {!Recovery.none}) governs retries and engine fallback on job
+    failure; fallback candidates are confined to [backends]. *)
 val execute :
   ?backends:Engines.Backend.t list -> ?merging:bool -> ?optimize:bool ->
-  ?mode:Executor.mode -> t -> workflow:string -> hdfs:Engines.Hdfs.t ->
-  Ir.Dag.t ->
+  ?mode:Executor.mode -> ?recovery:Recovery.policy -> t ->
+  workflow:string -> hdfs:Engines.Hdfs.t -> Ir.Dag.t ->
   (Executor.result * Partitioner.plan, Engines.Report.error) result
 
 (** Run a pre-computed plan (used by experiments that compare plans). *)
 val execute_plan :
-  ?mode:Executor.mode -> ?record_history:bool -> t -> workflow:string ->
-  hdfs:Engines.Hdfs.t -> graph:Ir.Dag.t -> Partitioner.plan ->
+  ?mode:Executor.mode -> ?record_history:bool ->
+  ?recovery:Recovery.policy -> ?candidates:Engines.Backend.t list ->
+  t -> workflow:string -> hdfs:Engines.Hdfs.t -> graph:Ir.Dag.t ->
+  Partitioner.plan ->
   (Executor.result, Engines.Report.error) result
 
 (** Human-readable plan explanation (CLI [explain]). *)

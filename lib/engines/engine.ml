@@ -91,14 +91,7 @@ let of_spec spec =
            { breakdown with Report.comm_s = breakdown.Report.comm_s +. penalty }
          in
          let makespan = makespan +. penalty in
-         (* materialize outputs to HDFS *)
-         List.iter
-           (fun (name, table, mb) ->
-              Hdfs.put hdfs name ~modeled_mb:mb table;
-              Hdfs.note_write hdfs ~mb)
-           exec.outputs;
-         Hdfs.note_read hdfs ~mb:volumes.Perf.input_mb;
-         Ok
+         let report =
            { Report.job_label = job.label; backend = spec.spec_backend;
              makespan_s = makespan; breakdown;
              input_mb = volumes.Perf.input_mb;
@@ -107,6 +100,66 @@ let of_spec spec =
              op_output_mb =
                List.map
                  (fun (s : Exec_helper.op_stat) -> (s.node_id, s.out_mb))
-                 exec.op_stats })
+                 exec.op_stats }
+         in
+         (* injected faults strike after admission, before anything
+            materializes — a faulted job never leaves partial state *)
+         let faulted =
+           match
+             Injector.draw ~label:job.label ~backend:spec.spec_backend
+           with
+           | None -> Ok report
+           | Some fault ->
+             Obs.Trace.add_attr "fault"
+               (Obs.Trace.String (Faults.fault_to_string fault));
+             Obs.Metrics.incr Obs.Metrics.default
+               ("faults.injected."
+                ^ Backend.name spec.spec_backend);
+             (match fault with
+              | Faults.Engine_rejection msg ->
+                Error (Report.Out_of_memory ("injected: " ^ msg))
+              | Faults.Straggler { slowdown } ->
+                let extra = (slowdown -. 1.) *. report.makespan_s in
+                Ok
+                  { report with
+                    makespan_s = slowdown *. report.makespan_s;
+                    breakdown =
+                      { report.breakdown with
+                        Report.process_s =
+                          report.breakdown.Report.process_s +. extra } }
+              | Faults.Worker_failure { at_fraction } -> (
+                match Faults.recovery_of spec.spec_backend with
+                | Faults.Restart ->
+                  (* no fault tolerance (Table 3): the job aborts and
+                     the executor must recover *)
+                  Error (Report.Worker_lost { at_fraction })
+                | Faults.Reexecute_tasks _ ->
+                  (* the engine re-executes the lost tasks itself at
+                     the Table 3 price; the job still succeeds *)
+                  let makespan' =
+                    Faults.makespan_with_failure spec.spec_backend report
+                      ~at_fraction
+                  in
+                  let extra = makespan' -. report.makespan_s in
+                  Obs.Trace.add_attr "recovered_s" (Obs.Trace.Float extra);
+                  Ok
+                    { report with
+                      makespan_s = makespan';
+                      breakdown =
+                        { report.breakdown with
+                          Report.overhead_s =
+                            report.breakdown.Report.overhead_s +. extra } }))
+         in
+         (match faulted with
+          | Error e -> Error e
+          | Ok report ->
+            (* materialize outputs to HDFS *)
+            List.iter
+              (fun (name, table, mb) ->
+                 Hdfs.put hdfs name ~modeled_mb:mb table;
+                 Hdfs.note_write hdfs ~mb)
+              exec.outputs;
+            Hdfs.note_read hdfs ~mb:volumes.Perf.input_mb;
+            Ok report))
   in
   { backend = spec.spec_backend; supports = spec.spec_supports; run }

@@ -23,7 +23,9 @@ let recovery_of backend =
   | Some _ | None -> Restart
 
 let makespan_with_failure backend (report : Report.t) ~at_fraction =
-  if at_fraction < 0. || at_fraction > 1. then
+  (* the negated comparison also rejects NaN, which every direct
+     comparison lets through *)
+  if not (at_fraction >= 0. && at_fraction <= 1.) then
     invalid_arg "Faults.makespan_with_failure: fraction outside [0,1]";
   let base = report.makespan_s in
   match recovery_of backend with
@@ -38,3 +40,93 @@ let makespan_with_failure backend (report : Report.t) ~at_fraction =
 
 let failure_overhead backend report ~at_fraction =
   makespan_with_failure backend report ~at_fraction /. report.makespan_s
+
+(* ---- fault plans (injection specs) ---- *)
+
+type fault =
+  | Worker_failure of { at_fraction : float }
+  | Engine_rejection of string
+  | Straggler of { slowdown : float }
+
+type fault_plan = {
+  seed : int;
+  probability : float;
+  faults : fault list;
+}
+
+let fault_to_string = function
+  | Worker_failure { at_fraction } ->
+    Printf.sprintf "worker@%g" at_fraction
+  | Engine_rejection _ -> "reject"
+  | Straggler { slowdown } -> Printf.sprintf "straggler*%g" slowdown
+
+let plan_to_string p =
+  let faults = String.concat ";" (List.map fault_to_string p.faults) in
+  if p.probability >= 1. then faults
+  else Printf.sprintf "%s:p=%g" faults p.probability
+
+let pp_plan ppf p =
+  Format.fprintf ppf "%s (seed %d)" (plan_to_string p) p.seed
+
+(* SPEC := FAULT (";" FAULT)* [":" OPT ("," OPT)*]
+   FAULT := worker@F | oom | reject | straggler*X
+   OPT   := p=F *)
+let parse_plan ?(seed = 42) spec =
+  let ( let* ) = Result.bind in
+  let float_of s =
+    match float_of_string_opt s with
+    | Some f when not (Float.is_nan f) -> Ok f
+    | Some _ | None -> Error (Printf.sprintf "not a number: %S" s)
+  in
+  let parse_fault s =
+    match String.index_opt s '@', String.index_opt s '*' with
+    | Some i, _ when String.sub s 0 i = "worker" ->
+      let* f = float_of (String.sub s (i + 1) (String.length s - i - 1)) in
+      if f < 0. || f > 1. then
+        Error (Printf.sprintf "worker fraction outside [0,1]: %g" f)
+      else Ok (Worker_failure { at_fraction = f })
+    | _, Some i when String.sub s 0 i = "straggler" ->
+      let* x = float_of (String.sub s (i + 1) (String.length s - i - 1)) in
+      if x < 1. then
+        Error (Printf.sprintf "straggler slowdown below 1: %g" x)
+      else Ok (Straggler { slowdown = x })
+    | _ -> (
+      match s with
+      | "oom" -> Ok (Engine_rejection "injected OOM")
+      | "reject" -> Ok (Engine_rejection "injected rejection")
+      | _ -> Error (Printf.sprintf "unknown fault %S" s))
+  in
+  let parse_opt acc s =
+    let* acc = acc in
+    match String.index_opt s '=' with
+    | Some i when String.sub s 0 i = "p" ->
+      let* p = float_of (String.sub s (i + 1) (String.length s - i - 1)) in
+      if p < 0. || p > 1. then
+        Error (Printf.sprintf "probability outside [0,1]: %g" p)
+      else Ok { acc with probability = p }
+    | _ -> Error (Printf.sprintf "unknown option %S" s)
+  in
+  let faults_part, opts_part =
+    match String.index_opt spec ':' with
+    | None -> (spec, "")
+    | Some i ->
+      ( String.sub spec 0 i,
+        String.sub spec (i + 1) (String.length spec - i - 1) )
+  in
+  let* faults =
+    List.fold_left
+      (fun acc s ->
+         let* acc = acc in
+         let* f = parse_fault (String.trim s) in
+         Ok (f :: acc))
+      (Ok [])
+      (String.split_on_char ';' faults_part)
+  in
+  let faults = List.rev faults in
+  if faults = [] then Error "empty fault list"
+  else
+    let plan = { seed; probability = 1.; faults } in
+    if opts_part = "" then Ok plan
+    else
+      List.fold_left parse_opt (Ok plan)
+        (String.split_on_char ',' opts_part)

@@ -24,12 +24,52 @@ type recovery =
 (** How the backend recovers, derived from {!Capabilities}. *)
 val recovery_of : Backend.t -> recovery
 
+(** Fixed failure-detection / rescheduling delay charged by
+    re-executing recovery (and by the executor when an engine rejects
+    a job outright). *)
+val detection_delay_s : float
+
 (** [makespan_with_failure backend report ~at_fraction] — the makespan
     had one worker failed after [at_fraction] (in [0,1]) of the job.
-    Raises [Invalid_argument] outside the range. *)
+    Raises [Invalid_argument] outside the range (NaN included). *)
 val makespan_with_failure :
   Backend.t -> Report.t -> at_fraction:float -> float
 
 (** Relative slowdown ([makespan_with_failure / makespan]). *)
 val failure_overhead :
   Backend.t -> Report.t -> at_fraction:float -> float
+
+(** {2 Fault plans}
+
+    A fault plan describes what {!Injector} injects into engine runs:
+    a finite budget of faults, consumed front-to-back, each fired with
+    [probability] per dispatched job. Being a finite list makes every
+    plan convergent — enough retries always exhaust it. *)
+
+type fault =
+  | Worker_failure of { at_fraction : float }
+      (** a worker dies after this fraction of the job; FT engines
+          recover internally at the Table 3 price, others abort *)
+  | Engine_rejection of string
+      (** admission-style rejection, e.g. a Spark OOM (§6.3) *)
+  | Straggler of { slowdown : float }
+      (** the job completes, slower by this factor (≥ 1) *)
+
+type fault_plan = {
+  seed : int;          (** RNG seed; same seed → same injections *)
+  probability : float; (** chance each dispatched job draws the next fault *)
+  faults : fault list; (** finite injection budget, consumed in order *)
+}
+
+val fault_to_string : fault -> string
+
+(** Round-trips through {!parse_plan} (modulo the seed). *)
+val plan_to_string : fault_plan -> string
+
+val pp_plan : Format.formatter -> fault_plan -> unit
+
+(** Parse an injection spec (the CLI's [--inject] grammar):
+    [SPEC := FAULT (";" FAULT)* \[":" OPT ("," OPT)*\]] with
+    [FAULT := worker@F | oom | reject | straggler*X] and [OPT := p=F].
+    E.g. ["worker@0.5;straggler*2:p=0.8"]. *)
+val parse_plan : ?seed:int -> string -> (fault_plan, string) result

@@ -49,3 +49,9 @@ let total_written_mb t = t.written_mb
 let snapshot t =
   { entries = Hashtbl.copy t.entries; read_mb = t.read_mb;
     written_mb = t.written_mb }
+
+let restore t ~from =
+  Hashtbl.reset t.entries;
+  Hashtbl.iter (fun name e -> Hashtbl.replace t.entries name e) from.entries;
+  t.read_mb <- from.read_mb;
+  t.written_mb <- from.written_mb

@@ -46,3 +46,8 @@ val total_written_mb : t -> float
 
 (** Deep copy (tables are immutable, so entries are shared). *)
 val snapshot : t -> t
+
+(** [restore t ~from] resets [t] in place to the contents and I/O
+    counters of [from] (normally a {!snapshot}). Used by the recovery
+    path to re-execute a job from its pre-run intermediates. *)
+val restore : t -> from:t -> unit

@@ -1,0 +1,65 @@
+(* Seeded, deterministic fault injection. The RNG is a splitmix64 so
+   draw sequences are reproducible across platforms and independent of
+   Stdlib.Random's global state. *)
+
+type t = {
+  plan : Faults.fault_plan;
+  mutable rng : int64;
+  mutable remaining : Faults.fault list;
+  mutable injected : int;
+  mutable draws : int;
+}
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let next_float t =
+  t.rng <- Int64.add t.rng 0x9e3779b97f4a7c15L;
+  let bits = Int64.shift_right_logical (mix64 t.rng) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let create (plan : Faults.fault_plan) =
+  { plan; rng = Int64.of_int plan.seed; remaining = plan.faults;
+    injected = 0; draws = 0 }
+
+let plan t = t.plan
+
+let injected_count t = t.injected
+
+let remaining_count t = List.length t.remaining
+
+let installed : t option ref = ref None
+
+let install t = installed := Some t
+
+let uninstall () = installed := None
+
+let active () = !installed <> None
+
+let current () = !installed
+
+let with_plan plan f =
+  let previous = !installed in
+  installed := Some (create plan);
+  Fun.protect ~finally:(fun () -> installed := previous) f
+
+let draw ~label:_ ~backend:_ =
+  match !installed with
+  | None -> None
+  | Some t -> (
+    match t.remaining with
+    | [] -> None
+    | fault :: rest ->
+      t.draws <- t.draws + 1;
+      (* one RNG advance per draw, fired or not, so the sequence of
+         injections depends only on the seed and the dispatch order *)
+      let u = next_float t in
+      if u < t.plan.probability then begin
+        t.remaining <- rest;
+        t.injected <- t.injected + 1;
+        Some fault
+      end
+      else None)

@@ -1,0 +1,42 @@
+(** Deterministic fault injection into engine runs.
+
+    An injector is created from a {!Faults.fault_plan} and installed
+    process-wide (mirroring the [Obs.Trace] collector idiom); while
+    installed, every {!Engine} run draws from it once, just after
+    admission and before outputs materialize — so a faulted job never
+    leaves partial state in HDFS. The plan's fault list is a finite
+    budget consumed front-to-back: with the same seed and the same
+    dispatch order, the same jobs fault in the same way, which is what
+    makes recovery testable ([--inject ... --seed 42] reproduces). *)
+
+type t
+
+val create : Faults.fault_plan -> t
+
+val plan : t -> Faults.fault_plan
+
+(** Faults fired so far. *)
+val injected_count : t -> int
+
+(** Faults still in the budget. *)
+val remaining_count : t -> int
+
+(** Make [t] the process-wide injector ({!with_plan} is usually what
+    you want). *)
+val install : t -> unit
+
+val uninstall : unit -> unit
+
+val active : unit -> bool
+
+val current : unit -> t option
+
+(** [with_plan plan f] runs [f] with a fresh injector installed,
+    restoring the previous one afterwards (also on exceptions). *)
+val with_plan : Faults.fault_plan -> (unit -> 'a) -> 'a
+
+(** [draw ~label ~backend] — called by the engine skeleton once per
+    run: advances the RNG and returns the next fault with the plan's
+    probability ([None] when the coin fails, the budget is exhausted,
+    or no injector is installed). *)
+val draw : label:string -> backend:Backend.t -> Faults.fault option

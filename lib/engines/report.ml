@@ -21,10 +21,13 @@ type t = {
 type error =
   | Unsupported of string
   | Out_of_memory of string
+  | Worker_lost of { at_fraction : float }
 
 let error_to_string = function
   | Unsupported msg -> "unsupported: " ^ msg
   | Out_of_memory msg -> "out of memory: " ^ msg
+  | Worker_lost { at_fraction } ->
+    Printf.sprintf "worker lost at %.0f%% of the job" (100. *. at_fraction)
 
 let zero_breakdown =
   { overhead_s = 0.; pull_s = 0.; load_s = 0.; process_s = 0.; comm_s = 0.;

@@ -30,6 +30,10 @@ type t = {
 type error =
   | Unsupported of string      (** job does not fit the engine's paradigm *)
   | Out_of_memory of string    (** e.g. Spark RDDs exceeding cluster RAM *)
+  | Worker_lost of { at_fraction : float }
+      (** a worker died after this fraction of the job on an engine
+          without fault tolerance (Table 3): the job aborts and the
+          executor's recovery policy decides what happens next *)
 
 val error_to_string : error -> string
 

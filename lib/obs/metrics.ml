@@ -20,16 +20,27 @@ let rel_error p =
   if p.observed_s > 0. then (p.predicted_s -. p.observed_s) /. p.observed_s
   else infinity
 
+type recovery_event = {
+  rec_workflow : string;
+  rec_job : string;
+  from_backend : string;
+  to_backend : string;
+  attempts : int;
+  first_error : string;
+  recovery_s : float;
+}
+
 type t = {
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, float ref) Hashtbl.t;
   histos : (string, float list ref) Hashtbl.t;  (* reverse record order *)
   mutable preds : prediction list;              (* reverse record order *)
+  mutable recs : recovery_event list;           (* reverse record order *)
 }
 
 let create () =
   { counters = Hashtbl.create 16; gauges = Hashtbl.create 16;
-    histos = Hashtbl.create 16; preds = [] }
+    histos = Hashtbl.create 16; preds = []; recs = [] }
 
 let default = create ()
 
@@ -37,7 +48,8 @@ let reset t =
   Hashtbl.reset t.counters;
   Hashtbl.reset t.gauges;
   Hashtbl.reset t.histos;
-  t.preds <- []
+  t.preds <- [];
+  t.recs <- []
 
 let cell tbl name init =
   match Hashtbl.find_opt tbl name with
@@ -131,6 +143,28 @@ let prediction_error t =
           if Float.is_finite e then Some (Float.abs e) else None)
        t.preds)
 
+let record_recovery t ~workflow ~job ~from_backend ~to_backend ~attempts
+    ~first_error ~recovery_s =
+  t.recs <-
+    { rec_workflow = workflow; rec_job = job; from_backend; to_backend;
+      attempts; first_error; recovery_s }
+    :: t.recs
+
+let recoveries t = List.rev t.recs
+
+let pp_recoveries ppf t =
+  match recoveries t with
+  | [] -> ()
+  | recs ->
+    Format.fprintf ppf "recovered jobs:@.";
+    Format.fprintf ppf "  %-28s %-10s %-10s %8s %9s  %s@." "job" "planned"
+      "ran on" "attempts" "recovery" "first error";
+    List.iter
+      (fun r ->
+         Format.fprintf ppf "  %-28s %-10s %-10s %8d %8.1fs  %s@." r.rec_job
+           r.from_backend r.to_backend r.attempts r.recovery_s r.first_error)
+      recs
+
 let pp_stats ppf s =
   Format.fprintf ppf
     "n=%d min=%.3g mean=%.3g p50=%.3g p90=%.3g p99=%.3g max=%.3g"
@@ -179,4 +213,5 @@ let pp ppf t =
        (fun (name, s) ->
           Format.fprintf ppf "  %-36s %a@." name pp_stats s)
        hs);
+  pp_recoveries ppf t;
   pp_predictions ppf t

@@ -75,6 +75,32 @@ val histogram : t -> string -> histogram_stats option
 
 val histograms : t -> (string * histogram_stats) list
 
+(** {2 Recovery events}
+
+    One record per job the executor brought back after a fault —
+    retried in place or re-planned onto a fallback engine. *)
+
+type recovery_event = {
+  rec_workflow : string;
+  rec_job : string;           (** job label, e.g. ["pagerank/job0"] *)
+  from_backend : string;      (** the planner's original choice *)
+  to_backend : string;        (** where it finally succeeded *)
+  attempts : int;             (** total attempts incl. the final one *)
+  first_error : string;       (** the first failure observed *)
+  recovery_s : float;         (** seconds charged to recovery *)
+}
+
+val record_recovery :
+  t -> workflow:string -> job:string -> from_backend:string ->
+  to_backend:string -> attempts:int -> first_error:string ->
+  recovery_s:float -> unit
+
+(** In record order. *)
+val recoveries : t -> recovery_event list
+
+(** Table of recovered jobs; prints nothing when there were none. *)
+val pp_recoveries : Format.formatter -> t -> unit
+
 (** {2 Prediction accuracy} *)
 
 val record_prediction :

@@ -1,0 +1,260 @@
+(* A tiny seeded property-based testing harness — no external
+   dependencies, so the fault-injection properties stay runnable on the
+   bare toolchain. QCheck-style: an ['a arbitrary] bundles a generator,
+   a printer and a shrinker; [check] runs the property over [count]
+   generated cases and, on failure, greedily shrinks (by halving) before
+   reporting the seed and the minimal counterexample.
+
+   Besides the generic combinators this module carries the domain
+   generators the fault-tolerance suite shares: kv relations, operator
+   pipelines (always well-typed over the (k:int, v:int) schema, so any
+   random composition plans and executes), and fault plans. *)
+
+(* ---- deterministic RNG (splitmix64, same core as Engines.Injector) ---- *)
+
+module Rng = struct
+  type t = { mutable state : int64 }
+
+  let create seed = { state = Int64.of_int seed }
+
+  let next t =
+    t.state <- Int64.add t.state 0x9e3779b97f4a7c15L;
+    let z = t.state in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xbf58476d1ce4e5b9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94d049bb133111ebL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  (* uniform in [0,1), from the high 53 bits *)
+  let float t =
+    Int64.to_float (Int64.shift_right_logical (next t) 11) *. 0x1p-53
+
+  (* uniform in [0, bound); modulo bias is irrelevant at test scale *)
+  let int t bound =
+    if bound <= 0 then 0
+    else Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1)
+                         (Int64.of_int bound))
+
+  let bool t = Int64.logand (next t) 1L = 1L
+
+  let pick t xs = List.nth xs (int t (List.length xs))
+end
+
+(* ---- arbitraries ---- *)
+
+type 'a arbitrary = {
+  gen : Rng.t -> 'a;
+  shrink : 'a -> 'a list;
+  print : 'a -> string;
+}
+
+let no_shrink _ = []
+
+let make ?(shrink = no_shrink) ~print gen = { gen; shrink; print }
+
+(* shrinking by halving: toward 0 for ints, dropping half for lists *)
+let shrink_int n = if n = 0 then [] else List.sort_uniq compare [ 0; n / 2 ]
+
+let halves xs =
+  match xs with
+  | [] -> []
+  | [ _ ] -> [ [] ]
+  | _ ->
+    let n = List.length xs in
+    let k = n / 2 in
+    [ List.filteri (fun i _ -> i < k) xs;
+      List.filteri (fun i _ -> i >= k) xs ]
+
+let shrink_list ?(shrink_elt = no_shrink) xs =
+  let pointwise =
+    List.concat
+      (List.mapi
+         (fun i x ->
+            List.map
+              (fun x' -> List.mapi (fun j y -> if i = j then x' else y) xs)
+              (shrink_elt x))
+         xs)
+  in
+  halves xs @ pointwise
+
+let print_list print xs =
+  "[" ^ String.concat "; " (List.map print xs) ^ "]"
+
+(* ---- the check loop ---- *)
+
+exception Falsified of string
+
+(* does the property hold? exceptions count as failures *)
+let passes prop x =
+  match prop x with
+  | true -> None
+  | false -> Some "property returned false"
+  | exception e -> Some (Printexc.to_string e)
+
+let rec minimize ~budget prop shrink x why =
+  if budget = 0 then (x, why)
+  else
+    let failing =
+      List.find_map
+        (fun c -> Option.map (fun w -> (c, w)) (passes prop c))
+        (shrink x)
+    in
+    match failing with
+    | Some (smaller, why) -> minimize ~budget:(budget - 1) prop shrink smaller why
+    | None -> (x, why)
+
+(* [check ~seed ~name arb prop] — raises {!Falsified} with the seed and
+   the shrunk counterexample on the first failing case *)
+let check ?(count = 50) ~seed ~name arb prop =
+  let rng = Rng.create seed in
+  for case = 1 to count do
+    let x = arb.gen rng in
+    match passes prop x with
+    | None -> ()
+    | Some why ->
+      let x, why = minimize ~budget:200 prop arb.shrink x why in
+      raise
+        (Falsified
+           (Printf.sprintf
+              "%s: falsified on case %d/%d (seed %d): %s\n\
+               counterexample: %s"
+              name case count seed why (arb.print x)))
+  done
+
+(* ---- domain generators: kv relations ---- *)
+
+let kv_schema =
+  Relation.Schema.make
+    [ { Relation.Schema.name = "k"; ty = Relation.Value.Tint };
+      { Relation.Schema.name = "v"; ty = Relation.Value.Tint } ]
+
+let table_of_rows rows =
+  Relation.Table.create kv_schema
+    (List.map
+       (fun (k, v) -> [| Relation.Value.Int k; Relation.Value.Int v |])
+       rows)
+
+(* small key range forces collisions, so GROUP BY and DISTINCT matter *)
+let gen_rows rng =
+  let n = 1 + Rng.int rng 40 in
+  List.init n (fun _ -> (Rng.int rng 8, Rng.int rng 100))
+
+let print_row (k, v) = Printf.sprintf "(%d,%d)" k v
+
+(* ---- operator pipelines over the kv schema ----
+
+   Every op maps a (k:int, v:int) relation to another, so arbitrary
+   compositions always type-check, plan and execute. *)
+
+type op =
+  | Select_gt of int   (* keep rows with v > c *)
+  | Map_add of int     (* v := v + c *)
+  | Group_sum          (* k, sum(v) as v *)
+  | Distinct
+  | Union_self         (* bag-union with itself *)
+
+let op_to_string = function
+  | Select_gt c -> Printf.sprintf "select(v>%d)" c
+  | Map_add c -> Printf.sprintf "map(v+%d)" c
+  | Group_sum -> "group_sum"
+  | Distinct -> "distinct"
+  | Union_self -> "union_self"
+
+let gen_op rng =
+  match Rng.int rng 5 with
+  | 0 -> Select_gt (Rng.int rng 100)
+  | 1 -> Map_add (Rng.int rng 20)
+  | 2 -> Group_sum
+  | 3 -> Distinct
+  | _ -> Union_self
+
+let shrink_op = function
+  | Select_gt c -> List.map (fun c -> Select_gt c) (shrink_int c)
+  | Map_add c -> List.map (fun c -> Map_add c) (shrink_int c)
+  | Group_sum | Distinct | Union_self -> []
+
+type workflow_spec = {
+  rows : (int * int) list;
+  ops : op list;
+}
+
+let spec_to_string s =
+  Printf.sprintf "{rows=%s; ops=%s}"
+    (print_list print_row s.rows)
+    (print_list op_to_string s.ops)
+
+let gen_spec rng =
+  { rows = gen_rows rng;
+    ops = List.init (Rng.int rng 5) (fun _ -> gen_op rng) }
+
+let shrink_spec s =
+  List.map (fun rows -> { s with rows }) (shrink_list s.rows)
+  @ List.map (fun ops -> { s with ops }) (shrink_list ~shrink_elt:shrink_op s.ops)
+
+let spec_arbitrary =
+  make ~shrink:shrink_spec ~print:spec_to_string gen_spec
+
+(* builds the IR for a spec; the result relation is always "out" *)
+let graph_of_spec spec =
+  let b = Ir.Builder.create () in
+  let apply h = function
+    | Select_gt c ->
+      Ir.Builder.select b ~pred:Relation.Expr.(col "v" > int c) h
+    | Map_add c ->
+      Ir.Builder.map b ~target:"v"
+        ~expr:Relation.Expr.(col "v" + int c)
+        h
+    | Group_sum ->
+      Ir.Builder.group_by b ~keys:[ "k" ]
+        ~aggs:[ Relation.Aggregate.make (Relation.Aggregate.Sum "v")
+                  ~as_name:"v" ]
+        h
+    | Distinct -> Ir.Builder.distinct b h
+    | Union_self -> Ir.Builder.union b h h
+  in
+  let h = List.fold_left apply (Ir.Builder.input b "r") spec.ops in
+  let out =
+    Ir.Builder.select b ~name:"out"
+      ~pred:Relation.Expr.(col "k" > int (-1))
+      h
+  in
+  Ir.Builder.finish b ~outputs:[ out ]
+
+let hdfs_of_spec spec =
+  let hdfs = Engines.Hdfs.create () in
+  Engines.Hdfs.put hdfs "r" ~modeled_mb:64. (table_of_rows spec.rows);
+  hdfs
+
+(* ---- fault plans ---- *)
+
+let gen_fault rng =
+  match Rng.int rng 4 with
+  | 0 -> Engines.Faults.Worker_failure { at_fraction = Rng.float rng }
+  | 1 -> Engines.Faults.Engine_rejection "injected OOM"
+  | 2 -> Engines.Faults.Engine_rejection "injected rejection"
+  | _ -> Engines.Faults.Straggler { slowdown = 1. +. (3. *. Rng.float rng) }
+
+let gen_fault_plan rng =
+  { Engines.Faults.seed = Rng.int rng 10_000;
+    (* skewed toward 1 so injected faults actually fire *)
+    probability = Rng.pick rng [ 1.; 1.; 0.75; 0.5 ];
+    faults = List.init (1 + Rng.int rng 4) (fun _ -> gen_fault rng) }
+
+let shrink_fault_plan (p : Engines.Faults.fault_plan) =
+  List.filter_map
+    (fun faults ->
+       if faults = [] then None
+       else Some { p with Engines.Faults.faults })
+    (halves p.Engines.Faults.faults)
+
+let fault_plan_arbitrary =
+  make ~shrink:shrink_fault_plan
+    ~print:(fun p ->
+      Printf.sprintf "%s (seed %d)" (Engines.Faults.plan_to_string p)
+        p.Engines.Faults.seed)
+    gen_fault_plan

@@ -424,6 +424,55 @@ let test_fault_recovery () =
            (Engines.Faults.makespan_with_failure Engines.Backend.Hadoop report
               ~at_fraction:1.5))
 
+(* regression: NaN slips through naive range checks because every
+   comparison against it is false — the guard must reject it too *)
+let test_fault_fraction_nan_rejected () =
+  let bindings = [ ("r", kv_table sample_rows, 512.) ] in
+  match run_engine Engines.Backend.Hadoop (scan_graph "r") bindings with
+  | None -> Alcotest.fail "hadoop must run a scan"
+  | Some (report, _) ->
+    List.iter
+      (fun bad ->
+         Alcotest.check_raises
+           (Printf.sprintf "rejects %f" bad)
+           (Invalid_argument
+              "Faults.makespan_with_failure: fraction outside [0,1]")
+           (fun () ->
+              ignore
+                (Engines.Faults.makespan_with_failure Engines.Backend.Metis
+                   report ~at_fraction:bad)))
+      [ Float.nan; Float.neg_infinity; Float.infinity; -0.01 ]
+
+let test_fault_plan_parser () =
+  (match Engines.Faults.parse_plan ~seed:42 "worker@0.5" with
+   | Ok p ->
+     Alcotest.(check int) "seed" 42 p.Engines.Faults.seed;
+     Alcotest.(check (float 0.)) "probability" 1. p.Engines.Faults.probability;
+     (match p.Engines.Faults.faults with
+      | [ Engines.Faults.Worker_failure { at_fraction } ] ->
+        Alcotest.(check (float 0.)) "fraction" 0.5 at_fraction
+      | _ -> Alcotest.fail "expected one worker failure")
+   | Error e -> Alcotest.fail e);
+  (match Engines.Faults.parse_plan "worker@0.25;oom;straggler*2:p=0.8" with
+   | Ok p ->
+     Alcotest.(check (float 0.)) "probability" 0.8 p.Engines.Faults.probability;
+     Alcotest.(check int) "three faults" 3
+       (List.length p.Engines.Faults.faults);
+     (* the printable form parses back to the same plan *)
+     Alcotest.(check string) "round-trips"
+       (Engines.Faults.plan_to_string p)
+       (match Engines.Faults.parse_plan (Engines.Faults.plan_to_string p) with
+        | Ok p' -> Engines.Faults.plan_to_string p'
+        | Error e -> e)
+   | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+       match Engines.Faults.parse_plan bad with
+       | Ok _ -> Alcotest.failf "parser accepted %S" bad
+       | Error _ -> ())
+    [ ""; "worker@1.5"; "worker@nan"; "straggler*0.5"; "explode";
+      "worker@0.5:p=2"; "worker@0.5:p=nan" ]
+
 (* ---------------- capabilities (Table 3) ---------------- *)
 
 let test_capabilities () =
@@ -581,7 +630,11 @@ let () =
         [ Alcotest.test_case "breakdown sums" `Quick
             test_breakdown_consistency ] );
       ( "faults",
-        [ Alcotest.test_case "recovery model" `Quick test_fault_recovery ] );
+        [ Alcotest.test_case "recovery model" `Quick test_fault_recovery;
+          Alcotest.test_case "nan fraction rejected" `Quick
+            test_fault_fraction_nan_rejected;
+          Alcotest.test_case "fault plan parser" `Quick
+            test_fault_plan_parser ] );
       ( "extensions",
         [ Alcotest.test_case "giraph/x-stream pagerank" `Quick
             test_extension_engines_run_pagerank;
