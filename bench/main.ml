@@ -130,6 +130,114 @@ let bechamel () =
     (fun (name, est) -> Printf.printf "%-36s %s\n" name est)
     (List.sort compare !rows)
 
+(* ---- serial vs parallel kernel benchmark ----
+
+   Times each hot kernel on NetFlix-scale synthetic tables under
+   [Pool.with_jobs 1] (exact serial path) and under the parallel jobs
+   count, checks the outputs are byte-identical, prints a table and
+   writes the numbers to BENCH_kernels.json. On a single-core machine
+   the "parallel" runs exercise the pool but cannot beat serial;
+   speedups are honest wall-clock ratios either way. *)
+
+let kernels_par () =
+  let open Relation in
+  let par_jobs =
+    let configured = Pool.configured_jobs () in
+    if configured > 1 then configured else 4
+  in
+  let ratings_n = 400_000 and movies_n = 17_000 in
+  let ratings =
+    let schema =
+      Schema.make
+        [ { Schema.name = "user"; ty = Value.Tint };
+          { Schema.name = "movie"; ty = Value.Tint };
+          { Schema.name = "rating"; ty = Value.Tint } ]
+    in
+    Table.create_unchecked schema
+      (Array.init ratings_n (fun i ->
+           [| Value.Int (i * 7919 mod 480_189);
+              Value.Int (i * 104_729 mod movies_n);
+              Value.Int (1 + (i * 31 mod 5)) |]))
+  in
+  let movies =
+    let schema =
+      Schema.make
+        [ { Schema.name = "movie"; ty = Value.Tint };
+          { Schema.name = "year"; ty = Value.Tint } ]
+    in
+    Table.create_unchecked schema
+      (Array.init movies_n (fun i ->
+           [| Value.Int i; Value.Int (1950 + (i mod 60)) |]))
+  in
+  let kernels =
+    [ ("select", fun () -> Kernel.select ratings Expr.(col "rating" >= int 4));
+      ("project", fun () -> Kernel.project ratings [ "user"; "rating" ]);
+      ("map", fun () ->
+          Kernel.map_column ratings ~target:"centered"
+            ~expr:Expr.(col "rating" - int 3));
+      ("join", fun () ->
+          Kernel.join ratings movies ~left_key:"movie" ~right_key:"movie");
+      ("group_by", fun () ->
+          Kernel.group_by ratings ~keys:[ "movie" ]
+            ~aggs:
+              [ Aggregate.make (Aggregate.Sum "rating") ~as_name:"total";
+                Aggregate.make Aggregate.Count ~as_name:"n" ]);
+      ("sort", fun () -> Table.sort_by ratings [ "movie"; "user" ]) ]
+  in
+  let reps = 3 in
+  let best_of jobs f =
+    let best = ref infinity and out = ref None in
+    for _ = 1 to reps do
+      let result, s = Obs.Trace.time (fun () -> Pool.with_jobs jobs f) in
+      if s < !best then best := s;
+      out := Some result
+    done;
+    (Option.get !out, !best)
+  in
+  Printf.printf "serial vs parallel kernels (%d rows, jobs=%d, best of %d)\n"
+    ratings_n par_jobs reps;
+  Printf.printf "%-10s %12s %12s %9s  %s\n" "kernel" "serial" "parallel"
+    "speedup" "identical";
+  let results =
+    List.map
+      (fun (name, f) ->
+         let serial_out, serial_s = best_of 1 f in
+         let par_out, par_s = best_of par_jobs f in
+         let identical = Table.to_csv serial_out = Table.to_csv par_out in
+         let speedup = serial_s /. par_s in
+         Printf.printf "%-10s %10.1fms %10.1fms %8.2fx  %b\n%!" name
+           (1000. *. serial_s) (1000. *. par_s) speedup identical;
+         if not identical then begin
+           Printf.eprintf "FATAL: %s parallel output differs from serial\n"
+             name;
+           exit 1
+         end;
+         (name, serial_s, par_s, speedup))
+      kernels
+  in
+  let json =
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "{\n";
+    Buffer.add_string b (Printf.sprintf "  \"rows\": %d,\n" ratings_n);
+    Buffer.add_string b (Printf.sprintf "  \"jobs\": %d,\n" par_jobs);
+    Buffer.add_string b (Printf.sprintf "  \"reps\": %d,\n" reps);
+    Buffer.add_string b "  \"kernels\": [\n";
+    List.iteri
+      (fun i (name, serial_s, par_s, speedup) ->
+         Buffer.add_string b
+           (Printf.sprintf
+              "    {\"kernel\": %S, \"serial_s\": %.6f, \"parallel_s\": \
+               %.6f, \"speedup\": %.3f}%s\n"
+              name serial_s par_s speedup
+              (if i = List.length results - 1 then "" else ",")))
+      results;
+    Buffer.add_string b "  ]\n}\n";
+    Buffer.contents b
+  in
+  Out_channel.with_open_text "BENCH_kernels.json" (fun oc ->
+      Out_channel.output_string oc json);
+  Printf.printf "wrote BENCH_kernels.json\n"
+
 (* pull "--trace FILE" out of the argument list *)
 let rec extract_trace = function
   | [] -> (None, [])
@@ -153,8 +261,11 @@ let () =
       List.iter
         (fun (name, descr, _) -> Printf.printf "%-8s %s\n" name descr)
         targets;
-      print_endline "bechamel  Bechamel micro-benchmarks (partitioning)"
+      print_endline "bechamel  Bechamel micro-benchmarks (partitioning)";
+      print_endline
+        "kernels-par  serial vs parallel kernel speedups (BENCH_kernels.json)"
     | [ "bechamel" ] -> run_target "bechamel" bechamel
+    | [ "kernels-par" ] -> run_target "kernels-par" kernels_par
     | [] ->
       List.iter
         (fun (name, _, f) ->
@@ -169,6 +280,8 @@ let () =
            | Some (_, _, f) -> run_target name f
            | None ->
              if raw = "bechamel" then run_target "bechamel" bechamel
+             else if raw = "kernels-par" then
+               run_target "kernels-par" kernels_par
              else Printf.eprintf "unknown target %s (try: list)\n" raw)
         names
   in

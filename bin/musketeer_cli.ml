@@ -148,6 +148,18 @@ let inject_arg =
            E.g. --inject 'worker\\@0.5;straggler*2:p=0.8'. Deterministic \
            for a given --seed; see docs/fault-tolerance.md.")
 
+let jobs_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domains used by the parallel relational kernels (overrides \
+           the MUSKETEER_JOBS environment variable); 1 forces the exact \
+           serial code paths. \
+           Defaults to the machine's core count minus one. Engine \
+           simulators additionally cap kernel parallelism at their \
+           simulated worker count.")
+
 let seed_arg =
   Arg.(
     value & opt int 42
@@ -252,7 +264,8 @@ let setup kind nodes =
   (m, hdfs, graph)
 
 let plan_cmd =
-  let run kind nodes backend dot trace =
+  let run kind nodes backend dot trace jobs =
+    Relation.Pool.set_jobs jobs;
     with_trace trace @@ fun () ->
     let m, hdfs, graph = setup kind nodes in
     let backends = Option.map (fun b -> [ b ]) backend in
@@ -272,10 +285,11 @@ let plan_cmd =
           Graphviz rendering colored per job).")
     Term.(
       const run $ workflow_arg $ nodes_arg $ backend_arg $ dot_arg
-      $ trace_arg)
+      $ trace_arg $ jobs_arg)
 
 let run_cmd =
-  let run kind nodes backend show_code trace inject seed retries =
+  let run kind nodes backend show_code trace inject seed retries jobs =
+    Relation.Pool.set_jobs jobs;
     with_trace trace @@ fun () ->
     with_injection inject seed retries @@ fun recovery injected ->
     let m, hdfs, graph = setup kind nodes in
@@ -317,7 +331,7 @@ let run_cmd =
        ~doc:"Plan and execute a workflow on the simulated cluster.")
     Term.(
       const run $ workflow_arg $ nodes_arg $ backend_arg $ show_code_arg
-      $ trace_arg $ inject_arg $ seed_arg $ retries_arg)
+      $ trace_arg $ inject_arg $ seed_arg $ retries_arg $ jobs_arg)
 
 let parse_cmd =
   let run frontend file dot =
@@ -339,7 +353,8 @@ let parse_cmd =
 
 let run_file_cmd =
   let run frontend file tables nodes backend show_code history_file trace
-      inject seed retries =
+      inject seed retries jobs =
+    Relation.Pool.set_jobs jobs;
     with_trace trace @@ fun () ->
     with_injection inject seed retries @@ fun recovery injected ->
     let source = In_channel.with_open_text file In_channel.input_all in
@@ -401,16 +416,17 @@ let run_file_cmd =
     Term.(
       const
         (fun frontend file tables nodes backend show_code history trace inject
-          seed retries ->
+          seed retries jobs ->
           with_parse_errors (fun () ->
               run frontend file tables nodes backend show_code history trace
-                inject seed retries))
+                inject seed retries jobs))
       $ frontend_arg $ file_arg $ tables_arg $ nodes_arg $ backend_arg
       $ show_code_arg $ history_arg $ trace_arg $ inject_arg $ seed_arg
-      $ retries_arg)
+      $ retries_arg $ jobs_arg)
 
 let explain_cmd =
-  let run kind nodes backend trace =
+  let run kind nodes backend trace jobs =
+    Relation.Pool.set_jobs jobs;
     with_trace trace @@ fun () ->
     let m, hdfs, graph = setup kind nodes in
     let backends = Option.map (fun b -> [ b ]) backend in
@@ -422,10 +438,13 @@ let explain_cmd =
        ~doc:
          "Show the optimized IR, the per-operator volume estimates and \
           why the chosen mapping beats the alternatives.")
-    Term.(const run $ workflow_arg $ nodes_arg $ backend_arg $ trace_arg)
+    Term.(
+      const run $ workflow_arg $ nodes_arg $ backend_arg $ trace_arg
+      $ jobs_arg)
 
 let stats_cmd =
-  let run kind nodes backend repeat trace inject seed retries =
+  let run kind nodes backend repeat trace inject seed retries jobs =
+    Relation.Pool.set_jobs jobs;
     with_trace trace @@ fun () ->
     with_injection inject seed retries @@ fun recovery injected ->
     let cluster = Engines.Cluster.ec2 ~nodes in
@@ -458,7 +477,7 @@ let stats_cmd =
           live Figure 14 signal).")
     Term.(
       const run $ workflow_arg $ nodes_arg $ backend_arg $ repeat_arg
-      $ trace_arg $ inject_arg $ seed_arg $ retries_arg)
+      $ trace_arg $ inject_arg $ seed_arg $ retries_arg $ jobs_arg)
 
 let calibrate_cmd =
   let run nodes =

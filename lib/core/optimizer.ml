@@ -4,9 +4,10 @@ let log_src = Logs.Src.create "musketeer.optimizer" ~doc:"IR rewrites"
 
 module Log = (val Logs.src_log log_src)
 
-let rewrite_count = ref 0
+(* Atomic: rewrites may fire from kernels running on pool domains. *)
+let rewrite_count = Atomic.make 0
 
-let last_rewrite_count () = !rewrite_count
+let last_rewrite_count () = Atomic.get rewrite_count
 
 (* ---- generic single-node rewrite driver ---- *)
 
@@ -326,7 +327,7 @@ let rec optimize_graph ~catalog (g : Ir.Dag.t) =
   in
   match applied with
   | Some (rule, g') ->
-    incr rewrite_count;
+    Atomic.incr rewrite_count;
     Obs.Metrics.incr Obs.Metrics.default ("rewrite." ^ rule);
     Log.debug (fun m -> m "applied rewrite %s" rule);
     optimize_graph ~catalog g'
@@ -370,12 +371,12 @@ and optimize_bodies ~catalog ~schemas (g : Ir.Dag.t) =
 
 let optimize ~catalog g =
   Obs.Trace.with_span "optimize" @@ fun () ->
-  rewrite_count := 0;
+  Atomic.set rewrite_count 0;
   let result =
     try optimize_graph ~catalog g with
     | Ir.Typing.Type_error _ | Not_found ->
       (* workflows we cannot fully type (e.g. black boxes) run unoptimized *)
       g
   in
-  Obs.Trace.add_attr "rewrites" (Obs.Trace.Int !rewrite_count);
+  Obs.Trace.add_attr "rewrites" (Obs.Trace.Int (Atomic.get rewrite_count));
   result

@@ -19,13 +19,13 @@ let op_nodes (g : Ir.Dag.t) =
     g.Ir.Operator.nodes
 
 (* candidate operator sets priced since process start; the per-search
-   delta is attached to the "partition" span (like
-   Optimizer.last_rewrite_count, not thread-safe) *)
-let sets_scored = ref 0
+   delta is attached to the "partition" span. Atomic so searches run
+   from worker domains still count correctly. *)
+let sets_scored = Atomic.make 0
 
 (* Cheapest feasible backend for a node set; memoized by the caller. *)
 let best_backend ~profile ~est ~backends g ids =
-  incr sets_scored;
+  Atomic.incr sets_scored;
   List.fold_left
     (fun best backend ->
        match Cost.job_cost ~profile ~graph:g ~est backend ids with
@@ -58,9 +58,13 @@ let op_adjacency (g : Ir.Dag.t) =
     if not (List.mem b cur) then Hashtbl.replace adj a (b :: cur)
   in
   let ops = op_nodes g in
-  let is_op id =
-    List.exists (fun (n : Ir.Operator.node) -> n.id = id) ops
-  in
+  (* membership tests run once per edge endpoint — a linear scan over
+     [ops] each time made adjacency construction O(nodes²) *)
+  let op_ids : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (n : Ir.Operator.node) -> Hashtbl.replace op_ids n.id ())
+    ops;
+  let is_op id = Hashtbl.mem op_ids id in
   List.iter
     (fun (n : Ir.Operator.node) ->
        List.iter
@@ -157,8 +161,14 @@ let exhaustive_generic ~memoize ~profile ~est ~backends (g : Ir.Dag.t) =
              match set_cost set with
              | None -> best
              | Some (backend, c) -> (
+               (* [set] as a hash set: the List.mem scan made this
+                  subtraction quadratic on wide frontiers *)
+               let in_set : (int, unit) Hashtbl.t =
+                 Hashtbl.create (2 * List.length set)
+               in
+               List.iter (fun id -> Hashtbl.replace in_set id ()) set;
                let rest =
-                 List.filter (fun id -> not (List.mem id set)) remaining
+                 List.filter (fun id -> not (Hashtbl.mem in_set id)) remaining
                in
                match best_partition rest with
                | None -> best
@@ -192,9 +202,9 @@ let instrumented ~strategy g f =
              ("operators", Obs.Trace.Int (Ir.Dag.operator_count g)) ]
     "partition"
   @@ fun () ->
-  let before = !sets_scored in
+  let before = Atomic.get sets_scored in
   let plan = f () in
-  let scored = !sets_scored - before in
+  let scored = Atomic.get sets_scored - before in
   Obs.Trace.add_attr "sets_scored" (Obs.Trace.Int scored);
   Obs.Metrics.incr Obs.Metrics.default ("partition." ^ strategy);
   Obs.Metrics.observe Obs.Metrics.default "partition.sets_scored"

@@ -136,13 +136,27 @@ and eval_while ~hdfs ~acc ~condition ~max_iterations ~body ins =
   | Some v -> v
   | None -> assert false
 
-let execute ~hdfs (g : Ir.Operator.graph) =
+(* [max_jobs] caps kernel parallelism at the engine's simulated worker
+   count for the duration of the run: a simulated single-core engine
+   must not fan out onto the whole domain pool. *)
+let execute ?max_jobs ~hdfs (g : Ir.Operator.graph) =
   let acc =
     { input_mb = 0.; process_mb = 0.; comm_mb = 0.; iterations = 1;
       stats = [] }
   in
   let bound = Hashtbl.create 1 in
-  let values, _ = eval_graph ~hdfs ~bound ~acc g in
+  let values, _ =
+    match max_jobs with
+    | None -> eval_graph ~hdfs ~bound ~acc g
+    | Some cap -> Pool.with_cap cap (fun () -> eval_graph ~hdfs ~bound ~acc g)
+  in
+  let st = Pool.stats () in
+  Obs.Metrics.set_gauge Obs.Metrics.default "pool.domains"
+    (float_of_int st.Pool.domains);
+  Obs.Metrics.set_gauge Obs.Metrics.default "pool.batches"
+    (float_of_int st.Pool.batches);
+  Obs.Metrics.set_gauge Obs.Metrics.default "pool.tasks"
+    (float_of_int st.Pool.tasks);
   let out_nodes =
     match g.outputs with
     | [] -> Ir.Dag.sinks g

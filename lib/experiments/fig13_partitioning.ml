@@ -27,6 +27,16 @@ let setup () =
    pipeline traces are directly comparable *)
 let time_once f = snd (Obs.Trace.time f)
 
+(* Millisecond-scale searches are vulnerable to a single ill-timed GC
+   pause (the test suite runs these after experiments that leave a large
+   heap — and, with the kernel pool active, extra domains). Take the
+   best of three for fast measurements; long runs are self-averaging
+   and not worth repeating. *)
+let time_best f =
+  let s = time_once f in
+  if s >= 0.05 then s
+  else min s (min (time_once f) (time_once f))
+
 (** (operators, exhaustive seconds option, memoized-exhaustive seconds,
     dynamic seconds). Exhaustive is skipped (None) once a previous size
     exceeded [budget_s]. *)
@@ -44,11 +54,11 @@ let measurements ?(max_ops = 18) ?(budget_s = 5.) () =
            Musketeer.estimator m ~workflow:"netflix-prefix" ~hdfs g
          in
          let dyn =
-           time_once (fun () ->
+           time_best (fun () ->
                Musketeer.Partitioner.dynamic ~profile ~est ~backends g)
          in
          let memo =
-           time_once (fun () ->
+           time_best (fun () ->
                Musketeer.Partitioner.exhaustive_memoized ~profile ~est
                  ~backends g)
          in
@@ -56,7 +66,7 @@ let measurements ?(max_ops = 18) ?(budget_s = 5.) () =
            if !exhausted then None
            else begin
              let s =
-               time_once (fun () ->
+               time_best (fun () ->
                    Musketeer.Partitioner.exhaustive ~profile ~est ~backends g)
              in
              if s > budget_s then exhausted := true;

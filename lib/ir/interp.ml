@@ -31,12 +31,7 @@ let eval_kind (kind : Operator.kind) (inputs : Table.t list) =
   | Operator.Distinct, [ t ] -> Kernel.distinct t
   | Operator.Group_by { keys; aggs }, [ t ] -> Kernel.group_by t ~keys ~aggs
   | Operator.Agg { aggs }, [ t ] -> Kernel.group_by t ~keys:[] ~aggs
-  | Operator.Sort { by; descending }, [ t ] ->
-    let sorted = Table.sort_by t [ by ] in
-    if descending then
-      Table.create_unchecked (Table.schema sorted)
-        (Array.of_list (List.rev (Array.to_list (Table.rows sorted))))
-    else sorted
+  | Operator.Sort { by; descending }, [ t ] -> Table.sort_by ~descending t [ by ]
   | Operator.Top_k { by; descending; k }, [ t ] ->
     Kernel.top_k t ~by ~descending ~k
   | Operator.Udf u, ts ->

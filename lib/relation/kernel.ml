@@ -1,45 +1,86 @@
+(* ---- serial/parallel dispatch ----
+
+   Kernels run serially unless the domain pool is enabled (jobs > 1)
+   AND the input is large enough that chunking pays for itself. The
+   parallel variants in {!Par} are byte-identical to the serial paths,
+   so dispatch never changes an answer — only the wall clock. *)
+
+let par_threshold = 512
+
+let dispatch name ~rows serial parallel =
+  let jobs = Pool.effective_jobs () in
+  if jobs > 1 && rows >= par_threshold then begin
+    Obs.Trace.with_span
+      ~attrs:[ ("kernel", Obs.Trace.String name);
+               ("jobs", Obs.Trace.Int jobs);
+               ("rows", Obs.Trace.Int rows);
+               ("chunks",
+                Obs.Trace.Int (Array.length (Pool.chunks ~jobs rows))) ]
+      "kernel.par"
+    @@ fun () ->
+    Obs.Metrics.incr Obs.Metrics.default ("kernel.par." ^ name);
+    Obs.Metrics.observe Obs.Metrics.default "kernel.par.chunks"
+      (float_of_int (Array.length (Pool.chunks ~jobs rows)));
+    parallel ~jobs
+  end
+  else serial ()
+
 let select t pred =
-  let schema = Table.schema t in
-  let f = Expr.compile schema pred in
-  let keep row =
-    match f row with
-    | Value.Bool b -> b
-    | v ->
-      raise
-        (Expr.Type_error
-           (Printf.sprintf "SELECT predicate returned %s" (Value.to_string v)))
-  in
-  let rows =
-    Array.of_seq (Seq.filter keep (Array.to_seq (Table.rows t)))
-  in
-  Table.create_unchecked schema rows
+  dispatch "select" ~rows:(Table.row_count t)
+    (fun () ->
+       let schema = Table.schema t in
+       let f = Expr.compile schema pred in
+       let keep row =
+         match f row with
+         | Value.Bool b -> b
+         | v ->
+           raise
+             (Expr.Type_error
+                (Printf.sprintf "SELECT predicate returned %s"
+                   (Value.to_string v)))
+       in
+       let rows =
+         Array.of_seq (Seq.filter keep (Array.to_seq (Table.rows t)))
+       in
+       Table.create_unchecked schema rows)
+    (fun ~jobs -> Par.select ~jobs t pred)
 
 let project t cols =
-  let schema = Table.schema t in
-  let idxs = Array.of_list (List.map (Schema.index_of schema) cols) in
-  let out_schema = Schema.restrict schema cols in
-  let rows =
-    Array.map (fun row -> Array.map (fun i -> row.(i)) idxs) (Table.rows t)
-  in
-  Table.create_unchecked out_schema rows
+  dispatch "project" ~rows:(Table.row_count t)
+    (fun () ->
+       let schema = Table.schema t in
+       let idxs = Array.of_list (List.map (Schema.index_of schema) cols) in
+       let out_schema = Schema.restrict schema cols in
+       let rows =
+         Array.map (fun row -> Array.map (fun i -> row.(i)) idxs)
+           (Table.rows t)
+       in
+       Table.create_unchecked out_schema rows)
+    (fun ~jobs -> Par.project ~jobs t cols)
 
 let map_column t ~target ~expr =
-  let schema = Table.schema t in
-  let ty = Expr.infer schema expr in
-  let f = Expr.compile schema expr in
-  let out_schema = Schema.with_column schema { Schema.name = target; ty } in
-  let replace = Schema.mem schema target in
-  let idx = if replace then Schema.index_of schema target else -1 in
-  let transform row =
-    let v = f row in
-    if replace then begin
-      let row' = Array.copy row in
-      row'.(idx) <- v;
-      row'
-    end
-    else Array.append row [| v |]
-  in
-  Table.create_unchecked out_schema (Array.map transform (Table.rows t))
+  dispatch "map" ~rows:(Table.row_count t)
+    (fun () ->
+       let schema = Table.schema t in
+       let ty = Expr.infer schema expr in
+       let f = Expr.compile schema expr in
+       let out_schema =
+         Schema.with_column schema { Schema.name = target; ty }
+       in
+       let replace = Schema.mem schema target in
+       let idx = if replace then Schema.index_of schema target else -1 in
+       let transform row =
+         let v = f row in
+         if replace then begin
+           let row' = Array.copy row in
+           row'.(idx) <- v;
+           row'
+         end
+         else Array.append row [| v |]
+       in
+       Table.create_unchecked out_schema
+         (Array.map transform (Table.rows t)))
+    (fun ~jobs -> Par.map_column ~jobs t ~target ~expr)
 
 let rename_column t ~from_ ~to_ =
   let schema = Table.schema t in
@@ -52,7 +93,7 @@ let rename_column t ~from_ ~to_ =
   if not (Schema.mem schema from_) then raise Not_found;
   Table.create_unchecked (Schema.make cols) (Table.rows t)
 
-let join left right ~left_key ~right_key =
+let serial_join left right ~left_key ~right_key =
   let ls = Table.schema left and rs = Table.schema right in
   let li = Schema.index_of ls left_key and ri = Schema.index_of rs right_key in
   (* right schema without its key column; a key-only right side adds
@@ -84,6 +125,11 @@ let join left right ~left_key ~right_key =
          matches)
     (Table.rows right);
   Table.create_unchecked out_schema (Array.of_list (List.rev !out))
+
+let join left right ~left_key ~right_key =
+  dispatch "join" ~rows:(Table.row_count left + Table.row_count right)
+    (fun () -> serial_join left right ~left_key ~right_key)
+    (fun ~jobs -> Par.join ~jobs left right ~left_key ~right_key)
 
 let right_keep_info right ~right_key =
   let rs = Table.schema right in
@@ -229,19 +275,22 @@ let difference a b =
     (Table.rows a);
   Table.create_unchecked (Table.schema a) (Array.of_list (List.rev !out))
 
-let group_by t ~keys ~aggs =
+(* Aggregation descriptors (column indexes, output schema) are hoisted
+   out of the row loop, and per-group accumulators are state arrays
+   mutated in place — the old version rebuilt [List.combine aggs inputs]
+   and consed fresh state lists for every row. *)
+let serial_group_by t ~keys ~aggs =
   let schema = Table.schema t in
   let key_idxs = Array.of_list (List.map (Schema.index_of schema) keys) in
-  let agg_inputs =
-    List.map
+  let aggs_a = Array.of_list aggs in
+  let inputs_a =
+    Array.map
       (fun (a : Aggregate.t) ->
-         match Aggregate.input_column a.fn with
-         | None -> None
-         | Some c -> Some (Schema.index_of schema c))
-      aggs
+         Option.map (Schema.index_of schema) (Aggregate.input_column a.fn))
+      aggs_a
   in
   (* group order = first appearance, for deterministic output *)
-  let groups : (Value.t array, Aggregate.state list) Hashtbl.t =
+  let groups : (Value.t array, Aggregate.state array) Hashtbl.t =
     Hashtbl.create (max 16 (Table.row_count t))
   in
   let order = ref [] in
@@ -252,57 +301,65 @@ let group_by t ~keys ~aggs =
          match Hashtbl.find_opt groups key with
          | Some s -> s
          | None ->
+           let s =
+             Array.map (fun (a : Aggregate.t) -> Aggregate.init a.fn) aggs_a
+           in
+           Hashtbl.add groups key s;
            order := key :: !order;
-           List.map (fun (a : Aggregate.t) -> Aggregate.init a.fn) aggs
+           s
        in
-       let states' =
-         List.map2
-           (fun ((a : Aggregate.t), input) st ->
-              let v = Option.map (fun i -> row.(i)) input in
-              Aggregate.step a.fn st v)
-           (List.combine aggs agg_inputs)
-           states
-       in
-       Hashtbl.replace groups key states')
+       Array.iteri
+         (fun j (a : Aggregate.t) ->
+            let v = Option.map (fun i -> row.(i)) inputs_a.(j) in
+            states.(j) <- Aggregate.step a.fn states.(j) v)
+         aggs_a)
     (Table.rows t);
-  let key_cols =
-    List.map (fun k -> List.nth (Schema.columns schema) (Schema.index_of schema k)) keys
-  in
+  let cols = Array.of_list (Schema.columns schema) in
+  let key_cols = List.map (fun k -> cols.(Schema.index_of schema k)) keys in
   let agg_cols =
-    List.map2
-      (fun (a : Aggregate.t) input ->
-         let input_ty =
-           Option.map
-             (fun i -> (List.nth (Schema.columns schema) i).Schema.ty)
-             input
-         in
-         { Schema.name = a.as_name;
-           ty = Aggregate.result_type a.fn ~input:input_ty })
-      aggs agg_inputs
+    Array.to_list
+      (Array.mapi
+         (fun j (a : Aggregate.t) ->
+            let input_ty =
+              Option.map (fun i -> cols.(i).Schema.ty) inputs_a.(j)
+            in
+            { Schema.name = a.as_name;
+              ty = Aggregate.result_type a.fn ~input:input_ty })
+         aggs_a)
   in
   let out_schema = Schema.make (key_cols @ agg_cols) in
   let mk_row key states =
-    let agg_vals =
-      List.map2 (fun (a : Aggregate.t) st -> Aggregate.finish a.fn st) aggs
-        states
-    in
-    Array.append key (Array.of_list agg_vals)
+    Array.append key
+      (Array.mapi
+         (fun j st -> Aggregate.finish aggs_a.(j).Aggregate.fn st)
+         states)
   in
   let out =
     if keys = [] && Hashtbl.length groups = 0 then
       (* global aggregate over an empty table still yields one row *)
-      [ mk_row [||] (List.map (fun (a : Aggregate.t) -> Aggregate.init a.fn) aggs) ]
+      [ mk_row [||]
+          (Array.map (fun (a : Aggregate.t) -> Aggregate.init a.fn) aggs_a) ]
     else
-      List.rev_map
-        (fun key -> mk_row key (Hashtbl.find groups key))
-        !order
+      List.rev_map (fun key -> mk_row key (Hashtbl.find groups key)) !order
   in
   Table.create_unchecked out_schema (Array.of_list out)
 
+let group_by t ~keys ~aggs =
+  let mergeable =
+    List.for_all (Par.exactly_mergeable (Table.schema t)) aggs
+  in
+  if not mergeable then serial_group_by t ~keys ~aggs
+  else
+    dispatch "group_by" ~rows:(Table.row_count t)
+      (fun () -> serial_group_by t ~keys ~aggs)
+      (fun ~jobs -> Par.group_by ~jobs t ~keys ~aggs)
+
 let top_k t ~by ~descending ~k =
-  let sorted = Table.sort_by t [ by ] in
+  (* one sort with the final comparator, then a prefix slice — the old
+     version always sorted ascending and reversed the whole array for
+     descending *)
+  let sorted = Table.sort_by ~descending t [ by ] in
   let rows = Table.rows sorted in
-  let rows = if descending then Array.of_list (List.rev (Array.to_list rows)) else rows in
   let n = min k (Array.length rows) in
   Table.create_unchecked (Table.schema t) (Array.sub rows 0 n)
 

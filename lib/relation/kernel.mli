@@ -4,7 +4,15 @@
     operator. Each engine simulator calls into this module, so all seven
     back-ends compute identical answers; they differ only in the
     simulated time they charge (and in which operators they can express
-    at all). *)
+    at all).
+
+    The hot kernels (select, project, map_column, join, group_by)
+    dispatch to the {!Par} domain-pool variants when
+    [Pool.effective_jobs () > 1] and the input is large enough; the
+    parallel paths are byte-identical to the serial ones (see
+    docs/parallelism.md), so dispatch never changes an answer. GROUP BY
+    only parallelizes when every aggregation is
+    {!Par.exactly_mergeable} — float SUM/AVG always runs serially. *)
 
 val select : Table.t -> Expr.t -> Table.t
 
@@ -63,7 +71,8 @@ val distinct : Table.t -> Table.t
     is the first-appearance order of keys, so output is deterministic. *)
 val group_by : Table.t -> keys:string list -> aggs:Aggregate.t list -> Table.t
 
-(** [top_k t ~by ~descending ~k] sorts on one column and keeps [k] rows. *)
+(** [top_k t ~by ~descending ~k] stable-sorts once with the requested
+    direction and keeps the first [k] rows. *)
 val top_k : Table.t -> by:string -> descending:bool -> k:int -> Table.t
 
 (** [sample t ~fraction ~seed] deterministic row subsample (workload

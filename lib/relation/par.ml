@@ -1,0 +1,242 @@
+(* Parallel kernel implementations. Every function here is the
+   domain-pool counterpart of the serial kernel of the same name in
+   {!Kernel}, with one hard invariant: for any [jobs] the output is
+   byte-identical to the serial kernel — same rows, same order, same
+   schema. Chunked kernels keep order by concatenating chunk results in
+   index order; the partitioned join reassembles matches per right row;
+   GROUP BY merges per-chunk partial states in chunk order, which
+   preserves first-appearance group order (and makes even FIRST
+   deterministic).
+
+   [Kernel] decides when to call these (pool size and row-count
+   thresholds); the [~jobs] parameter here is always honored, which is
+   what lets the differential suite pin jobs ∈ {1, 2, 4} explicitly. *)
+
+(* ---- chunked row helpers ---- *)
+
+let concat_parts parts = Array.concat (Array.to_list parts)
+
+(* [f] applied to every row, order preserved *)
+let map_rows ~jobs f rows =
+  concat_parts
+    (Pool.run
+       (Array.map
+          (fun (start, len) () -> Array.init len (fun j -> f rows.(start + j)))
+          (Pool.chunks ~jobs (Array.length rows))))
+
+(* rows passing [keep], order preserved *)
+let filter_rows ~jobs keep rows =
+  concat_parts
+    (Pool.run
+       (Array.map
+          (fun (start, len) () ->
+             let out = ref [] in
+             for i = start + len - 1 downto start do
+               if keep rows.(i) then out := rows.(i) :: !out
+             done;
+             Array.of_list !out)
+          (Pool.chunks ~jobs (Array.length rows))))
+
+(* ---- kernels ---- *)
+
+let select ~jobs t pred =
+  let schema = Table.schema t in
+  let f = Expr.compile schema pred in
+  let keep row =
+    match f row with
+    | Value.Bool b -> b
+    | v ->
+      raise
+        (Expr.Type_error
+           (Printf.sprintf "SELECT predicate returned %s" (Value.to_string v)))
+  in
+  Table.create_unchecked schema (filter_rows ~jobs keep (Table.rows t))
+
+let project ~jobs t cols =
+  let schema = Table.schema t in
+  let idxs = Array.of_list (List.map (Schema.index_of schema) cols) in
+  let out_schema = Schema.restrict schema cols in
+  Table.create_unchecked out_schema
+    (map_rows ~jobs
+       (fun row -> Array.map (fun i -> row.(i)) idxs)
+       (Table.rows t))
+
+let map_column ~jobs t ~target ~expr =
+  let schema = Table.schema t in
+  let ty = Expr.infer schema expr in
+  let f = Expr.compile schema expr in
+  let out_schema = Schema.with_column schema { Schema.name = target; ty } in
+  let replace = Schema.mem schema target in
+  let idx = if replace then Schema.index_of schema target else -1 in
+  let transform row =
+    let v = f row in
+    if replace then begin
+      let row' = Array.copy row in
+      row'.(idx) <- v;
+      row'
+    end
+    else Array.append row [| v |]
+  in
+  Table.create_unchecked out_schema (map_rows ~jobs transform (Table.rows t))
+
+(* Hash-partitioned equi-join: both sides are partitioned by key hash,
+   each domain builds and probes one partition, and the per-right-row
+   match lists are reassembled in right-row order — exactly the serial
+   hash join's output order (left matches within a row come out in the
+   serial [Hashtbl.find_all] order because same-key left rows always
+   land in the same partition, inserted in the same relative order). *)
+let join ~jobs left right ~left_key ~right_key =
+  let ls = Table.schema left and rs = Table.schema right in
+  let li = Schema.index_of ls left_key and ri = Schema.index_of rs right_key in
+  let r_cols_keep = List.filteri (fun j _ -> j <> ri) (Schema.columns rs) in
+  let out_schema =
+    if r_cols_keep = [] then ls
+    else Schema.concat ls (Schema.make r_cols_keep)
+  in
+  let keep_idx =
+    Array.of_list
+      (List.filteri (fun j _ -> j <> ri)
+         (List.mapi (fun j _ -> j) (Schema.columns rs)))
+  in
+  let lrows = Table.rows left and rrows = Table.rows right in
+  let parts = max 1 (min jobs (Array.length rrows)) in
+  let part_of v = Hashtbl.hash v mod parts in
+  (* per-right-row output rows; partition [p] owns the right rows whose
+     key hashes to [p], so writes are disjoint across domains *)
+  let matched : Value.t array array array =
+    Array.make (Array.length rrows) [||]
+  in
+  let build_and_probe p () =
+    let build = Hashtbl.create 64 in
+    Array.iter
+      (fun lrow -> if part_of lrow.(li) = p then Hashtbl.add build lrow.(li) lrow)
+      lrows;
+    Array.iteri
+      (fun i rrow ->
+         if part_of rrow.(ri) = p then
+           match Hashtbl.find_all build rrow.(ri) with
+           | [] -> ()
+           | ms ->
+             let extra = Array.map (fun j -> rrow.(j)) keep_idx in
+             matched.(i) <-
+               Array.of_list
+                 (List.map (fun lrow -> Array.append lrow extra) ms))
+      rrows
+  in
+  ignore (Pool.run (Array.init parts build_and_probe));
+  Table.create_unchecked out_schema (concat_parts matched)
+
+(* ---- parallel GROUP BY via partial aggregation ---- *)
+
+(* Parallel GROUP BY stays byte-identical to serial only when merging
+   partial states cannot change rounding: float SUM/AVG accumulate in
+   row order serially, and float addition is not associative. [Kernel]
+   falls back to the serial kernel for those. *)
+let exactly_mergeable schema (a : Aggregate.t) =
+  match a.fn with
+  | Aggregate.Count | Aggregate.Min _ | Aggregate.Max _ | Aggregate.First _ ->
+    true
+  | Aggregate.Sum c | Aggregate.Avg c -> (
+    match Schema.column_type schema c with
+    | Value.Tint -> true
+    | _ -> false)
+
+let group_by ~jobs t ~keys ~aggs =
+  let schema = Table.schema t in
+  let key_idxs = Array.of_list (List.map (Schema.index_of schema) keys) in
+  let aggs_a = Array.of_list aggs in
+  let inputs_a =
+    Array.map
+      (fun (a : Aggregate.t) ->
+         Option.map (Schema.index_of schema) (Aggregate.input_column a.fn))
+      aggs_a
+  in
+  let rows = Table.rows t in
+  (* phase 1: per-chunk partial aggregation, chunk-local first-appearance
+     group order *)
+  let partial (start, len) () =
+    let groups : (Value.t array, Aggregate.state array) Hashtbl.t =
+      Hashtbl.create (max 16 (len / 4))
+    in
+    let order = ref [] in
+    for i = start to start + len - 1 do
+      let row = rows.(i) in
+      let key = Array.map (fun j -> row.(j)) key_idxs in
+      let states =
+        match Hashtbl.find_opt groups key with
+        | Some s -> s
+        | None ->
+          let s =
+            Array.map (fun (a : Aggregate.t) -> Aggregate.init a.fn) aggs_a
+          in
+          Hashtbl.add groups key s;
+          order := key :: !order;
+          s
+      in
+      Array.iteri
+        (fun j (a : Aggregate.t) ->
+           let v = Option.map (fun idx -> row.(idx)) inputs_a.(j) in
+           states.(j) <- Aggregate.step a.fn states.(j) v)
+        aggs_a
+    done;
+    (groups, List.rev !order)
+  in
+  let parts =
+    Pool.run (Array.map partial (Pool.chunks ~jobs (Array.length rows)))
+  in
+  (* phase 2: merge chunk partials in chunk order — global group order
+     is first appearance by original row index, as in the serial kernel *)
+  let groups : (Value.t array, Aggregate.state array) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let order = ref [] in
+  Array.iter
+    (fun (chunk_groups, chunk_order) ->
+       List.iter
+         (fun key ->
+            let states = Hashtbl.find chunk_groups key in
+            match Hashtbl.find_opt groups key with
+            | None ->
+              Hashtbl.add groups key states;
+              order := key :: !order
+            | Some acc ->
+              Array.iteri
+                (fun j (a : Aggregate.t) ->
+                   acc.(j) <- Aggregate.merge a.fn acc.(j) states.(j))
+                aggs_a)
+         chunk_order)
+    parts;
+  (* phase 3: emit — same schema and row construction as the serial
+     kernel *)
+  let cols = Array.of_list (Schema.columns schema) in
+  let key_cols =
+    List.map (fun k -> cols.(Schema.index_of schema k)) keys
+  in
+  let agg_cols =
+    Array.to_list
+      (Array.mapi
+         (fun j (a : Aggregate.t) ->
+            let input_ty =
+              Option.map (fun i -> cols.(i).Schema.ty) inputs_a.(j)
+            in
+            { Schema.name = a.as_name;
+              ty = Aggregate.result_type a.fn ~input:input_ty })
+         aggs_a)
+  in
+  let out_schema = Schema.make (key_cols @ agg_cols) in
+  let mk_row key states =
+    Array.append key
+      (Array.mapi
+         (fun j st ->
+            let a : Aggregate.t = aggs_a.(j) in
+            Aggregate.finish a.fn st)
+         states)
+  in
+  let out =
+    if keys = [] && Hashtbl.length groups = 0 then
+      [ mk_row [||]
+          (Array.map (fun (a : Aggregate.t) -> Aggregate.init a.fn) aggs_a) ]
+    else
+      List.rev_map (fun key -> mk_row key (Hashtbl.find groups key)) !order
+  in
+  Table.create_unchecked out_schema (Array.of_list out)

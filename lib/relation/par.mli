@@ -1,0 +1,39 @@
+(** Parallel variants of the hot relational kernels, executed on the
+    {!Pool} domain pool.
+
+    Invariant (enforced by the differential suite): for every [jobs],
+    each function's output is byte-identical to the serial kernel of
+    the same name in {!Kernel} — same rows, same order, same schema.
+    Chunked kernels concatenate chunk results in index order; the
+    hash-partitioned join reassembles matches in right-row order; the
+    parallel GROUP BY merges per-domain partial aggregation states in
+    chunk order, preserving first-appearance group order.
+
+    Callers normally go through {!Kernel}, which dispatches here when
+    [Pool.effective_jobs () > 1] and the input is large enough to be
+    worth chunking. The explicit [~jobs] parameter is always honored
+    (degenerating to one chunk when [jobs = 1]). *)
+
+val select : jobs:int -> Table.t -> Expr.t -> Table.t
+
+val project : jobs:int -> Table.t -> string list -> Table.t
+
+val map_column : jobs:int -> Table.t -> target:string -> expr:Expr.t -> Table.t
+
+(** Hash-partitioned equi-join: both sides are partitioned by key hash
+    across domains, each partition is built and probed independently,
+    and the output is reassembled in the serial join's row order. *)
+val join :
+  jobs:int -> Table.t -> Table.t -> left_key:string -> right_key:string ->
+  Table.t
+
+(** Per-domain partial aggregation merged with {!Aggregate.merge}. Only
+    called when every aggregation is {!exactly_mergeable}. *)
+val group_by :
+  jobs:int -> Table.t -> keys:string list -> aggs:Aggregate.t list -> Table.t
+
+(** Whether merging partial states of this aggregation is bit-exact:
+    true for COUNT/MIN/MAX/FIRST and for SUM/AVG over integer columns;
+    false for SUM/AVG over floats, where chunked accumulation changes
+    rounding (float addition is not associative). *)
+val exactly_mergeable : Schema.t -> Aggregate.t -> bool

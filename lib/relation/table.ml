@@ -59,10 +59,56 @@ let compare_rows a b =
   in
   go 0
 
-let sorted_rows t =
-  let copy = Array.copy t.rows in
-  Array.sort compare_rows copy;
-  copy
+(* Rows below this count sort serially even when the pool has workers:
+   chunking tiny arrays costs more than it saves. *)
+let par_sort_threshold = 2048
+
+(* Stable k-way merge of sorted chunks; on ties the lowest chunk index
+   wins, so merging index-ordered chunks reproduces a global stable
+   sort exactly. Chunk counts are small (= jobs), so the linear scan
+   over heads beats a heap. *)
+let merge_sorted cmp (chunks : Value.t array array array) =
+  let k = Array.length chunks in
+  let idx = Array.make k 0 in
+  let total = Array.fold_left (fun s c -> s + Array.length c) 0 chunks in
+  let out = Array.make total [||] in
+  for o = 0 to total - 1 do
+    let best = ref (-1) in
+    for c = 0 to k - 1 do
+      if
+        idx.(c) < Array.length chunks.(c)
+        && (!best < 0
+            || cmp chunks.(c).(idx.(c)) chunks.(!best).(idx.(!best)) < 0)
+      then best := c
+    done;
+    out.(o) <- chunks.(!best).(idx.(!best));
+    idx.(!best) <- idx.(!best) + 1
+  done;
+  out
+
+(* Stable sort of [rows] under [cmp]; parallel (per-chunk stable sort +
+   stable k-way merge) when the pool allows it. Both paths realize the
+   same total order — keys first, original row position on ties — so
+   serial and parallel output are byte-identical. *)
+let sort_rows_with cmp rows =
+  let n = Array.length rows in
+  let jobs = Pool.effective_jobs () in
+  if jobs <= 1 || n < par_sort_threshold then begin
+    let copy = Array.copy rows in
+    Array.stable_sort cmp copy;
+    copy
+  end
+  else
+    merge_sorted cmp
+      (Pool.run
+         (Array.map
+            (fun (start, len) () ->
+               let chunk = Array.sub rows start len in
+               Array.stable_sort cmp chunk;
+               chunk)
+            (Pool.chunks ~jobs n)))
+
+let sorted_rows t = sort_rows_with compare_rows t.rows
 
 let equal_unordered a b =
   Schema.equal a.schema b.schema
@@ -103,7 +149,9 @@ let of_csv schema s =
   in
   { schema; rows = Array.of_list (List.map parse_line lines) }
 
-let sort_by t names =
+let sort_with t cmp = { t with rows = sort_rows_with cmp t.rows }
+
+let sort_by ?(descending = false) t names =
   let idxs = List.map (Schema.index_of t.schema) names in
   let cmp a b =
     let rec go = function
@@ -115,9 +163,8 @@ let sort_by t names =
     in
     go idxs
   in
-  let copy = Array.copy t.rows in
-  Array.sort cmp copy;
-  { t with rows = copy }
+  let cmp = if descending then fun a b -> cmp b a else cmp in
+  sort_with t cmp
 
 let pp_rows ppf t limit =
   Format.fprintf ppf "%a@." Schema.pp t.schema;

@@ -146,6 +146,34 @@ let gen_rows rng =
 
 let print_row (k, v) = Printf.sprintf "(%d,%d)" k v
 
+(* kv row lists biased toward the parallel kernels' edge cases: empty
+   tables, single rows, all-equal keys (one partition gets everything),
+   and tables wide enough to span several chunks at jobs=4 *)
+let gen_edge_rows rng =
+  match Rng.int rng 5 with
+  | 0 -> []
+  | 1 -> [ (Rng.int rng 8, Rng.int rng 100) ]
+  | 2 ->
+    let k = Rng.int rng 8 in
+    List.init (1 + Rng.int rng 60) (fun _ -> (k, Rng.int rng 100))
+  | 3 -> gen_rows rng
+  | _ ->
+    let n = 64 + Rng.int rng 200 in
+    List.init n (fun _ -> (Rng.int rng 16, Rng.int rng 100))
+
+let edge_rows_arbitrary =
+  make ~shrink:shrink_list ~print:(print_list print_row) gen_edge_rows
+
+(* independent left/right tables, for join properties *)
+let edge_rows_pair_arbitrary =
+  make
+    ~shrink:(fun (a, b) ->
+      List.map (fun a -> (a, b)) (shrink_list a)
+      @ List.map (fun b -> (a, b)) (shrink_list b))
+    ~print:(fun (a, b) ->
+      print_list print_row a ^ " / " ^ print_list print_row b)
+    (fun rng -> (gen_edge_rows rng, gen_edge_rows rng))
+
 (* ---- operator pipelines over the kv schema ----
 
    Every op maps a (k:int, v:int) relation to another, so arbitrary
