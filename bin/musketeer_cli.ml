@@ -160,6 +160,19 @@ let jobs_arg =
            simulators additionally cap kernel parallelism at their \
            simulated worker count.")
 
+let no_fusion_arg =
+  Arg.(
+    value & flag
+    & info [ "no-fusion" ]
+        ~doc:
+          "Disable operator fusion and shared input scans: every DAG \
+           node materializes its table, as before fusion existed \
+           (equivalent to MUSKETEER_FUSION=0). Output relations are \
+           byte-identical either way; only execution cost changes.")
+
+let set_fusion no_fusion =
+  if no_fusion then Ir.Fusion.set_enabled (Some false)
+
 let seed_arg =
   Arg.(
     value & opt int 42
@@ -264,8 +277,9 @@ let setup kind nodes =
   (m, hdfs, graph)
 
 let plan_cmd =
-  let run kind nodes backend dot trace jobs =
+  let run kind nodes backend dot trace jobs no_fusion =
     Relation.Pool.set_jobs jobs;
+    set_fusion no_fusion;
     with_trace trace @@ fun () ->
     let m, hdfs, graph = setup kind nodes in
     let backends = Option.map (fun b -> [ b ]) backend in
@@ -285,11 +299,13 @@ let plan_cmd =
           Graphviz rendering colored per job).")
     Term.(
       const run $ workflow_arg $ nodes_arg $ backend_arg $ dot_arg
-      $ trace_arg $ jobs_arg)
+      $ trace_arg $ jobs_arg $ no_fusion_arg)
 
 let run_cmd =
-  let run kind nodes backend show_code trace inject seed retries jobs =
+  let run kind nodes backend show_code trace inject seed retries jobs
+      no_fusion =
     Relation.Pool.set_jobs jobs;
+    set_fusion no_fusion;
     with_trace trace @@ fun () ->
     with_injection inject seed retries @@ fun recovery injected ->
     let m, hdfs, graph = setup kind nodes in
@@ -331,7 +347,8 @@ let run_cmd =
        ~doc:"Plan and execute a workflow on the simulated cluster.")
     Term.(
       const run $ workflow_arg $ nodes_arg $ backend_arg $ show_code_arg
-      $ trace_arg $ inject_arg $ seed_arg $ retries_arg $ jobs_arg)
+      $ trace_arg $ inject_arg $ seed_arg $ retries_arg $ jobs_arg
+      $ no_fusion_arg)
 
 let parse_cmd =
   let run frontend file dot =
@@ -353,8 +370,9 @@ let parse_cmd =
 
 let run_file_cmd =
   let run frontend file tables nodes backend show_code history_file trace
-      inject seed retries jobs =
+      inject seed retries jobs no_fusion =
     Relation.Pool.set_jobs jobs;
+    set_fusion no_fusion;
     with_trace trace @@ fun () ->
     with_injection inject seed retries @@ fun recovery injected ->
     let source = In_channel.with_open_text file In_channel.input_all in
@@ -416,17 +434,18 @@ let run_file_cmd =
     Term.(
       const
         (fun frontend file tables nodes backend show_code history trace inject
-          seed retries jobs ->
+          seed retries jobs no_fusion ->
           with_parse_errors (fun () ->
               run frontend file tables nodes backend show_code history trace
-                inject seed retries jobs))
+                inject seed retries jobs no_fusion))
       $ frontend_arg $ file_arg $ tables_arg $ nodes_arg $ backend_arg
       $ show_code_arg $ history_arg $ trace_arg $ inject_arg $ seed_arg
-      $ retries_arg $ jobs_arg)
+      $ retries_arg $ jobs_arg $ no_fusion_arg)
 
 let explain_cmd =
-  let run kind nodes backend trace jobs =
+  let run kind nodes backend trace jobs no_fusion =
     Relation.Pool.set_jobs jobs;
+    set_fusion no_fusion;
     with_trace trace @@ fun () ->
     let m, hdfs, graph = setup kind nodes in
     let backends = Option.map (fun b -> [ b ]) backend in
@@ -440,7 +459,7 @@ let explain_cmd =
           why the chosen mapping beats the alternatives.")
     Term.(
       const run $ workflow_arg $ nodes_arg $ backend_arg $ trace_arg
-      $ jobs_arg)
+      $ jobs_arg $ no_fusion_arg)
 
 let stats_cmd =
   let run kind nodes backend repeat trace inject seed retries jobs =

@@ -12,6 +12,42 @@ let seconds = function
 
 (* ---- volume estimation for a candidate job ---- *)
 
+(* Fused-chain roles among [ids]: when fusion is on, a chain entirely
+   inside the candidate job executes as one pass, so its head is
+   charged once at {!Engines.Perf.fused_weight} and the other members
+   charge nothing. A chain that crosses the job boundary is not fused
+   at execution either (the crossing node becomes a job output, a
+   fusion barrier), so it keeps per-node pricing. *)
+let fused_roles ?protect ~graph ids =
+  let tbl : (int, [ `Head of Ir.Operator.kind list | `Member ]) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  if Ir.Fusion.enabled () then begin
+    let in_set = Hashtbl.create 8 in
+    List.iter (fun id -> Hashtbl.replace in_set id ()) ids;
+    List.iter
+      (fun (c : Ir.Fusion.chain) ->
+         if List.for_all (Hashtbl.mem in_set) c.members then
+           match c.members with
+           | head :: rest ->
+             let kinds =
+               List.map
+                 (fun id -> (Ir.Dag.node graph id).Ir.Operator.kind)
+                 c.members
+             in
+             Hashtbl.replace tbl head (`Head kinds);
+             List.iter (fun id -> Hashtbl.replace tbl id `Member) rest
+           | [] -> ())
+      (Ir.Fusion.chains (Ir.Fusion.plan ?protect graph))
+  end;
+  tbl
+
+let fused_process roles id ~in_mb kind =
+  match Hashtbl.find_opt roles id with
+  | Some `Member -> 0.
+  | Some (`Head kinds) -> in_mb *. Engines.Perf.fused_weight kinds
+  | None -> in_mb *. Engines.Perf.op_weight kind
+
 (* process/comm volumes of one WHILE body pass, with the loop inputs
    bound to the estimated sizes of the WHILE node's producers *)
 let rec body_pass_volumes ~est ~graph (n : Ir.Operator.node) body =
@@ -32,6 +68,19 @@ let rec body_pass_volumes ~est ~graph (n : Ir.Operator.node) body =
       ~input_mb:(fun r -> Hashtbl.find_opt bound r)
       ~history:(History.create ()) ~workflow:"body" body
   in
+  (* mirror the executor: the loop driver reads the condition relation
+     by name, so its producer is a fusion barrier inside the body *)
+  let protect =
+    match n.Ir.Operator.kind with
+    | Ir.Operator.While { condition = Ir.Operator.Until_empty r; _ }
+    | Ir.Operator.While { condition = Ir.Operator.Until_fixpoint r; _ } ->
+      [ r ]
+    | _ -> []
+  in
+  let roles =
+    fused_roles ~protect ~graph:body
+      (List.map (fun (bn : Ir.Operator.node) -> bn.id) body.Ir.Operator.nodes)
+  in
   List.fold_left
     (fun (process, comm, shuffles) (bn : Ir.Operator.node) ->
        match bn.kind with
@@ -46,7 +95,7 @@ let rec body_pass_volumes ~est ~graph (n : Ir.Operator.node) body =
          (process +. (iters *. p), comm +. (iters *. c), shuffles + s)
        | kind ->
          let in_mb = Estimator.input_mb inner_est bn.id in
-         let process = process +. (in_mb *. Engines.Perf.op_weight kind) in
+         let process = process +. fused_process roles bn.id ~in_mb kind in
          if Ir.Operator.needs_shuffle kind then
            (process, comm +. in_mb, shuffles + 1)
          else (process, comm, shuffles))
@@ -68,8 +117,27 @@ let job_volumes ~graph ~est ids =
               if not (Hashtbl.mem in_set i) then Hashtbl.replace pulled i ())
            n.inputs)
     ids;
+  (* with fusion on, the executor fetches each HDFS relation once per
+     job however many INPUT nodes name it — price the scan once too *)
   let input_mb =
-    Hashtbl.fold (fun id () acc -> acc +. Estimator.output_mb est id) pulled 0.
+    let seen_rel = Hashtbl.create 4 in
+    let shared = Ir.Fusion.enabled () in
+    Hashtbl.fold
+      (fun id () acc ->
+         let duplicate =
+           shared
+           &&
+           match (Ir.Dag.node graph id).Ir.Operator.kind with
+           | Ir.Operator.Input { relation } ->
+             if Hashtbl.mem seen_rel relation then true
+             else begin
+               Hashtbl.replace seen_rel relation ();
+               false
+             end
+           | _ -> false
+         in
+         if duplicate then acc else acc +. Estimator.output_mb est id)
+      pulled 0.
   in
   let output_mb =
     List.fold_left
@@ -78,6 +146,7 @@ let job_volumes ~graph ~est ids =
       0.
       (Ir.Dag.external_outputs graph ids)
   in
+  let roles = fused_roles ~graph ids in
   let process_mb, comm_mb, iterations =
     List.fold_left
       (fun (process, comm, iters) id ->
@@ -91,7 +160,7 @@ let job_volumes ~graph ~est ids =
            (process +. (fi *. p), comm +. (fi *. c), max iters k_iters)
          | kind ->
            let in_mb = Estimator.input_mb est id in
-           let process = process +. (in_mb *. Engines.Perf.op_weight kind) in
+           let process = process +. fused_process roles id ~in_mb kind in
            if Ir.Operator.needs_shuffle kind then
              (process, comm +. in_mb, iters)
            else (process, comm, iters))

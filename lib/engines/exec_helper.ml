@@ -33,59 +33,153 @@ type accum = {
 
 (* Evaluates a graph; [bound] overrides relation lookups (used for WHILE
    bodies); returns per-node (table, modeled_mb) plus output bindings in
-   node order (later bindings shadow earlier ones on lookup). *)
-let rec eval_graph ~hdfs ~(bound : (string, Table.t * float) Hashtbl.t) ~acc
+   node order (later bindings shadow earlier ones on lookup).
+
+   When fusion is on ({!Ir.Fusion.enabled}), chains planned by
+   {!Ir.Fusion.plan} execute as one {!Relation.Fused} pass at the chain
+   tail; interior nodes are skipped entirely — never materialized, never
+   entered in [values]/[by_name] (the planner guarantees nothing reads
+   them). Their op_stats are still emitted, with modeled volumes from
+   {!Ir.Sizing}, so cost-model and Fig-14 telemetry stay populated.
+   [protect] names relations the caller will look up by name in the
+   returned [by_name] (the WHILE driver's condition relations). *)
+let rec eval_graph ?(protect = []) ~hdfs
+    ~(bound : (string, Table.t * float) Hashtbl.t) ~acc
     (g : Ir.Operator.graph) =
+  let fused = Ir.Fusion.enabled () in
+  let fplan = if fused then Ir.Fusion.plan ~protect g else Ir.Fusion.empty in
   let values : (int, Table.t * float) Hashtbl.t = Hashtbl.create 16 in
   let by_name : (string, Table.t * float) Hashtbl.t = Hashtbl.create 16 in
+  (* one HDFS fetch per distinct relation per job: duplicate INPUT nodes
+     (several consumers of one relation) share the scan *)
+  let scans : (string, Table.t * float) Hashtbl.t = Hashtbl.create 4 in
+  let eval_input relation =
+    match Hashtbl.find_opt bound relation with
+    | Some v -> v
+    | None -> (
+      match Hashtbl.find_opt scans relation with
+      | Some (t, mb) when fused ->
+        Obs.Metrics.incr Obs.Metrics.default "scan.shared";
+        Obs.Metrics.add_gauge Obs.Metrics.default "scan.shared_mb_saved" mb;
+        (t, mb)
+      | Some _ | None -> (
+        try
+          let e = Hdfs.get hdfs relation in
+          acc.input_mb <- acc.input_mb +. e.Hdfs.modeled_mb;
+          Hashtbl.replace scans relation (e.Hdfs.table, e.Hdfs.modeled_mb);
+          (e.Hdfs.table, e.Hdfs.modeled_mb)
+        with Hdfs.No_such_relation r ->
+          exec_error "missing input relation %S" r))
+  in
+  let eval_chain (tail : Ir.Operator.node) (chain : Ir.Fusion.chain) =
+    let src_table, src_modeled =
+      match Hashtbl.find_opt values chain.Ir.Fusion.source with
+      | Some v -> v
+      | None ->
+        exec_error "fused chain at node %d evaluated before source %d"
+          tail.id chain.Ir.Fusion.source
+    in
+    let members =
+      List.map (Ir.Dag.node g) chain.Ir.Fusion.members
+    in
+    let kinds = List.map (fun (m : Ir.Operator.node) -> m.kind) members in
+    let steps = Ir.Fusion.steps g chain in
+    let out =
+      Obs.Trace.with_span
+        ~attrs:[ ("chain_len", Obs.Trace.Int (List.length members));
+                 ("ops",
+                  Obs.Trace.String
+                    (String.concat ","
+                       (List.map Ir.Operator.kind_name kinds)));
+                 ("rows_in", Obs.Trace.Int (Table.row_count src_table)) ]
+        "kernel.fused"
+      @@ fun () -> Relation.Fused.run src_table steps
+    in
+    (* modeled volumes: interiors estimated via Sizing (their tables
+       never exist to measure); the tail uses end-to-end measured
+       selectivity, which is exactly what per-node measured ratios
+       telescope to on the unfused path *)
+    let src_bytes = Table.encoded_bytes src_table in
+    let interior_mb = ref 0. in
+    let rec model in_mb = function
+      | [] -> ()
+      | [ (m : Ir.Operator.node) ] ->
+        let out_mb =
+          if src_bytes = 0 then
+            (Ir.Sizing.of_kind m.kind ~inputs:[ in_mb ]).expected
+          else
+            src_modeled
+            *. (float_of_int (Table.encoded_bytes out)
+                /. float_of_int src_bytes)
+        in
+        acc.stats <-
+          { node_id = m.id; kind_name = Ir.Operator.kind_name m.kind;
+            in_mb; out_mb; shuffled = false }
+          :: acc.stats;
+        Hashtbl.replace values m.id (out, out_mb);
+        Hashtbl.replace by_name m.output (out, out_mb)
+      | (m : Ir.Operator.node) :: rest ->
+        let out_mb = (Ir.Sizing.of_kind m.kind ~inputs:[ in_mb ]).expected in
+        interior_mb := !interior_mb +. out_mb;
+        acc.stats <-
+          { node_id = m.id; kind_name = Ir.Operator.kind_name m.kind;
+            in_mb; out_mb; shuffled = false }
+          :: acc.stats;
+        model out_mb rest
+    in
+    model src_modeled members;
+    acc.process_mb <-
+      acc.process_mb +. (src_modeled *. Perf.fused_weight kinds);
+    Obs.Metrics.incr Obs.Metrics.default "fusion.chains";
+    Obs.Metrics.incr Obs.Metrics.default ~by:(List.length members)
+      "fusion.ops_fused";
+    Obs.Metrics.add_gauge Obs.Metrics.default "fusion.intermediate_mb_saved"
+      !interior_mb
+  in
   List.iter
     (fun (n : Ir.Operator.node) ->
-       let ins =
-         List.map
-           (fun i ->
-              match Hashtbl.find_opt values i with
-              | Some v -> v
-              | None -> exec_error "node %d evaluated before input %d" n.id i)
-           n.inputs
-       in
-       let in_tables = List.map fst ins in
-       let in_modeled = List.fold_left (fun s (_, mb) -> s +. mb) 0. ins in
-       let in_bytes =
-         List.fold_left (fun s t -> s + Table.encoded_bytes t) 0 in_tables
-       in
-       let table, modeled =
-         match n.kind with
-         | Ir.Operator.Input { relation } -> (
-           match Hashtbl.find_opt bound relation with
-           | Some (t, mb) -> (t, mb)
-           | None -> (
-             try
-               let e = Hdfs.get hdfs relation in
-               acc.input_mb <- acc.input_mb +. e.Hdfs.modeled_mb;
-               (e.Hdfs.table, e.Hdfs.modeled_mb)
-             with Hdfs.No_such_relation r ->
-               exec_error "missing input relation %S" r))
-         | Ir.Operator.While { condition; max_iterations; body } ->
-           eval_while ~hdfs ~acc ~condition ~max_iterations ~body ins
-         | kind ->
-           let out = Ir.Interp.eval_kind kind in_tables in
-           let mb =
-             propagate kind ~in_modeled ~in_bytes
-               ~out_bytes:(Table.encoded_bytes out)
-           in
-           acc.process_mb <-
-             acc.process_mb +. (in_modeled *. Perf.op_weight kind);
-           if Ir.Operator.needs_shuffle kind then
-             acc.comm_mb <- acc.comm_mb +. in_modeled;
-           acc.stats <-
-             { node_id = n.id; kind_name = Ir.Operator.kind_name kind;
-               in_mb = in_modeled; out_mb = mb;
-               shuffled = Ir.Operator.needs_shuffle kind }
-             :: acc.stats;
-           (out, mb)
-       in
-       Hashtbl.replace values n.id (table, modeled);
-       Hashtbl.replace by_name n.output (table, modeled))
+       match Ir.Fusion.role fplan n.id with
+       | Ir.Fusion.Interior _ -> ()
+       | Ir.Fusion.Tail chain -> eval_chain n chain
+       | Ir.Fusion.Solo ->
+         let ins =
+           List.map
+             (fun i ->
+                match Hashtbl.find_opt values i with
+                | Some v -> v
+                | None ->
+                  exec_error "node %d evaluated before input %d" n.id i)
+             n.inputs
+         in
+         let in_tables = List.map fst ins in
+         let in_modeled = List.fold_left (fun s (_, mb) -> s +. mb) 0. ins in
+         let in_bytes =
+           List.fold_left (fun s t -> s + Table.encoded_bytes t) 0 in_tables
+         in
+         let table, modeled =
+           match n.kind with
+           | Ir.Operator.Input { relation } -> eval_input relation
+           | Ir.Operator.While { condition; max_iterations; body } ->
+             eval_while ~hdfs ~acc ~condition ~max_iterations ~body ins
+           | kind ->
+             let out = Ir.Interp.eval_kind kind in_tables in
+             let mb =
+               propagate kind ~in_modeled ~in_bytes
+                 ~out_bytes:(Table.encoded_bytes out)
+             in
+             acc.process_mb <-
+               acc.process_mb +. (in_modeled *. Perf.op_weight kind);
+             if Ir.Operator.needs_shuffle kind then
+               acc.comm_mb <- acc.comm_mb +. in_modeled;
+             acc.stats <-
+               { node_id = n.id; kind_name = Ir.Operator.kind_name kind;
+                 in_mb = in_modeled; out_mb = mb;
+                 shuffled = Ir.Operator.needs_shuffle kind }
+               :: acc.stats;
+             (out, mb)
+         in
+         Hashtbl.replace values n.id (table, modeled);
+         Hashtbl.replace by_name n.output (table, modeled))
     g.nodes;
   (values, by_name)
 
@@ -106,9 +200,16 @@ and eval_while ~hdfs ~acc ~condition ~max_iterations ~body ins =
     | id :: _ -> (Ir.Dag.node body id).Ir.Operator.output
     | [] -> exec_error "WHILE: body has no outputs"
   in
+  (* the loop driver reads the condition relation out of [by_name] each
+     iteration; the fusion planner must keep its producer materialized *)
+  let protect =
+    match condition with
+    | Ir.Operator.Until_empty r | Ir.Operator.Until_fixpoint r -> [ r ]
+    | Ir.Operator.Fixed_iterations _ -> []
+  in
   let result = ref None in
   let rec iterate i =
-    let _, by_name = eval_graph ~hdfs ~bound ~acc body in
+    let _, by_name = eval_graph ~protect ~hdfs ~bound ~acc body in
     let find r =
       match Hashtbl.find_opt by_name r with
       | Some (t, mb) -> (t, mb)

@@ -72,5 +72,10 @@ let op_weight (kind : Ir.Operator.kind) =
   | Ir.Operator.While _ -> 0.  (* charged via its body *)
   | Ir.Operator.Black_box _ -> 1.0
 
+(* one pass over the input does all the chain's work, so charge the
+   most expensive member once instead of every member's full scan *)
+let fused_weight kinds =
+  List.fold_left (fun w k -> Float.max w (op_weight k)) 1.0 kinds
+
 let scaled ~base ~nodes ~alpha =
   base *. Float.pow (float_of_int (max 1 nodes)) alpha

@@ -45,6 +45,11 @@ val makespan : rates -> volumes -> Report.breakdown * float
     (UDFs use their declared cost factor). *)
 val op_weight : Ir.Operator.kind -> float
 
+(** Processing weight of a fused chain: its single pass is charged at
+    the most expensive member's weight (floor 1.0, a SELECT scan),
+    instead of one full-input charge per member. *)
+val fused_weight : Ir.Operator.kind list -> float
+
 (** [scaled ~base ~nodes ~alpha] aggregate rate of [nodes] machines with
     parallel efficiency exponent [alpha] ([alpha]=1: perfect scaling). *)
 val scaled : base:float -> nodes:int -> alpha:float -> float

@@ -85,6 +85,11 @@ let counters t = locked t (fun () -> sorted_bindings t.counters)
 let set_gauge t name v =
   locked t (fun () -> cell t.gauges name v := v)
 
+let add_gauge t name v =
+  locked t @@ fun () ->
+  let r = cell t.gauges name 0. in
+  r := !r +. v
+
 let gauge t name =
   locked t (fun () -> Option.map ( ! ) (Hashtbl.find_opt t.gauges name))
 

@@ -58,6 +58,10 @@ val counters : t -> (string * int) list
 
 val set_gauge : t -> string -> float -> unit
 
+(** [add_gauge t name v] accumulates [v] onto the gauge (starting from
+    0), for totals that build up across jobs within one run. *)
+val add_gauge : t -> string -> float -> unit
+
 val gauge : t -> string -> float option
 
 val gauges : t -> (string * float) list

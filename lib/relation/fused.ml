@@ -1,0 +1,102 @@
+type step =
+  | Filter of Expr.t
+  | Keep of string list
+  | Map_col of { target : string; expr : Expr.t }
+
+let step_name = function
+  | Filter _ -> "SELECT"
+  | Keep _ -> "PROJECT"
+  | Map_col _ -> "MAP"
+
+type compiled = {
+  out_schema : Schema.t;
+  transform : Value.t array -> Value.t array option;
+}
+
+(* Each step is compiled against the schema produced by the previous one
+   — the same schemas the unfused kernels would construct — so index
+   maps, inferred types and replace-vs-append decisions are identical to
+   running the operators one at a time. *)
+let compile in_schema steps =
+  let schema, transform =
+    List.fold_left
+      (fun (schema, f) step ->
+         match step with
+         | Filter pred ->
+           let p = Expr.compile schema pred in
+           let keep row =
+             match p row with
+             | Value.Bool b -> b
+             | v ->
+               raise
+                 (Expr.Type_error
+                    (Printf.sprintf "SELECT predicate returned %s"
+                       (Value.to_string v)))
+           in
+           ( schema,
+             fun row ->
+               match f row with
+               | Some r when keep r -> Some r
+               | Some _ | None -> None )
+         | Keep cols ->
+           let idxs = Array.of_list (List.map (Schema.index_of schema) cols) in
+           let out_schema = Schema.restrict schema cols in
+           ( out_schema,
+             fun row ->
+               match f row with
+               | None -> None
+               | Some r -> Some (Array.map (fun i -> r.(i)) idxs) )
+         | Map_col { target; expr } ->
+           let ty = Expr.infer schema expr in
+           let g = Expr.compile schema expr in
+           let out_schema =
+             Schema.with_column schema { Schema.name = target; ty }
+           in
+           let replace = Schema.mem schema target in
+           let idx = if replace then Schema.index_of schema target else -1 in
+           ( out_schema,
+             fun row ->
+               match f row with
+               | None -> None
+               | Some r ->
+                 let v = g r in
+                 if replace then begin
+                   let r' = Array.copy r in
+                   r'.(idx) <- v;
+                   Some r'
+                 end
+                 else Some (Array.append r [| v |]) ))
+      (in_schema, fun row -> Some row)
+      steps
+  in
+  { out_schema = schema; transform }
+
+let run t steps =
+  let c = compile (Table.schema t) steps in
+  let rows = Table.rows t in
+  let n = Array.length rows in
+  (* one pass over [start, start+len): fill a scratch array, trim once *)
+  let apply_range start len =
+    let buf = Array.make len [||] in
+    let count = ref 0 in
+    for i = start to start + len - 1 do
+      match c.transform rows.(i) with
+      | Some r ->
+        buf.(!count) <- r;
+        incr count
+      | None -> ()
+    done;
+    if !count = len then buf else Array.sub buf 0 !count
+  in
+  let jobs = Pool.effective_jobs () in
+  let out_rows =
+    if jobs <= 1 || n < Kernel.par_threshold then apply_range 0 n
+    else
+      Array.concat
+        (Array.to_list
+           (Pool.run
+              (Array.map
+                 (fun (start, len) () -> apply_range start len)
+                 (Pool.chunks ~jobs n))))
+  in
+  Table.create_unchecked c.out_schema out_rows

@@ -1,0 +1,40 @@
+(** Fused execution of row-local operator chains.
+
+    A chain of SELECT / PROJECT / MAP operators is compiled into one
+    per-row pipeline closure and run in a single pass over the input —
+    no intermediate table is ever materialized. The fusion {e planner}
+    (which chains are safe to fuse) lives in [Ir.Fusion]; this module is
+    the kernel that executes a chain it produced.
+
+    Invariant (enforced by the differential suite): [run t steps] is
+    byte-identical — same rows, same order, same schema — to applying
+    the corresponding {!Kernel} operators one at a time, serially or on
+    the {!Pool} domain pool. Each step compiles against the schema the
+    previous step produces, exactly as the unfused kernels would see it. *)
+
+type step =
+  | Filter of Expr.t  (** SELECT: drop rows whose predicate is false *)
+  | Keep of string list  (** PROJECT: restrict to the named columns *)
+  | Map_col of { target : string; expr : Expr.t }
+      (** MAP: add or replace one column *)
+
+(** Uppercase operator name, for spans and error messages. *)
+val step_name : step -> string
+
+type compiled = {
+  out_schema : Schema.t;
+  transform : Value.t array -> Value.t array option;
+      (** [None] when some [Filter] dropped the row. *)
+}
+
+(** [compile schema steps] threads the schema through every step and
+    composes the per-row closures (using {!Expr.compile}, like the
+    unfused kernels). Raises {!Expr.Type_error} on the same inputs the
+    unfused chain would. *)
+val compile : Schema.t -> step list -> compiled
+
+(** [run t steps] executes the fused pipeline in one pass over [t]:
+    serially, or chunked on the {!Pool} above the same 512-row
+    threshold the unfused kernels use (chunk results concatenate in
+    index order, so the output is order-preserving either way). *)
+val run : Table.t -> step list -> Table.t

@@ -7,6 +7,22 @@
 
 let par_threshold = 512
 
+(* single-pass filter: fill a scratch array, trim once at the end — the
+   old [Array.of_seq (Seq.filter ...)] walked the rows twice and consed
+   a closure chain per element *)
+let filter_rows keep rows =
+  let n = Array.length rows in
+  let buf = Array.make n [||] in
+  let count = ref 0 in
+  Array.iter
+    (fun row ->
+       if keep row then begin
+         buf.(!count) <- row;
+         incr count
+       end)
+    rows;
+  if !count = n then buf else Array.sub buf 0 !count
+
 let dispatch name ~rows serial parallel =
   let jobs = Pool.effective_jobs () in
   if jobs > 1 && rows >= par_threshold then begin
@@ -39,10 +55,7 @@ let select t pred =
                 (Printf.sprintf "SELECT predicate returned %s"
                    (Value.to_string v)))
        in
-       let rows =
-         Array.of_seq (Seq.filter keep (Array.to_seq (Table.rows t)))
-       in
-       Table.create_unchecked schema rows)
+       Table.create_unchecked schema (filter_rows keep (Table.rows t)))
     (fun ~jobs -> Par.select ~jobs t pred)
 
 let project t cols =
@@ -194,19 +207,15 @@ let semi_join left right ~left_key ~right_key =
   let li = Schema.index_of (Table.schema left) left_key in
   let keys = key_membership right ~right_key in
   Table.create_unchecked (Table.schema left)
-    (Array.of_seq
-       (Seq.filter
-          (fun lrow -> Hashtbl.mem keys lrow.(li))
-          (Array.to_seq (Table.rows left))))
+    (filter_rows (fun lrow -> Hashtbl.mem keys lrow.(li)) (Table.rows left))
 
 let anti_join left right ~left_key ~right_key =
   let li = Schema.index_of (Table.schema left) left_key in
   let keys = key_membership right ~right_key in
   Table.create_unchecked (Table.schema left)
-    (Array.of_seq
-       (Seq.filter
-          (fun lrow -> not (Hashtbl.mem keys lrow.(li)))
-          (Array.to_seq (Table.rows left))))
+    (filter_rows
+       (fun lrow -> not (Hashtbl.mem keys lrow.(li)))
+       (Table.rows left))
 
 let cross_join left right =
   let out_schema = Schema.concat (Table.schema left) (Table.schema right) in
@@ -367,11 +376,8 @@ let sample t ~fraction ~seed =
   if fraction >= 1. then t
   else begin
     let state = Random.State.make [| seed |] in
-    let rows =
-      Array.of_seq
-        (Seq.filter
-           (fun _ -> Random.State.float state 1. < fraction)
-           (Array.to_seq (Table.rows t)))
-    in
-    Table.create_unchecked (Table.schema t) rows
+    Table.create_unchecked (Table.schema t)
+      (filter_rows
+         (fun _ -> Random.State.float state 1. < fraction)
+         (Table.rows t))
   end

@@ -14,6 +14,10 @@
     only parallelizes when every aggregation is
     {!Par.exactly_mergeable} — float SUM/AVG always runs serially. *)
 
+(** Row count at or above which the hot kernels (and {!Fused.run}) go
+    parallel when the pool has more than one domain. *)
+val par_threshold : int
+
 val select : Table.t -> Expr.t -> Table.t
 
 (** [project t cols] keeps [cols], in order. Raises [Not_found] for an

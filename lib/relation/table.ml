@@ -1,6 +1,12 @@
 type t = {
   schema : Schema.t;
   rows : Value.t array array;
+  (* memoized [encoded_bytes]; -1 = not yet computed. Tables are
+     immutable, so the size never changes once measured. Unsynchronized
+     on purpose: concurrent domains can at worst both compute the same
+     value and race to store it — a benign race, reads of a stale -1
+     just recompute. *)
+  mutable encoded : int;
 }
 
 let check_row schema i row =
@@ -20,11 +26,11 @@ let check_row schema i row =
 
 let create schema rows =
   List.iteri (check_row schema) rows;
-  { schema; rows = Array.of_list rows }
+  { schema; rows = Array.of_list rows; encoded = -1 }
 
-let create_unchecked schema rows = { schema; rows }
+let create_unchecked schema rows = { schema; rows; encoded = -1 }
 
-let empty schema = { schema; rows = [||] }
+let empty schema = { schema; rows = [||]; encoded = -1 }
 
 let schema t = t.schema
 
@@ -41,10 +47,19 @@ let column t name =
 let get t i name = t.rows.(i).(Schema.index_of t.schema name)
 
 let encoded_bytes t =
-  Array.fold_left
-    (fun acc row ->
-       Array.fold_left (fun acc v -> acc + Value.encoded_size v) (acc + 1) row)
-    0 t.rows
+  if t.encoded >= 0 then t.encoded
+  else begin
+    let n =
+      Array.fold_left
+        (fun acc row ->
+           Array.fold_left
+             (fun acc v -> acc + Value.encoded_size v)
+             (acc + 1) row)
+        0 t.rows
+    in
+    t.encoded <- n;
+    n
+  end
 
 let encoded_mb t = float_of_int (encoded_bytes t) /. (1024. *. 1024.)
 
@@ -147,8 +162,9 @@ let of_csv schema s =
   let lines =
     String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
   in
-  { schema; rows = Array.of_list (List.map parse_line lines) }
+  { schema; rows = Array.of_list (List.map parse_line lines); encoded = -1 }
 
+(* the byte cache survives sorting: encoding is permutation-invariant *)
 let sort_with t cmp = { t with rows = sort_rows_with cmp t.rows }
 
 let sort_by ?(descending = false) t names =
