@@ -376,6 +376,312 @@ let fusion_bench () =
       Out_channel.output_string oc json);
   Printf.printf "wrote BENCH_fusion.json\n"
 
+(* ---- runtime supervision benchmark ----
+
+   Three scenarios exercising the supervisor end-to-end and checking
+   the executor's accounting against the analytic model:
+
+   (1) speculation: a straggler*4 on the planned (Hadoop) job races a
+       speculative duplicate on Metis; the duplicate wins, and the
+       observed makespan and wasted seconds must equal
+       Faults.speculate's prediction computed from independently
+       measured quantities (observed == predicted);
+   (2) circuit breaker: repeated engine failures quarantine Metis,
+       the planner avoids it, and after the cool-down a probe
+       re-admits it;
+   (3) adaptive re-planning: a heavy GROUP BY collapses the modeled
+       64 MB input to almost nothing, the size misprediction crosses
+       the threshold and the remaining DAG suffix is re-planned.
+
+   Writes BENCH_supervision.json. *)
+
+let supervision_bench () =
+  let open Relation in
+  let kv_schema =
+    Schema.make
+      [ { Schema.name = "k"; ty = Value.Tint };
+        { Schema.name = "v"; ty = Value.Tint } ]
+  in
+  let kv_table rows =
+    Table.create kv_schema
+      (List.map (fun (k, v) -> [| Value.Int k; Value.Int v |]) rows)
+  in
+  let hdfs_with rows =
+    let hdfs = Engines.Hdfs.create () in
+    Engines.Hdfs.put hdfs "r" ~modeled_mb:64. (kv_table rows);
+    hdfs
+  in
+  (* select + group: one shuffle, a single job on MapReduce engines *)
+  let one_shuffle_graph () =
+    let b = Ir.Builder.create () in
+    let r = Ir.Builder.input b "r" in
+    let s = Ir.Builder.select b ~pred:Expr.(col "v" > int 4) r in
+    let g =
+      Ir.Builder.group_by b ~name:"out" ~keys:[ "k" ]
+        ~aggs:[ Aggregate.make (Aggregate.Sum "v") ~as_name:"v" ]
+        s
+    in
+    Ir.Builder.finish b ~outputs:[ g ]
+  in
+  (* group + distinct: two shuffles, a two-job plan on Hadoop *)
+  let two_shuffle_graph () =
+    let b = Ir.Builder.create () in
+    let r = Ir.Builder.input b "r" in
+    let g =
+      Ir.Builder.group_by b ~keys:[ "k" ]
+        ~aggs:[ Aggregate.make (Aggregate.Sum "v") ~as_name:"v" ]
+        r
+    in
+    let d = Ir.Builder.distinct b ~name:"out" g in
+    Ir.Builder.finish b ~outputs:[ d ]
+  in
+  let m = Experiments.Common.musketeer_for (Experiments.Common.ec2 16) in
+  let counter name = Obs.Metrics.counter Obs.Metrics.default name in
+  let run ?faults ?(supervision = Musketeer.Supervisor.disabled)
+      ?(candidates = []) ~backends ~workflow graph rows =
+    let hdfs = hdfs_with rows in
+    let plan, g' =
+      match Musketeer.plan m ~backends ~workflow ~hdfs graph with
+      | Some p -> p
+      | None ->
+        Printf.eprintf "FATAL: %s does not plan\n" workflow;
+        exit 1
+    in
+    let candidates = if candidates = [] then backends else candidates in
+    let exec () =
+      Musketeer.execute_plan ~recovery:Musketeer.Recovery.none ~supervision
+        ~candidates ~record_history:false m ~workflow ~hdfs ~graph:g' plan
+    in
+    let result =
+      match faults with
+      | None -> exec ()
+      | Some fp -> Engines.Injector.with_plan fp exec
+    in
+    match result with
+    | Ok r -> (plan, g', hdfs, r)
+    | Error e ->
+      Printf.eprintf "FATAL: %s failed: %s\n" workflow
+        (Engines.Report.error_to_string e);
+      exit 1
+  in
+  let out_csv (r : Musketeer.Executor.result) =
+    match List.assoc_opt "out" r.Musketeer.Executor.outputs with
+    | Some t -> Table.to_csv (Table.sort_by t [ "k"; "v" ])
+    | None ->
+      Printf.eprintf "FATAL: no \"out\" relation\n";
+      exit 1
+  in
+  let rows = List.init 60 (fun i -> (i mod 6, i)) in
+
+  (* -- scenario 1: speculation, observed vs predicted -- *)
+  Obs.Metrics.reset Obs.Metrics.default;
+  let factor = 1.25 in
+  let straggler4 =
+    { Engines.Faults.seed = 42; probability = 1.;
+      faults = [ Engines.Faults.Straggler { slowdown = 4. } ] }
+  in
+  let supervision =
+    { Musketeer.Supervisor.deadline_factor = Some factor;
+      workflow_deadline_s = None; speculate = true; replan_rel_error = None }
+  in
+  let _, _, _, fault_free =
+    run ~backends:[ Engines.Backend.Hadoop ] ~workflow:"spec-base"
+      (one_shuffle_graph ()) rows
+  in
+  let _, _, _, stragglered =
+    run ~faults:straggler4 ~backends:[ Engines.Backend.Hadoop ]
+      ~workflow:"spec-straggler" (one_shuffle_graph ()) rows
+  in
+  let plan, g', hdfs0, supervised =
+    run ~faults:straggler4 ~supervision
+      ~candidates:[ Engines.Backend.Hadoop; Engines.Backend.Metis ]
+      ~backends:[ Engines.Backend.Hadoop ] ~workflow:"spec-sup"
+      (one_shuffle_graph ()) rows
+  in
+  let _, _, _, metis_alone =
+    run ~backends:[ Engines.Backend.Metis ] ~workflow:"spec-alt"
+      (one_shuffle_graph ()) rows
+  in
+  (* the analytic race, from independently measured quantities *)
+  let predicted_s =
+    let est = Musketeer.estimator m ~workflow:"spec-sup" ~hdfs:hdfs0 g' in
+    let backend, ids = List.hd plan.Musketeer.Partitioner.jobs in
+    Musketeer.Cost.seconds
+      (Musketeer.Cost.job_cost ~profile:(Musketeer.profile m) ~graph:g' ~est
+         backend ids)
+  in
+  let race =
+    Engines.Faults.speculate
+      ~straggler_s:(4. *. fault_free.Musketeer.Executor.makespan_s)
+      ~launch_s:(factor *. predicted_s)
+      ~alt_s:metis_alone.Musketeer.Executor.makespan_s
+  in
+  let observed_s = supervised.Musketeer.Executor.makespan_s in
+  let predicted_race_s = race.Engines.Faults.winner_makespan_s in
+  let observed_waste_s =
+    Option.value ~default:0.
+      (Obs.Metrics.gauge Obs.Metrics.default "supervisor.speculation_wasted_s")
+  in
+  let spec_identical = out_csv fault_free = out_csv supervised in
+  let spec_match =
+    Float.abs (observed_s -. predicted_race_s) < 1e-6
+    && Float.abs (observed_waste_s -. race.Engines.Faults.wasted_s) < 1e-6
+  in
+  Printf.printf "speculation under straggler*4 (deadline factor %.2f)\n"
+    factor;
+  Printf.printf "  %-28s %10.2fs\n" "fault-free makespan"
+    fault_free.Musketeer.Executor.makespan_s;
+  Printf.printf "  %-28s %10.2fs\n" "straggler, no supervision"
+    stragglered.Musketeer.Executor.makespan_s;
+  Printf.printf "  %-28s %10.2fs\n" "straggler + speculation" observed_s;
+  Printf.printf "  %-28s %10.2fs\n" "predicted (Faults.speculate)"
+    predicted_race_s;
+  Printf.printf "  %-28s %10.2fs (predicted %.2fs)\n" "wasted copy work"
+    observed_waste_s race.Engines.Faults.wasted_s;
+  Printf.printf "  wins %d/%d  identical %b  observed==predicted %b\n%!"
+    (counter "supervisor.speculation_wins")
+    (counter "supervisor.speculations")
+    spec_identical spec_match;
+  if not (spec_identical && spec_match) then begin
+    Printf.eprintf "FATAL: speculation accounting diverged\n";
+    exit 1
+  end;
+
+  (* -- scenario 2: circuit breaker -- *)
+  Obs.Metrics.reset Obs.Metrics.default;
+  Engines.Breaker.enable ~threshold:2 ~window:4 ~cooldown:2 ();
+  let breaker_result =
+    Fun.protect ~finally:Engines.Breaker.disable @@ fun () ->
+    let metis = Engines.Backend.Metis and hadoop = Engines.Backend.Hadoop in
+    let planned_on backend =
+      let hdfs = hdfs_with rows in
+      match
+        Musketeer.plan m ~backends:[ metis; hadoop ] ~workflow:"brk" ~hdfs
+          (one_shuffle_graph ())
+      with
+      | Some (p, _) ->
+        List.exists
+          (fun (b, _) -> Engines.Backend.equal b backend)
+          p.Musketeer.Partitioner.jobs
+      | None -> false
+    in
+    let healthy = planned_on metis in
+    Engines.Breaker.record_failure metis;
+    Engines.Breaker.record_failure metis;
+    let quarantined = Engines.Breaker.quarantined metis in
+    let avoided = not (planned_on metis) in
+    (* outcomes elsewhere advance the logical clock past the cool-down *)
+    Engines.Breaker.record_success hadoop;
+    Engines.Breaker.record_success hadoop;
+    let half_open = Engines.Breaker.state metis = Engines.Breaker.Half_open in
+    let readmitted = planned_on metis in
+    Engines.Breaker.record_success metis;
+    let reclosed = Engines.Breaker.state metis = Engines.Breaker.Closed in
+    Printf.printf
+      "\ncircuit breaker (threshold 2, window 4, cool-down 2)\n\
+      \  planned while healthy %b -> quarantined %b -> avoided by planner \
+       %b\n\
+      \  half-open after cool-down %b -> re-admitted %b -> re-closed %b\n\
+      \  trips %d  probes %d  re-closed %d\n%!"
+      healthy quarantined avoided half_open readmitted reclosed
+      (counter "breaker.trips") (counter "breaker.probes")
+      (counter "breaker.reclosed");
+    let ok =
+      healthy && quarantined && avoided && half_open && readmitted && reclosed
+    in
+    if not ok then begin
+      Printf.eprintf "FATAL: breaker scenario diverged\n";
+      exit 1
+    end;
+    (counter "breaker.trips", counter "breaker.probes",
+     counter "breaker.reclosed")
+  in
+
+  (* -- scenario 3: adaptive re-planning -- *)
+  Obs.Metrics.reset Obs.Metrics.default;
+  let replan_rows = List.init 80 (fun i -> (i mod 2, i mod 3)) in
+  let replan_sup =
+    { Musketeer.Supervisor.deadline_factor = None; workflow_deadline_s = None;
+      speculate = false; replan_rel_error = Some 0.5 }
+  in
+  let _, _, _, plain =
+    run ~backends:[ Engines.Backend.Hadoop ] ~workflow:"replan-base"
+      (two_shuffle_graph ()) replan_rows
+  in
+  let _, _, _, replanned =
+    run ~supervision:replan_sup
+      ~candidates:[ Engines.Backend.Hadoop; Engines.Backend.Metis ]
+      ~backends:[ Engines.Backend.Hadoop ] ~workflow:"replan-sup"
+      (two_shuffle_graph ()) replan_rows
+  in
+  let mispredictions = counter "supervisor.mispredictions" in
+  let replans = counter "supervisor.replans" in
+  let replan_delta_s =
+    Option.value ~default:0.
+      (Obs.Metrics.gauge Obs.Metrics.default "supervisor.replan_delta_s")
+  in
+  let replan_identical = out_csv plain = out_csv replanned in
+  Printf.printf
+    "\nadaptive re-planning (threshold 0.5, 64 modeled MB collapsing)\n\
+    \  static plan makespan %10.2fs\n\
+    \  replanned   makespan %10.2fs\n\
+    \  mispredictions %d  replans %d  predicted delta %.2fs  identical %b\n%!"
+    plain.Musketeer.Executor.makespan_s
+    replanned.Musketeer.Executor.makespan_s mispredictions replans
+    replan_delta_s replan_identical;
+  if not (replans >= 1 && replan_identical) then begin
+    Printf.eprintf "FATAL: replan scenario diverged\n";
+    exit 1
+  end;
+
+  let trips, probes, reclosed_n = breaker_result in
+  let json =
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "{\n  \"speculation\": {\n";
+    Buffer.add_string b
+      (Printf.sprintf "    \"fault_free_s\": %.6f,\n"
+         fault_free.Musketeer.Executor.makespan_s);
+    Buffer.add_string b
+      (Printf.sprintf "    \"straggler_s\": %.6f,\n"
+         stragglered.Musketeer.Executor.makespan_s);
+    Buffer.add_string b
+      (Printf.sprintf "    \"speculated_s\": %.6f,\n" observed_s);
+    Buffer.add_string b
+      (Printf.sprintf "    \"predicted_s\": %.6f,\n" predicted_race_s);
+    Buffer.add_string b
+      (Printf.sprintf "    \"wasted_s\": %.6f,\n" observed_waste_s);
+    Buffer.add_string b
+      (Printf.sprintf "    \"predicted_wasted_s\": %.6f,\n"
+         race.Engines.Faults.wasted_s);
+    Buffer.add_string b
+      (Printf.sprintf "    \"observed_equals_predicted\": %b,\n" spec_match);
+    Buffer.add_string b
+      (Printf.sprintf "    \"outputs_identical\": %b\n  },\n" spec_identical);
+    Buffer.add_string b "  \"breaker\": {\n";
+    Buffer.add_string b (Printf.sprintf "    \"trips\": %d,\n" trips);
+    Buffer.add_string b (Printf.sprintf "    \"probes\": %d,\n" probes);
+    Buffer.add_string b (Printf.sprintf "    \"reclosed\": %d\n  },\n" reclosed_n);
+    Buffer.add_string b "  \"replanning\": {\n";
+    Buffer.add_string b
+      (Printf.sprintf "    \"static_s\": %.6f,\n"
+         plain.Musketeer.Executor.makespan_s);
+    Buffer.add_string b
+      (Printf.sprintf "    \"replanned_s\": %.6f,\n"
+         replanned.Musketeer.Executor.makespan_s);
+    Buffer.add_string b
+      (Printf.sprintf "    \"mispredictions\": %d,\n" mispredictions);
+    Buffer.add_string b (Printf.sprintf "    \"replans\": %d,\n" replans);
+    Buffer.add_string b
+      (Printf.sprintf "    \"predicted_delta_s\": %.6f,\n" replan_delta_s);
+    Buffer.add_string b
+      (Printf.sprintf "    \"outputs_identical\": %b\n  }\n}\n"
+         replan_identical);
+    Buffer.contents b
+  in
+  Out_channel.with_open_text "BENCH_supervision.json" (fun oc ->
+      Out_channel.output_string oc json);
+  Printf.printf "wrote BENCH_supervision.json\n"
+
 (* pull "--trace FILE" out of the argument list *)
 let rec extract_trace = function
   | [] -> (None, [])
@@ -404,10 +710,14 @@ let () =
         "kernels-par  serial vs parallel kernel speedups (BENCH_kernels.json)";
       print_endline
         "fusion    fused vs unfused execution + shared scans \
-         (BENCH_fusion.json)"
+         (BENCH_fusion.json)";
+      print_endline
+        "supervision  straggler speculation, breaker, re-planning \
+         (BENCH_supervision.json)"
     | [ "bechamel" ] -> run_target "bechamel" bechamel
     | [ "kernels-par" ] -> run_target "kernels-par" kernels_par
     | [ "fusion" ] -> run_target "fusion" fusion_bench
+    | [ "supervision" ] -> run_target "supervision" supervision_bench
     | [] ->
       List.iter
         (fun (name, _, f) ->
@@ -425,6 +735,8 @@ let () =
              else if raw = "kernels-par" then
                run_target "kernels-par" kernels_par
              else if raw = "fusion" then run_target "fusion" fusion_bench
+             else if raw = "supervision" then
+               run_target "supervision" supervision_bench
              else Printf.eprintf "unknown target %s (try: list)\n" raw)
         names
   in

@@ -188,6 +188,69 @@ let retries_arg =
            before re-planning it onto the next-best engine (graceful \
            degradation); 0 retries with fallback still enabled.")
 
+let deadline_factor_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "deadline-factor" ] ~docv:"F"
+        ~doc:
+          "Enable runtime supervision with a per-job soft deadline of F \
+           times the cost-model prediction; a job that blows it is \
+           declared a straggler and a speculative duplicate is raced on \
+           the next-best engine (unless --no-speculation). See \
+           docs/fault-tolerance.md.")
+
+let deadline_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Workflow-level soft deadline in simulated seconds, \
+           distributed over jobs proportionally to their predicted \
+           share; tightens (or replaces) --deadline-factor.")
+
+let no_speculation_arg =
+  Arg.(
+    value & flag
+    & info [ "no-speculation" ]
+        ~doc:
+          "Detect stragglers (and count deadline breaches) but never \
+           launch speculative duplicates.")
+
+let replan_threshold_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "replan-threshold" ] ~docv:"E"
+        ~doc:
+          "Enable adaptive re-planning: after each job, if some \
+           materialized output size misses its estimate by more than \
+           relative error E, the remaining jobs are re-partitioned with \
+           the observed sizes substituted.")
+
+let breaker_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "breaker" ] ~docv:"K"
+        ~doc:
+          "Enable per-engine circuit breakers: after K failures within \
+           the sliding outcome window an engine is quarantined \
+           (excluded from planning and fallbacks) with exponential \
+           cool-down, then re-admitted via a half-open probe. States \
+           show up in the stats subcommand.")
+
+(* supervision is opt-in: only a deadline / replan flag switches it on *)
+let supervision_of deadline_factor deadline no_speculation replan_threshold =
+  if deadline_factor = None && deadline = None && replan_threshold = None
+  then Musketeer.Supervisor.disabled
+  else
+    { Musketeer.Supervisor.deadline_factor;
+      workflow_deadline_s = deadline;
+      speculate = not no_speculation;
+      replan_rel_error = replan_threshold }
+
+let set_breaker = function
+  | None -> ()
+  | Some k -> Engines.Breaker.enable ~threshold:(max 1 k) ()
+
 (* parse --inject; [f] receives the --retries-derived recovery policy
    and an [injected] bracket to wrap around execution ONLY — installing
    the injector for the whole command would let the calibration probe
@@ -303,9 +366,15 @@ let plan_cmd =
 
 let run_cmd =
   let run kind nodes backend show_code trace inject seed retries jobs
-      no_fusion =
+      no_fusion deadline_factor deadline no_speculation replan_threshold
+      breaker =
     Relation.Pool.set_jobs jobs;
     set_fusion no_fusion;
+    set_breaker breaker;
+    let supervision =
+      supervision_of deadline_factor deadline no_speculation
+        replan_threshold
+    in
     with_trace trace @@ fun () ->
     with_injection inject seed retries @@ fun recovery injected ->
     let m, hdfs, graph = setup kind nodes in
@@ -322,7 +391,7 @@ let run_cmd =
           (Musketeer.show_code ~graph:g' plan);
       (match
          injected (fun () ->
-             Musketeer.execute_plan ~recovery
+             Musketeer.execute_plan ~recovery ~supervision
                ?candidates:backends m ~workflow ~hdfs ~graph:g' plan)
        with
        | Error e ->
@@ -348,7 +417,8 @@ let run_cmd =
     Term.(
       const run $ workflow_arg $ nodes_arg $ backend_arg $ show_code_arg
       $ trace_arg $ inject_arg $ seed_arg $ retries_arg $ jobs_arg
-      $ no_fusion_arg)
+      $ no_fusion_arg $ deadline_factor_arg $ deadline_arg
+      $ no_speculation_arg $ replan_threshold_arg $ breaker_arg)
 
 let parse_cmd =
   let run frontend file dot =
@@ -370,9 +440,15 @@ let parse_cmd =
 
 let run_file_cmd =
   let run frontend file tables nodes backend show_code history_file trace
-      inject seed retries jobs no_fusion =
+      inject seed retries jobs no_fusion deadline_factor deadline
+      no_speculation replan_threshold breaker =
     Relation.Pool.set_jobs jobs;
     set_fusion no_fusion;
+    set_breaker breaker;
+    let supervision =
+      supervision_of deadline_factor deadline no_speculation
+        replan_threshold
+    in
     with_trace trace @@ fun () ->
     with_injection inject seed retries @@ fun recovery injected ->
     let source = In_channel.with_open_text file In_channel.input_all in
@@ -401,8 +477,8 @@ let run_file_cmd =
           (Musketeer.show_code ~graph:g' plan);
       (match
          injected (fun () ->
-             Musketeer.execute_plan ~recovery ?candidates:backends m
-               ~workflow ~hdfs ~graph:g' plan)
+             Musketeer.execute_plan ~recovery ~supervision
+               ?candidates:backends m ~workflow ~hdfs ~graph:g' plan)
        with
        | Error e ->
          Format.printf "execution failed: %s@."
@@ -434,13 +510,17 @@ let run_file_cmd =
     Term.(
       const
         (fun frontend file tables nodes backend show_code history trace inject
-          seed retries jobs no_fusion ->
+          seed retries jobs no_fusion deadline_factor deadline no_speculation
+          replan_threshold breaker ->
           with_parse_errors (fun () ->
               run frontend file tables nodes backend show_code history trace
-                inject seed retries jobs no_fusion))
+                inject seed retries jobs no_fusion deadline_factor deadline
+                no_speculation replan_threshold breaker))
       $ frontend_arg $ file_arg $ tables_arg $ nodes_arg $ backend_arg
       $ show_code_arg $ history_arg $ trace_arg $ inject_arg $ seed_arg
-      $ retries_arg $ jobs_arg $ no_fusion_arg)
+      $ retries_arg $ jobs_arg $ no_fusion_arg $ deadline_factor_arg
+      $ deadline_arg $ no_speculation_arg $ replan_threshold_arg
+      $ breaker_arg)
 
 let explain_cmd =
   let run kind nodes backend trace jobs no_fusion =
@@ -462,8 +542,14 @@ let explain_cmd =
       $ jobs_arg $ no_fusion_arg)
 
 let stats_cmd =
-  let run kind nodes backend repeat trace inject seed retries jobs =
+  let run kind nodes backend repeat trace inject seed retries jobs
+      deadline_factor deadline no_speculation replan_threshold breaker =
     Relation.Pool.set_jobs jobs;
+    set_breaker breaker;
+    let supervision =
+      supervision_of deadline_factor deadline no_speculation
+        replan_threshold
+    in
     with_trace trace @@ fun () ->
     with_injection inject seed retries @@ fun recovery injected ->
     let cluster = Engines.Cluster.ec2 ~nodes in
@@ -476,7 +562,8 @@ let stats_cmd =
       let hdfs, graph = load_workflow kind in
       match
         injected (fun () ->
-            Musketeer.execute m ?backends ~recovery ~workflow ~hdfs graph)
+            Musketeer.execute m ?backends ~recovery ~supervision ~workflow
+              ~hdfs graph)
       with
       | Error e ->
         Format.printf "run %d failed: %s@." i
@@ -485,18 +572,23 @@ let stats_cmd =
         Format.printf "run %d: makespan %.1fs@." i
           result.Musketeer.Executor.makespan_s
     done;
-    Format.printf "@.%a" Musketeer.Obs.Metrics.pp Obs.Metrics.default
+    Format.printf "@.%a" Musketeer.Obs.Metrics.pp Obs.Metrics.default;
+    if Engines.Breaker.enabled () then
+      Format.printf "@.%a" Engines.Breaker.pp ()
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
          "Execute a workflow --repeat times and dump the metrics \
           registry: jobs per backend, rewrite hits, partitioner search \
-          sizes and per-job predicted-vs-observed makespan error (the \
-          live Figure 14 signal).")
+          sizes, per-job predicted-vs-observed makespan error (the \
+          live Figure 14 signal) and — with --breaker — the circuit \
+          breaker states.")
     Term.(
       const run $ workflow_arg $ nodes_arg $ backend_arg $ repeat_arg
-      $ trace_arg $ inject_arg $ seed_arg $ retries_arg $ jobs_arg)
+      $ trace_arg $ inject_arg $ seed_arg $ retries_arg $ jobs_arg
+      $ deadline_factor_arg $ deadline_arg $ no_speculation_arg
+      $ replan_threshold_arg $ breaker_arg)
 
 let calibrate_cmd =
   let run nodes =

@@ -157,12 +157,14 @@ let expand_while ~mode ~profile ~history ~workflow ~record_history ~hdfs
            let label =
              Printf.sprintf "%s/iter%d/job%d" n.Ir.Operator.output i j
            in
-           (* a failed iteration job writes nothing, so an in-place
-              retry resumes the loop from consistent HDFS state *)
+           (* retries rewind to the job's pre-attempt snapshot, so a
+              half-written iteration cannot leak into the re-run *)
+           let pre = Engines.Hdfs.snapshot hdfs in
+           let reset () = Engines.Hdfs.restore hdfs ~from:pre in
            let report =
              match
-               Recovery.with_retries ~policy:recovery ~workflow ~label
-                 ~backend:job_backend (fun () ->
+               Recovery.with_retries ~reset ~policy:recovery ~workflow
+                 ~label ~backend:job_backend (fun () ->
                    try
                      Ok
                        (dispatch ~mode ~profile ~history ~workflow
@@ -204,8 +206,9 @@ let is_expandable_while ~backend ~graph ids =
   | _ -> false
 
 let run_plan ?(mode = Generated) ?(record_history = true)
-    ?(recovery = Recovery.none) ?(candidates = Engines.Backend.all) ~profile
-    ~history ~workflow ~hdfs ~graph ~plan () =
+    ?(recovery = Recovery.none) ?(candidates = Engines.Backend.all)
+    ?(supervision = Supervisor.disabled) ~profile ~history ~workflow ~hdfs
+    ~graph ~plan () =
   Obs.Trace.with_span
     ~attrs:[ ("workflow", Obs.Trace.String workflow);
              ("jobs", Obs.Trace.Int (List.length plan.Partitioner.jobs)) ]
@@ -233,65 +236,106 @@ let run_plan ?(mode = Generated) ?(record_history = true)
       | Cost.Finite s -> Some s
       | Cost.Infeasible _ -> None)
   in
+  (* the workflow deadline is distributed over jobs by predicted
+     share; computed once against the original plan *)
+  let predicted_total_s =
+    List.fold_left
+      (fun acc (backend, ids) ->
+         match acc, predicted_s backend ids with
+         | Some acc, Some p -> Some (acc +. p)
+         | _ -> None)
+      (Some 0.) plan.Partitioner.jobs
+  in
+  let supervising = Supervisor.active supervision in
   try
-    let reports =
-      List.concat
-        (List.mapi
-           (fun i (backend, ids) ->
-              let prediction = predicted_s backend ids in
-              let label = Printf.sprintf "%s/job%d" workflow i in
-              (* re-attempts restore the job's pre-run HDFS snapshot:
-                 recovery resumes from the intermediates upstream jobs
-                 already materialized, never re-running them *)
-              let pre = Engines.Hdfs.snapshot hdfs in
-              let reset () = Engines.Hdfs.restore hdfs ~from:pre in
-              let dispatch_on b =
-                try
-                  if is_expandable_while ~backend:b ~graph ids then
-                    Ok
-                      (expand_while ~mode ~profile ~history ~workflow
-                         ~record_history ~hdfs ~graph ~recovery ~backend:b
-                         (Ir.Dag.node graph (List.hd ids)))
-                  else begin
-                    let job_graph, mapping =
-                      Jobgraph.extract_mapped graph ids
-                    in
-                    Ok
-                      [ dispatch ~mode ~profile ~history ~workflow
-                          ~record_history ~hdfs ~label ~backend:b job_graph
-                          mapping ]
-                  end
-                with Execution_failed e -> Error e
-              in
-              let outcome =
-                match
-                  Recovery.run_job ~policy:recovery ~profile ~graph ~est
-                    ~candidates ~workflow ~label ~ids ~reset
-                    ~dispatch:dispatch_on backend
-                with
-                | Ok outcome -> outcome
-                | Error e -> raise (Execution_failed e)
-              in
-              let job_reports = outcome.Recovery.reports in
-              let observed_s =
-                List.fold_left
-                  (fun acc (r : Engines.Report.t) -> acc +. r.makespan_s)
-                  0. job_reports
-              in
-              (* a replanned job ran elsewhere: joining its observation
-                 with the original engine's estimate would pollute the
-                 mapping-quality signal *)
-              (match prediction with
-               | Some predicted_s
-                 when observed_s > 0. && not outcome.Recovery.replanned ->
-                 Obs.Metrics.record_prediction Obs.Metrics.default ~workflow
-                   ~job:label
-                   ~backend:(Engines.Backend.name backend)
-                   ~predicted_s ~observed_s
-               | _ -> ());
-              job_reports)
-           plan.Partitioner.jobs)
-    in
+    (* jobs run off a mutable queue: adaptive re-planning may replace
+       the remaining suffix mid-run *)
+    let remaining = ref plan.Partitioner.jobs in
+    let acc = ref [] in
+    let i = ref 0 in
+    while !remaining <> [] do
+      let backend, ids = List.hd !remaining in
+      remaining := List.tl !remaining;
+      let prediction = predicted_s backend ids in
+      let label = Printf.sprintf "%s/job%d" workflow !i in
+      incr i;
+      (* re-attempts restore the job's pre-run HDFS snapshot:
+         recovery resumes from the intermediates upstream jobs
+         already materialized, never re-running them *)
+      let pre = Engines.Hdfs.snapshot hdfs in
+      let reset () = Engines.Hdfs.restore hdfs ~from:pre in
+      let dispatch_on b =
+        try
+          if is_expandable_while ~backend:b ~graph ids then
+            Ok
+              (expand_while ~mode ~profile ~history ~workflow
+                 ~record_history ~hdfs ~graph ~recovery ~backend:b
+                 (Ir.Dag.node graph (List.hd ids)))
+          else begin
+            let job_graph, mapping = Jobgraph.extract_mapped graph ids in
+            Ok
+              [ dispatch ~mode ~profile ~history ~workflow ~record_history
+                  ~hdfs ~label ~backend:b job_graph mapping ]
+          end
+        with Execution_failed e -> Error e
+      in
+      let stragglers_before =
+        Obs.Metrics.counter Obs.Metrics.default "faults.straggler"
+      in
+      let outcome =
+        match
+          Recovery.run_job ~policy:recovery ~profile ~graph ~est
+            ~candidates ~workflow ~label ~ids ~reset
+            ~dispatch:dispatch_on backend
+        with
+        | Ok outcome -> outcome
+        | Error e -> raise (Execution_failed e)
+      in
+      let verdict =
+        if supervising then
+          let straggler_injected =
+            Obs.Metrics.counter Obs.Metrics.default "faults.straggler"
+            > stragglers_before
+          in
+          Supervisor.supervise_job ~config:supervision ~profile ~graph
+            ~est ~candidates ~hdfs ~label ~ids ~reset
+            ~dispatch:dispatch_on ~predicted_s:prediction
+            ~predicted_total_s ~straggler_injected
+            ~backend:outcome.Recovery.backend outcome.Recovery.reports
+        else
+          Supervisor.no_action ~backend:outcome.Recovery.backend
+            outcome.Recovery.reports
+      in
+      let job_reports = verdict.Supervisor.reports in
+      let observed_s =
+        List.fold_left
+          (fun acc (r : Engines.Report.t) -> acc +. r.makespan_s)
+          0. job_reports
+      in
+      (* a replanned or out-speculated job ran elsewhere: joining its
+         observation with the original engine's estimate would pollute
+         the mapping-quality signal *)
+      (match prediction with
+       | Some predicted_s
+         when observed_s > 0.
+              && (not outcome.Recovery.replanned)
+              && not verdict.Supervisor.speculation_won ->
+         Obs.Metrics.record_prediction Obs.Metrics.default ~workflow
+           ~job:label
+           ~backend:(Engines.Backend.name backend)
+           ~predicted_s ~observed_s
+       | _ -> ());
+      acc := List.rev_append job_reports !acc;
+      if supervising && !remaining <> [] then
+        match
+          Supervisor.maybe_replan ~config:supervision ~profile ~history
+            ~workflow ~hdfs ~graph ~est ~candidates ~completed:ids
+            ~remaining:!remaining
+        with
+        | Some jobs -> remaining := jobs
+        | None -> ()
+    done;
+    let reports = List.rev !acc in
     let makespan_s =
       List.fold_left
         (fun acc (r : Engines.Report.t) -> acc +. r.makespan_s)

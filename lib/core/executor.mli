@@ -38,11 +38,18 @@ exception Execution_failed of Engines.Report.error
            jobs are re-attempted from their pre-run HDFS snapshot, so
            upstream intermediates are reused, not recomputed.
     @param candidates engines eligible when recovery re-plans a failed
-           job (default all; pass the planner's backend list to respect
-           a forced mapping). *)
+           job, when the supervisor speculates, and when adaptive
+           re-planning re-partitions the remaining DAG (default all;
+           pass the planner's backend list to respect a forced
+           mapping).
+    @param supervision runtime supervision config (default
+           {!Supervisor.disabled}): per-job deadlines, speculative
+           duplicates for detected stragglers, and adaptive
+           re-planning of the remaining jobs on size mispredictions. *)
 val run_plan :
   ?mode:mode -> ?record_history:bool -> ?recovery:Recovery.policy ->
-  ?candidates:Engines.Backend.t list -> profile:Profile.t ->
+  ?candidates:Engines.Backend.t list -> ?supervision:Supervisor.config ->
+  profile:Profile.t ->
   history:History.t -> workflow:string -> hdfs:Engines.Hdfs.t ->
   graph:Ir.Dag.t -> plan:Partitioner.plan -> unit ->
   (result, Engines.Report.error) Stdlib.result

@@ -12,6 +12,7 @@ module Codegen = Codegen
 module Render = Render
 module Executor = Executor
 module Recovery = Recovery
+module Supervisor = Supervisor
 module Mapper = Mapper
 module Explain = Explain
 module Obs = Obs
@@ -51,6 +52,9 @@ let plan ?(backends = Engines.Backend.all) ?(merging = true)
              ("backends", Obs.Trace.Int (List.length backends)) ]
     "plan"
   @@ fun () ->
+  (* quarantined engines are not planning candidates — unless the
+     quarantine would leave none at all *)
+  let backends = Engines.Breaker.filter_candidates backends in
   let g = if optimize then optimize_ir ~hdfs g else g in
   let est = estimator t ~workflow ~hdfs g in
   let plan =
@@ -60,12 +64,13 @@ let plan ?(backends = Engines.Backend.all) ?(merging = true)
   in
   Option.map (fun p -> (p, g)) plan
 
-let execute_plan ?mode ?record_history ?recovery ?candidates t ~workflow
-    ~hdfs ~graph p =
-  Executor.run_plan ?mode ?record_history ?recovery ?candidates
+let execute_plan ?mode ?record_history ?recovery ?candidates ?supervision t
+    ~workflow ~hdfs ~graph p =
+  Executor.run_plan ?mode ?record_history ?recovery ?candidates ?supervision
     ~profile:t.profile ~history:t.history ~workflow ~hdfs ~graph ~plan:p ()
 
-let execute ?backends ?merging ?optimize ?mode ?recovery t ~workflow ~hdfs g =
+let execute ?backends ?merging ?optimize ?mode ?recovery ?supervision t
+    ~workflow ~hdfs g =
   match plan ?backends ?merging ?optimize t ~workflow ~hdfs g with
   | None ->
     Error
@@ -76,8 +81,8 @@ let execute ?backends ?merging ?optimize ?mode ?recovery t ~workflow ~hdfs g =
     let candidates =
       Option.value backends ~default:Engines.Backend.all
     in
-    match execute_plan ?mode ?recovery ~candidates t ~workflow ~hdfs
-            ~graph:g' p with
+    match execute_plan ?mode ?recovery ?supervision ~candidates t ~workflow
+            ~hdfs ~graph:g' p with
     | Ok result -> Ok (result, p)
     | Error e -> Error e)
 

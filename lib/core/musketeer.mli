@@ -32,6 +32,7 @@ module Codegen = Codegen
 module Render = Render
 module Executor = Executor
 module Recovery = Recovery
+module Supervisor = Supervisor
 module Mapper = Mapper
 module Explain = Explain
 
@@ -67,7 +68,9 @@ val estimator :
 val optimize_ir : hdfs:Engines.Hdfs.t -> Ir.Dag.t -> Ir.Dag.t
 
 (** [plan] = optimize + estimate + partition. [None] when no backend
-    combination can express the workflow.
+    combination can express the workflow. Engines quarantined by
+    {!Engines.Breaker} are dropped from [backends] first (unless that
+    would leave none).
     @param backends candidate engines (default: all seven)
     @param merging operator merging on (default true; Figure 12's
            ablation passes false)
@@ -80,10 +83,13 @@ val plan :
 (** Plan and run. Returns the executor result together with the plan
     used. History is updated on success. [recovery] (default
     {!Recovery.none}) governs retries and engine fallback on job
-    failure; fallback candidates are confined to [backends]. *)
+    failure; fallback candidates are confined to [backends].
+    [supervision] (default {!Supervisor.disabled}) adds deadlines,
+    straggler speculation and adaptive re-planning. *)
 val execute :
   ?backends:Engines.Backend.t list -> ?merging:bool -> ?optimize:bool ->
-  ?mode:Executor.mode -> ?recovery:Recovery.policy -> t ->
+  ?mode:Executor.mode -> ?recovery:Recovery.policy ->
+  ?supervision:Supervisor.config -> t ->
   workflow:string -> hdfs:Engines.Hdfs.t -> Ir.Dag.t ->
   (Executor.result * Partitioner.plan, Engines.Report.error) result
 
@@ -91,6 +97,7 @@ val execute :
 val execute_plan :
   ?mode:Executor.mode -> ?record_history:bool ->
   ?recovery:Recovery.policy -> ?candidates:Engines.Backend.t list ->
+  ?supervision:Supervisor.config ->
   t -> workflow:string -> hdfs:Engines.Hdfs.t -> graph:Ir.Dag.t ->
   Partitioner.plan ->
   (Executor.result, Engines.Report.error) result

@@ -60,6 +60,7 @@ let alternatives ~profile ~graph ~est ~candidates ~exclude ids =
       if ok then Some 0. else None
   in
   candidates
+  |> Engines.Breaker.filter
   |> List.filter (fun b -> not (excluded b))
   |> List.filter_map (fun b -> Option.map (fun s -> (s, b)) (score b))
   |> List.stable_sort (fun (a, _) (b, _) -> Float.compare a b)
@@ -88,13 +89,35 @@ let backoff_total_s ~policy ~failures =
     (* retry k waits base * 2^(k-1); summed over all failed attempts *)
     policy.backoff_base_s *. ((2. ** float_of_int failures) -. 1.)
 
-let charge_recovery recovery_s (r : Engines.Report.t) =
-  { r with
-    makespan_s = r.makespan_s +. recovery_s;
-    breakdown =
-      { r.breakdown with
-        Engines.Report.overhead_s =
-          r.breakdown.Engines.Report.overhead_s +. recovery_s } }
+(* distribute the recovery seconds across the job's reports
+   proportionally to their makespan share (a WHILE expansion yields one
+   report per iteration job — the big iterations absorbed most of the
+   re-run, so they carry most of the charge); even split when the
+   makespans are all zero. The sum of makespans grows by exactly
+   [recovery_s] — asserted in test_recovery. *)
+let charge_recovery recovery_s (reports : Engines.Report.t list) =
+  if recovery_s <= 0. || reports = [] then reports
+  else
+    let total =
+      List.fold_left
+        (fun acc (r : Engines.Report.t) -> acc +. r.makespan_s)
+        0. reports
+    in
+    let n = float_of_int (List.length reports) in
+    let share (r : Engines.Report.t) =
+      if total > 0. then recovery_s *. r.makespan_s /. total
+      else recovery_s /. n
+    in
+    List.map
+      (fun (r : Engines.Report.t) ->
+         let s = share r in
+         { r with
+           makespan_s = r.makespan_s +. s;
+           breakdown =
+             { r.breakdown with
+               Engines.Report.overhead_s =
+                 r.breakdown.Engines.Report.overhead_s +. s } })
+      reports
 
 let attempt_span ~label ~backend ~attempt f =
   Obs.Trace.with_span
@@ -110,6 +133,7 @@ let run_job ~policy ~profile ~graph ~est ~candidates ~workflow ~label ~ids
   let rec go backend ~retries_left ~tried ~failures ~attempt =
     match attempt_span ~label ~backend ~attempt (fun () -> dispatch backend) with
     | Ok reports ->
+      Engines.Breaker.record_success backend;
       let total =
         List.fold_left
           (fun acc (r : Engines.Report.t) -> acc +. r.makespan_s)
@@ -132,15 +156,10 @@ let run_job ~policy ~profile ~graph ~est ~candidates ~workflow ~label ~ids
            ~attempts:attempt
            ~first_error:(Engines.Report.error_to_string first_error)
            ~recovery_s);
-      let reports =
-        if recovery_s > 0. then
-          match reports with
-          | first :: rest -> charge_recovery recovery_s first :: rest
-          | [] -> reports
-        else reports
-      in
+      let reports = charge_recovery recovery_s reports in
       Ok { reports; backend; attempts = attempt; replanned; recovery_s }
     | Error e ->
+      Engines.Breaker.record_failure backend;
       Obs.Metrics.incr Obs.Metrics.default "recovery.failed_attempts";
       let failures = (backend, e) :: failures in
       if retries_left > 0 then begin
@@ -164,10 +183,11 @@ let run_job ~policy ~profile ~graph ~est ~candidates ~workflow ~label ~ids
   go backend ~retries_left:policy.max_retries ~tried:[] ~failures:[]
     ~attempt:1
 
-let with_retries ~policy ~workflow ~label ~backend f =
+let with_retries ?(reset = fun () -> ()) ~policy ~workflow ~label ~backend f =
   let rec go ~retries_left ~failures ~attempt =
     match attempt_span ~label ~backend ~attempt f with
     | Ok (report : Engines.Report.t) ->
+      Engines.Breaker.record_success backend;
       let ordered = List.rev failures in
       (match ordered with
        | [] -> Ok report
@@ -186,11 +206,18 @@ let with_retries ~policy ~workflow ~label ~backend f =
            ~attempts:attempt
            ~first_error:(Engines.Report.error_to_string first_error)
            ~recovery_s;
-         Ok (charge_recovery recovery_s report))
+         match charge_recovery recovery_s [ report ] with
+         | [ charged ] -> Ok charged
+         | _ -> Ok report)
     | Error e ->
+      Engines.Breaker.record_failure backend;
       Obs.Metrics.incr Obs.Metrics.default "recovery.failed_attempts";
       if retries_left > 0 then begin
         Obs.Metrics.incr Obs.Metrics.default "recovery.retries";
+        (* restore pre-attempt state: a half-written iteration (e.g.
+           a WHILE body that materialized some outputs before the
+           fault) must not leak into the retry *)
+        reset ();
         go ~retries_left:(retries_left - 1) ~failures:((backend, e) :: failures)
           ~attempt:(attempt + 1)
       end

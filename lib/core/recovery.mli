@@ -46,8 +46,9 @@ type outcome = {
 
 (** Feasible fallback engines for the job [ids] of [graph], cheapest
     first under the cost model ([candidates] order when [est] is
-    [None]), excluding [exclude]. WHILE-only jobs count engines that
-    can run them as per-iteration chains. *)
+    [None]), excluding [exclude] and any engine quarantined by
+    {!Engines.Breaker}. WHILE-only jobs count engines that can run
+    them as per-iteration chains. *)
 val alternatives :
   profile:Profile.t -> graph:Ir.Dag.t -> est:Estimator.t option ->
   candidates:Engines.Backend.t list -> exclude:Engines.Backend.t list ->
@@ -69,10 +70,21 @@ val run_job :
   Engines.Backend.t ->
   (outcome, Engines.Report.error) result
 
+(** [charge_recovery s reports] — add [s] seconds of recovery cost,
+    distributed across [reports] proportionally to their makespan
+    share (even split when every makespan is 0), into both makespan
+    and the overhead phase. The sum of makespans grows by exactly
+    [s]. Identity for [s <= 0.] or an empty list. *)
+val charge_recovery :
+  float -> Engines.Report.t list -> Engines.Report.t list
+
 (** Lightweight same-engine retry loop for jobs that cannot be
-    re-planned (the per-iteration jobs of an expanded WHILE). A failed
-    attempt writes nothing, so no state reset is needed. *)
+    re-planned (the per-iteration jobs of an expanded WHILE). [reset]
+    (default no-op) restores pre-attempt state before every retry —
+    the executor passes an HDFS snapshot restore so a half-written
+    iteration cannot leak into the re-run. *)
 val with_retries :
+  ?reset:(unit -> unit) ->
   policy:policy -> workflow:string -> label:string ->
   backend:Engines.Backend.t ->
   (unit -> (Engines.Report.t, Engines.Report.error) result) ->

@@ -1,0 +1,181 @@
+type state =
+  | Closed
+  | Open
+  | Half_open
+
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+type config = {
+  threshold : int;
+  window : int;
+  cooldown : int;
+}
+
+type entry = {
+  mutable st : state;
+  mutable outcomes : bool list;  (** most recent first, [true] = success *)
+  mutable open_until : int;      (** logical tick, meaningful when Open *)
+  mutable cooldown_cur : int;    (** doubles on each failed probe *)
+  mutable trips : int;
+}
+
+type t = {
+  config : config;
+  entries : (Backend.t, entry) Hashtbl.t;
+  mutable clock : int;
+}
+
+let installed : t option ref = ref None
+
+let enable ?(threshold = 3) ?(window = 8) ?(cooldown = 8) () =
+  if threshold < 1 then invalid_arg "Breaker.enable: threshold < 1";
+  if window < threshold then invalid_arg "Breaker.enable: window < threshold";
+  if cooldown < 1 then invalid_arg "Breaker.enable: cooldown < 1";
+  installed :=
+    Some
+      { config = { threshold; window; cooldown };
+        entries = Hashtbl.create 7;
+        clock = 0 }
+
+let disable () = installed := None
+
+let enabled () = Option.is_some !installed
+
+let reset () =
+  match !installed with
+  | None -> ()
+  | Some t ->
+    Hashtbl.reset t.entries;
+    t.clock <- 0
+
+let entry t backend =
+  match Hashtbl.find_opt t.entries backend with
+  | Some e -> e
+  | None ->
+    let e =
+      { st = Closed; outcomes = []; open_until = 0;
+        cooldown_cur = t.config.cooldown; trips = 0 }
+    in
+    Hashtbl.replace t.entries backend e;
+    e
+
+let take n xs =
+  let rec go n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: go (n - 1) rest
+  in
+  go n xs
+
+let set_open_gauge backend v =
+  Obs.Metrics.set_gauge Obs.Metrics.default
+    ("breaker.open." ^ Backend.name backend) v
+
+(* Open -> Half_open once the cool-down has elapsed. Reads as well as
+   writes perform this refresh, so [state]/[filter] see the probe
+   window without needing a separate ticker. *)
+let refresh t backend e =
+  if e.st = Open && t.clock >= e.open_until then begin
+    e.st <- Half_open;
+    Obs.Metrics.incr Obs.Metrics.default "breaker.probes";
+    set_open_gauge backend 0.
+  end
+
+let trip t backend e =
+  e.st <- Open;
+  e.open_until <- t.clock + e.cooldown_cur;
+  e.trips <- e.trips + 1;
+  Obs.Metrics.incr Obs.Metrics.default "breaker.trips";
+  set_open_gauge backend 1.
+
+let record outcome backend =
+  match !installed with
+  | None -> ()
+  | Some t ->
+    t.clock <- t.clock + 1;
+    let e = entry t backend in
+    refresh t backend e;
+    e.outcomes <- take t.config.window (outcome :: e.outcomes);
+    (match e.st, outcome with
+     | Half_open, true ->
+       (* probe succeeded: full pardon *)
+       e.st <- Closed;
+       e.outcomes <- [ true ];
+       e.cooldown_cur <- t.config.cooldown;
+       Obs.Metrics.incr Obs.Metrics.default "breaker.reclosed"
+     | Half_open, false ->
+       (* probe failed: back to quarantine, twice as long *)
+       e.cooldown_cur <- e.cooldown_cur * 2;
+       trip t backend e
+     | Closed, false ->
+       let failures =
+         List.length (List.filter (fun ok -> not ok) e.outcomes)
+       in
+       if failures >= t.config.threshold then trip t backend e
+     | Closed, true | Open, _ -> ())
+
+let record_success = record true
+
+let record_failure = record false
+
+let state backend =
+  match !installed with
+  | None -> Closed
+  | Some t -> (
+    match Hashtbl.find_opt t.entries backend with
+    | None -> Closed
+    | Some e ->
+      refresh t backend e;
+      e.st)
+
+let quarantined backend = state backend = Open
+
+let filter backends =
+  if enabled () then
+    List.filter (fun b -> not (quarantined b)) backends
+  else backends
+
+let filter_candidates backends =
+  match filter backends with
+  | [] -> backends
+  | kept -> kept
+
+let states () =
+  match !installed with
+  | None -> []
+  | Some t ->
+    Hashtbl.fold (fun b e acc -> (b, e) :: acc) t.entries []
+    |> List.sort (fun (a, _) (b, _) -> Backend.compare a b)
+    |> List.map (fun (b, e) ->
+         refresh t b e;
+         (b, e.st))
+
+let pp ppf () =
+  match !installed with
+  | None -> Format.fprintf ppf "circuit breaker: disabled@."
+  | Some t ->
+    Format.fprintf ppf
+      "circuit breaker: threshold %d / window %d, cooldown %d ticks \
+       (clock %d)@."
+      t.config.threshold t.config.window t.config.cooldown t.clock;
+    let all = states () in
+    if all = [] then Format.fprintf ppf "  (no outcomes recorded)@."
+    else
+      List.iter
+        (fun (b, st) ->
+           let e = Hashtbl.find t.entries b in
+           let failures =
+             List.length (List.filter (fun ok -> not ok) e.outcomes)
+           in
+           Format.fprintf ppf
+             "  %-12s %-9s %d/%d recent failures, %d trip%s%s@."
+             (Backend.name b) (state_name st) failures
+             (List.length e.outcomes) e.trips
+             (if e.trips = 1 then "" else "s")
+             (if st = Open then
+                Printf.sprintf ", re-probe at tick %d" e.open_until
+              else ""))
+        all

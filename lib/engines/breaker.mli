@@ -1,0 +1,75 @@
+(** Per-backend circuit breakers over engine run outcomes.
+
+    Each backend carries a sliding window of its most recent run
+    outcomes. When [threshold] of the last [window] outcomes are
+    failures the breaker {e trips}: the engine is quarantined (state
+    {!Open}) and excluded from partitioner candidates and recovery
+    fallbacks. After a cool-down it transitions to {!Half_open}: the
+    next plan may probe it with real work; a success re-closes the
+    breaker, another failure re-opens it with the cool-down doubled
+    (exponential back-off).
+
+    Time is logical: the cool-down is counted in subsequent recorded
+    engine outcomes (anywhere in the process), not wall-clock seconds —
+    the runtime is simulated, so "try again later" means "after the
+    cluster has done some more work", which keeps every test and bench
+    deterministic.
+
+    The breaker is {b disabled by default} and fully global (one set of
+    states per process, like {!Injector}); [enable]/[reset] scope it
+    explicitly. While disabled, [record_success]/[record_failure] are
+    no-ops and [filter] is the identity — zero effect on un-supervised
+    runs. State changes surface as [breaker.*] counters and
+    [breaker.open.<engine>] gauges in {!Obs.Metrics.default}. *)
+
+type state =
+  | Closed     (** healthy: admitted everywhere *)
+  | Open       (** quarantined: excluded until the cool-down elapses *)
+  | Half_open  (** probing: admitted; next outcome decides *)
+
+val state_name : state -> string
+
+(** [enable ()] switches the breaker on with a clean slate.
+    [threshold] failures within the last [window] outcomes trip it
+    (defaults 3 and 8); [cooldown] is the quarantine length in logical
+    ticks (default 8), doubling on each failed probe. *)
+val enable : ?threshold:int -> ?window:int -> ?cooldown:int -> unit -> unit
+
+(** Switch off and drop all state. *)
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+(** Drop all per-engine state (and the logical clock) but keep the
+    breaker enabled with its current configuration. *)
+val reset : unit -> unit
+
+(** Record one engine run outcome. Each call advances the logical
+    clock by one tick. No-ops while disabled. *)
+val record_success : Backend.t -> unit
+
+val record_failure : Backend.t -> unit
+
+(** Current state; reading may transition [Open] -> [Half_open] when
+    the cool-down has elapsed. [Closed] for engines never recorded
+    (and always while disabled). *)
+val state : Backend.t -> state
+
+(** [true] iff {!state} is [Open]. *)
+val quarantined : Backend.t -> bool
+
+(** Drop quarantined backends. Identity while disabled. May return
+    the empty list when everything is quarantined. *)
+val filter : Backend.t list -> Backend.t list
+
+(** Like {!filter}, but falls back to the unfiltered input when the
+    quarantine would leave no candidate at all — a plan built on a
+    quarantined engine still beats no plan. *)
+val filter_candidates : Backend.t list -> Backend.t list
+
+(** Engines with recorded state, with their (refreshed) states. *)
+val states : unit -> (Backend.t * state) list
+
+(** Human-readable table of the breaker states (one line per engine
+    with outcomes on record); prints a disabled notice otherwise. *)
+val pp : Format.formatter -> unit -> unit

@@ -136,7 +136,17 @@ let of_spec spec =
               | Faults.Engine_rejection msg ->
                 Error (Report.Out_of_memory ("injected: " ^ msg))
               | Faults.Straggler { slowdown } ->
+                (* absorbed in place: the job still succeeds, just
+                   slower — the supervisor detects this via the
+                   counter delta / deadline and may speculate *)
                 let extra = (slowdown -. 1.) *. report.makespan_s in
+                Obs.Metrics.incr Obs.Metrics.default "faults.straggler";
+                Obs.Metrics.incr Obs.Metrics.default
+                  ("faults.straggler." ^ Backend.name spec.spec_backend);
+                Obs.Metrics.observe Obs.Metrics.default
+                  "faults.straggler.slowdown" slowdown;
+                Obs.Trace.add_attr "straggler_slowdown"
+                  (Obs.Trace.Float slowdown);
                 Ok
                   { report with
                     makespan_s = slowdown *. report.makespan_s;

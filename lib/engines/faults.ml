@@ -73,22 +73,34 @@ let pp_plan ppf p =
    OPT   := p=F *)
 let parse_plan ?(seed = 42) spec =
   let ( let* ) = Result.bind in
-  let float_of s =
-    match float_of_string_opt s with
+  (* [float_of_string_opt] already rejects embedded spaces; trimming
+     here makes numeric fields tolerate the same surrounding whitespace
+     the token-level trims allow (e.g. "straggler* 2"). *)
+  let float_of ~token s =
+    match float_of_string_opt (String.trim s) with
     | Some f when not (Float.is_nan f) -> Ok f
-    | Some _ | None -> Error (Printf.sprintf "not a number: %S" s)
+    | Some _ | None ->
+      Error (Printf.sprintf "not a number: %S (in token %S)" s token)
   in
   let parse_fault s =
     match String.index_opt s '@', String.index_opt s '*' with
     | Some i, _ when String.sub s 0 i = "worker" ->
-      let* f = float_of (String.sub s (i + 1) (String.length s - i - 1)) in
+      let* f =
+        float_of ~token:s (String.sub s (i + 1) (String.length s - i - 1))
+      in
       if f < 0. || f > 1. then
-        Error (Printf.sprintf "worker fraction outside [0,1]: %g" f)
+        Error
+          (Printf.sprintf "worker fraction outside [0,1] in token %S" s)
       else Ok (Worker_failure { at_fraction = f })
     | _, Some i when String.sub s 0 i = "straggler" ->
-      let* x = float_of (String.sub s (i + 1) (String.length s - i - 1)) in
-      if x < 1. then
-        Error (Printf.sprintf "straggler slowdown below 1: %g" x)
+      let* x =
+        float_of ~token:s (String.sub s (i + 1) (String.length s - i - 1))
+      in
+      if not (Float.is_finite x) then
+        Error
+          (Printf.sprintf "straggler slowdown not finite in token %S" s)
+      else if x < 1. then
+        Error (Printf.sprintf "straggler slowdown below 1 in token %S" s)
       else Ok (Straggler { slowdown = x })
     | _ -> (
       match s with
@@ -99,13 +111,16 @@ let parse_plan ?(seed = 42) spec =
   let parse_opt acc s =
     let* acc = acc in
     match String.index_opt s '=' with
-    | Some i when String.sub s 0 i = "p" ->
-      let* p = float_of (String.sub s (i + 1) (String.length s - i - 1)) in
+    | Some i when String.trim (String.sub s 0 i) = "p" ->
+      let* p =
+        float_of ~token:s (String.sub s (i + 1) (String.length s - i - 1))
+      in
       if p < 0. || p > 1. then
-        Error (Printf.sprintf "probability outside [0,1]: %g" p)
+        Error (Printf.sprintf "probability outside [0,1] in token %S" s)
       else Ok { acc with probability = p }
     | _ -> Error (Printf.sprintf "unknown option %S" s)
   in
+  let spec = String.trim spec in
   let faults_part, opts_part =
     match String.index_opt spec ':' with
     | None -> (spec, "")
@@ -126,7 +141,37 @@ let parse_plan ?(seed = 42) spec =
   if faults = [] then Error "empty fault list"
   else
     let plan = { seed; probability = 1.; faults } in
-    if opts_part = "" then Ok plan
+    if String.trim opts_part = "" then Ok plan
     else
-      List.fold_left parse_opt (Ok plan)
+      List.fold_left
+        (fun acc s -> parse_opt acc (String.trim s))
+        (Ok plan)
         (String.split_on_char ',' opts_part)
+
+(* ---- speculative execution pricing ---- *)
+
+type race = {
+  winner_makespan_s : float;
+  wasted_s : float;
+  speculative_won : bool;
+}
+
+let speculate ~straggler_s ~launch_s ~alt_s =
+  let bad v = Float.is_nan v || v < 0. in
+  if bad straggler_s || bad launch_s || bad alt_s then
+    invalid_arg "Faults.speculate: negative or NaN duration";
+  if launch_s > straggler_s then
+    invalid_arg "Faults.speculate: copy launched after the straggler finished";
+  let spec_finish_s = launch_s +. alt_s in
+  if spec_finish_s < straggler_s then
+    (* the copy finishes first: the straggler ran from 0 until it was
+       cancelled at [spec_finish_s] — all of that is wasted work *)
+    { winner_makespan_s = spec_finish_s;
+      wasted_s = spec_finish_s;
+      speculative_won = true }
+  else
+    (* the original finishes first: the copy ran from [launch_s] until
+       cancellation at [straggler_s] *)
+    { winner_makespan_s = straggler_s;
+      wasted_s = straggler_s -. launch_s;
+      speculative_won = false }

@@ -71,5 +71,29 @@ val pp_plan : Format.formatter -> fault_plan -> unit
 (** Parse an injection spec (the CLI's [--inject] grammar):
     [SPEC := FAULT (";" FAULT)* \[":" OPT ("," OPT)*\]] with
     [FAULT := worker@F | oom | reject | straggler*X] and [OPT := p=F].
-    E.g. ["worker@0.5;straggler*2:p=0.8"]. *)
+    E.g. ["worker@0.5;straggler*2:p=0.8"]. Surrounding whitespace
+    around tokens is tolerated; straggler slowdowns must be finite;
+    error messages name the offending token. *)
 val parse_plan : ?seed:int -> string -> (fault_plan, string) result
+
+(** {2 Speculation pricing}
+
+    Analytic model of a speculative race: a job stragglers on its
+    original engine (finishing at [straggler_s] if left alone); the
+    supervisor launches a duplicate on another engine at [launch_s]
+    which, once running, takes [alt_s] on its own. First finisher wins;
+    the loser is cancelled and its consumed seconds are pure waste.
+    This is the predicted side of the bench's observed == predicted
+    speculation-cost check. *)
+
+type race = {
+  winner_makespan_s : float;  (** wall clock until the winner finishes *)
+  wasted_s : float;           (** loser's consumed (cancelled) seconds *)
+  speculative_won : bool;
+}
+
+(** Raises [Invalid_argument] on negative/NaN durations or when
+    [launch_s > straggler_s] (a copy cannot launch after the original
+    already finished). *)
+val speculate :
+  straggler_s:float -> launch_s:float -> alt_s:float -> race

@@ -286,3 +286,23 @@ let fault_plan_arbitrary =
       Printf.sprintf "%s (seed %d)" (Engines.Faults.plan_to_string p)
         p.Engines.Faults.seed)
     gen_fault_plan
+
+(* straggler-heavy plans for the supervision suite: every fault is a
+   straggler with slowdown in [2,6] — the regime where a speculative
+   copy on another engine can beat the original *)
+let gen_straggler_plan rng =
+  { Engines.Faults.seed = Rng.int rng 10_000;
+    probability = Rng.pick rng [ 1.; 1.; 0.75; 0.5 ];
+    faults =
+      List.init
+        (1 + Rng.int rng 3)
+        (fun _ ->
+           Engines.Faults.Straggler
+             { slowdown = 2. +. (4. *. Rng.float rng) }) }
+
+let straggler_plan_arbitrary =
+  make ~shrink:shrink_fault_plan
+    ~print:(fun p ->
+      Printf.sprintf "%s (seed %d)" (Engines.Faults.plan_to_string p)
+        p.Engines.Faults.seed)
+    gen_straggler_plan

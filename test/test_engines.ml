@@ -465,13 +465,49 @@ let test_fault_plan_parser () =
         | Ok p' -> Engines.Faults.plan_to_string p'
         | Error e -> e)
    | Error e -> Alcotest.fail e);
+  (* surrounding whitespace is tolerated anywhere between tokens *)
+  (match
+     Engines.Faults.parse_plan "  worker@0.5 ; straggler* 2 :  p = 0.8  "
+   with
+   | Ok p ->
+     Alcotest.(check (float 0.)) "ws probability" 0.8
+       p.Engines.Faults.probability;
+     (match p.Engines.Faults.faults with
+      | [ Engines.Faults.Worker_failure _;
+          Engines.Faults.Straggler { slowdown } ] ->
+        Alcotest.(check (float 0.)) "ws slowdown" 2. slowdown
+      | _ -> Alcotest.fail "expected worker + straggler")
+   | Error e -> Alcotest.fail e);
   List.iter
     (fun bad ->
        match Engines.Faults.parse_plan bad with
        | Ok _ -> Alcotest.failf "parser accepted %S" bad
        | Error _ -> ())
     [ ""; "worker@1.5"; "worker@nan"; "straggler*0.5"; "explode";
-      "worker@0.5:p=2"; "worker@0.5:p=nan" ]
+      "worker@0.5:p=2"; "worker@0.5:p=nan"; "straggler*inf";
+      "straggler*-inf"; "straggler*nan"; "   " ];
+  (* error messages name the offending token *)
+  List.iter
+    (fun (bad, token) ->
+       match Engines.Faults.parse_plan bad with
+       | Ok _ -> Alcotest.failf "parser accepted %S" bad
+       | Error msg ->
+         let contains s sub =
+           let n = String.length sub in
+           let rec go i =
+             i + n <= String.length s
+             && (String.sub s i n = sub || go (i + 1))
+           in
+           go 0
+         in
+         if not (contains msg token) then
+           Alcotest.failf "error for %S does not name %S: %s" bad token
+             msg)
+    [ ("worker@1.5", "worker@1.5");
+      ("straggler*inf", "straggler*inf");
+      ("straggler*0.5", "straggler*0.5");
+      ("worker@0.25;straggler*oops", "straggler*oops");
+      ("worker@0.5:p=2", "p=2") ]
 
 (* ---------------- capabilities (Table 3) ---------------- *)
 

@@ -173,6 +173,116 @@ let test_metis_worker_failure_recovers () =
     Alcotest.failf "expected exactly one recovery event, got %d"
       (List.length evs)
 
+(* the charging invariant: the recovered run costs exactly the
+   fault-free run plus what was charged to recovery *)
+let test_recovery_charge_invariant () =
+  Obs.Metrics.reset Obs.Metrics.default;
+  let fault_free =
+    Option.get (run_spec Engines.Backend.Metis acceptance_spec)
+  in
+  let recovered =
+    Option.get
+      (run_spec ~faults:acceptance_plan ~recovery:Musketeer.Recovery.default
+         Engines.Backend.Metis acceptance_spec)
+  in
+  match Obs.Metrics.recoveries Obs.Metrics.default with
+  | [ ev ] ->
+    Alcotest.(check (float 1e-6))
+      "recovered makespan = fault-free + recovery_s"
+      (makespan_of fault_free +. ev.Obs.Metrics.recovery_s)
+      (makespan_of recovered)
+  | evs ->
+    Alcotest.failf "expected exactly one recovery event, got %d"
+      (List.length evs)
+
+(* ---- charge_recovery distribution (unit) ---- *)
+
+let mk_report ?(makespan = 1.) label =
+  { Engines.Report.job_label = label; backend = Engines.Backend.Metis;
+    makespan_s = makespan; breakdown = Engines.Report.zero_breakdown;
+    input_mb = 0.; output_mb = 0.; iterations = 1; op_output_mb = [] }
+
+let sum_makespans rs =
+  List.fold_left
+    (fun acc (r : Engines.Report.t) -> acc +. r.makespan_s)
+    0. rs
+
+let test_charge_recovery_proportional () =
+  let reports =
+    [ mk_report ~makespan:6. "a"; mk_report ~makespan:3. "b";
+      mk_report ~makespan:1. "c" ]
+  in
+  let charged = Musketeer.Recovery.charge_recovery 5. reports in
+  (* invariant: the sum of makespans grows by exactly the recovery
+     seconds, nothing more, nothing less *)
+  Alcotest.(check (float 1e-9)) "sum grows by recovery_s"
+    (sum_makespans reports +. 5.)
+    (sum_makespans charged);
+  (match charged with
+   | [ a; b; c ] ->
+     (* proportional to makespan share: 6/10, 3/10, 1/10 of 5s *)
+     Alcotest.(check (float 1e-9)) "a's share" 9. a.Engines.Report.makespan_s;
+     Alcotest.(check (float 1e-9)) "b's share" 4.5 b.Engines.Report.makespan_s;
+     Alcotest.(check (float 1e-9)) "c's share" 1.5 c.Engines.Report.makespan_s;
+     Alcotest.(check (float 1e-9)) "overhead mirrors the charge" 3.
+       a.Engines.Report.breakdown.Engines.Report.overhead_s
+   | _ -> Alcotest.fail "report count changed");
+  (* all-zero makespans: even split, invariant still holds *)
+  let zeros = [ mk_report ~makespan:0. "a"; mk_report ~makespan:0. "b" ] in
+  let charged0 = Musketeer.Recovery.charge_recovery 3. zeros in
+  Alcotest.(check (float 1e-9)) "even split sum" 3. (sum_makespans charged0);
+  List.iter
+    (fun (r : Engines.Report.t) ->
+       Alcotest.(check (float 1e-9)) "even split" 1.5 r.makespan_s)
+    charged0;
+  (* non-positive charge and empty lists are identities *)
+  Alcotest.(check (float 1e-9)) "zero charge is identity"
+    (sum_makespans reports)
+    (sum_makespans (Musketeer.Recovery.charge_recovery 0. reports));
+  Alcotest.(check int) "empty stays empty" 0
+    (List.length (Musketeer.Recovery.charge_recovery 2. []))
+
+(* ---- with_retries restores state between attempts (regression) ----
+
+   Before the fix, with_retries never called a reset, so an attempt
+   that materialized partial state before failing leaked it into the
+   retry (the WHILE-iteration path). *)
+let test_with_retries_resets_state () =
+  let hdfs = Engines.Hdfs.create () in
+  Engines.Hdfs.put hdfs "base" ~modeled_mb:1.
+    (Qcheck_lite.table_of_rows [ (1, 1) ]);
+  let pre = Engines.Hdfs.snapshot hdfs in
+  let attempts = ref 0 in
+  let leaked_into_retry = ref false in
+  let f () =
+    incr attempts;
+    if Engines.Hdfs.mem hdfs "junk" then leaked_into_retry := true;
+    if !attempts = 1 then begin
+      (* half-written state, then the fault *)
+      Engines.Hdfs.put hdfs "junk" ~modeled_mb:1.
+        (Qcheck_lite.table_of_rows [ (9, 9) ]);
+      Error (Engines.Report.Out_of_memory "injected")
+    end
+    else Ok (mk_report "retry")
+  in
+  let policy =
+    { Musketeer.Recovery.max_retries = 1; allow_replan = false;
+      backoff_base_s = 0. }
+  in
+  match
+    Musketeer.Recovery.with_retries
+      ~reset:(fun () -> Engines.Hdfs.restore hdfs ~from:pre)
+      ~policy ~workflow:"reset-test" ~label:"job" ~backend:Engines.Backend.Metis
+      f
+  with
+  | Error e -> Alcotest.failf "retry failed: %s" (Engines.Report.error_to_string e)
+  | Ok _ ->
+    Alcotest.(check int) "two attempts ran" 2 !attempts;
+    Alcotest.(check bool) "half-written state did not leak into the retry"
+      false !leaked_into_retry;
+    Alcotest.(check bool) "junk gone after the run" false
+      (Engines.Hdfs.mem hdfs "junk")
+
 (* a fault-tolerant engine absorbs the same failure internally: the job
    still succeeds on attempt 1 and no executor recovery happens *)
 let test_hadoop_absorbs_worker_failure () =
@@ -304,6 +414,12 @@ let () =
       ("acceptance",
        [ Alcotest.test_case "Metis worker failure recovers via retry" `Quick
            test_metis_worker_failure_recovers;
+         Alcotest.test_case "recovery charge invariant" `Quick
+           test_recovery_charge_invariant;
+         Alcotest.test_case "charge_recovery distributes proportionally"
+           `Quick test_charge_recovery_proportional;
+         Alcotest.test_case "with_retries resets state between attempts"
+           `Quick test_with_retries_resets_state;
          Alcotest.test_case "Hadoop absorbs the same failure" `Quick
            test_hadoop_absorbs_worker_failure;
          Alcotest.test_case "rejections fall back to next engine" `Quick
