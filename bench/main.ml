@@ -682,6 +682,254 @@ let supervision_bench () =
       Out_channel.output_string oc json);
   Printf.printf "wrote BENCH_supervision.json\n"
 
+(* ---- continuous calibration benchmark ----
+
+   The same per-engine workflow suite runs three times against a fresh
+   ledger. Run 1 executes uncalibrated and appends its records; each
+   later run refits the per-engine correction factors from the ledger
+   first, so the |relative error| p50/p90 must shrink strictly
+   run-over-run. A control pass with calibration disabled must stay
+   flat, and outputs must be byte-identical across every run of both
+   modes — calibration may only touch the cost model, never results.
+
+   Each workflow is two identical disconnected branches: the
+   partitioner has to cut them into two jobs on the pinned engine, so
+   every engine clears Calibrate's min-sample threshold on the very
+   first run. Writes BENCH_calibration.json. *)
+
+let calibration_bench () =
+  let open Relation in
+  let kv_schema =
+    Schema.make
+      [ { Schema.name = "k"; ty = Value.Tint };
+        { Schema.name = "v"; ty = Value.Tint } ]
+  in
+  let rows = List.init 60 (fun i -> (i mod 6, i)) in
+  let kv_table () =
+    Table.create kv_schema
+      (List.map (fun (k, v) -> [| Value.Int k; Value.Int v |]) rows)
+  in
+  let hdfs_with () =
+    let hdfs = Engines.Hdfs.create () in
+    Engines.Hdfs.put hdfs "r1" ~modeled_mb:64. (kv_table ());
+    Engines.Hdfs.put hdfs "r2" ~modeled_mb:64. (kv_table ());
+    hdfs
+  in
+  let twin_graph () =
+    let b = Ir.Builder.create () in
+    let branch input out =
+      let r = Ir.Builder.input b input in
+      let s = Ir.Builder.select b ~pred:Expr.(col "v" > int 4) r in
+      Ir.Builder.group_by b ~name:out ~keys:[ "k" ]
+        ~aggs:[ Aggregate.make (Aggregate.Sum "v") ~as_name:"v" ]
+        s
+    in
+    let o1 = branch "r1" "out1" in
+    let o2 = branch "r2" "out2" in
+    Ir.Builder.finish b ~outputs:[ o1; o2 ]
+  in
+  let engines =
+    [ Engines.Backend.Hadoop; Engines.Backend.Spark;
+      Engines.Backend.Naiad; Engines.Backend.Metis ]
+  in
+  let runs = 3 in
+  let m = Experiments.Common.musketeer_for (Experiments.Common.ec2 16) in
+  let percentile q xs =
+    let a = Array.of_list (List.sort compare xs) in
+    let n = Array.length a in
+    if n = 0 then 0.
+    else begin
+      let idx = q *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor idx) in
+      let hi = int_of_float (Float.ceil idx) in
+      a.(lo) +. ((idx -. float_of_int lo) *. (a.(hi) -. a.(lo)))
+    end
+  in
+  let out_csv name (r : Musketeer.Executor.result) =
+    match List.assoc_opt name r.Musketeer.Executor.outputs with
+    | Some t -> Table.to_csv (Table.sort_by t [ "k"; "v" ])
+    | None ->
+      Printf.eprintf "FATAL: no %S relation\n" name;
+      exit 1
+  in
+  (* one pass over the suite: execute every engine's workflow, append a
+     ledger record per workflow, return (p50, p90, outputs-csv) *)
+  let run_suite ~ledger =
+    Obs.Metrics.reset Obs.Metrics.default;
+    let outputs = ref [] in
+    List.iter
+      (fun backend ->
+         let workflow = "cal-" ^ Engines.Backend.name backend in
+         let hdfs = hdfs_with () in
+         let plan, g' =
+           match
+             Musketeer.plan m ~backends:[ backend ] ~workflow ~hdfs
+               (twin_graph ())
+           with
+           | Some p -> p
+           | None ->
+             Printf.eprintf "FATAL: %s does not plan\n" workflow;
+             exit 1
+         in
+         if List.length plan.Musketeer.Partitioner.jobs < 2 then begin
+           Printf.eprintf
+             "FATAL: %s planned %d job(s); the twin branches must give \
+              two samples per engine\n"
+             workflow
+             (List.length plan.Musketeer.Partitioner.jobs);
+           exit 1
+         end;
+         let since = Obs.Ledger.mark Obs.Metrics.default in
+         match
+           Musketeer.execute_plan ~record_history:false m ~workflow ~hdfs
+             ~graph:g' plan
+         with
+         | Error e ->
+           Printf.eprintf "FATAL: %s failed: %s\n" workflow
+             (Engines.Report.error_to_string e);
+           exit 1
+         | Ok r ->
+           let partition =
+             List.map
+               (fun (b, ids) -> (Engines.Backend.name b, ids))
+               plan.Musketeer.Partitioner.jobs
+           in
+           Obs.Ledger.append ~filename:ledger
+             (Obs.Ledger.snapshot ~since ~workflow
+                ~ir_hash:(Ir.Dag.canonical_hash g') ~partition
+                ~makespan_s:r.Musketeer.Executor.makespan_s ());
+           outputs :=
+             (workflow, out_csv "out1" r ^ out_csv "out2" r) :: !outputs)
+      engines;
+    let errors =
+      List.filter_map
+        (fun (p : Obs.Metrics.prediction) ->
+           if p.observed_s > 0. then
+             Some (Float.abs (p.predicted_s -. p.observed_s) /. p.observed_s)
+           else None)
+        (Obs.Metrics.predictions Obs.Metrics.default)
+    in
+    (percentile 0.5 errors, percentile 0.9 errors, List.rev !outputs)
+  in
+  (* three runs against a fresh ledger; refit factors before each *)
+  let run_mode ~calibrate =
+    let ledger = Filename.temp_file "bench_calibration" ".jsonl" in
+    Musketeer.Calibrate.reset ();
+    Musketeer.Calibrate.set_enabled calibrate;
+    Fun.protect
+      ~finally:(fun () ->
+          Musketeer.Calibrate.reset ();
+          try Sys.remove ledger with Sys_error _ -> ())
+    @@ fun () ->
+    let results = ref [] in
+    for _run = 1 to runs do
+      ignore
+        (Musketeer.Calibrate.install_from
+           (Obs.Ledger.load ~filename:ledger ()));
+      results := run_suite ~ledger :: !results
+    done;
+    let factors =
+      Musketeer.Calibrate.fit (Obs.Ledger.load ~filename:ledger ())
+    in
+    (List.rev !results, factors)
+  in
+  let calibrated, factors = run_mode ~calibrate:true in
+  let uncalibrated, _ = run_mode ~calibrate:false in
+  Printf.printf "cost-model calibration over %d runs (engines: %s)\n" runs
+    (String.concat ", " (List.map Engines.Backend.name engines));
+  Printf.printf "%-6s %14s %14s %16s %16s\n" "run" "cal p50" "cal p90"
+    "no-cal p50" "no-cal p90";
+  List.iteri
+    (fun i ((cp50, cp90, _), (up50, up90, _)) ->
+       Printf.printf "%-6d %13.1f%% %13.1f%% %15.1f%% %15.1f%%\n" (i + 1)
+         (100. *. cp50) (100. *. cp90) (100. *. up50) (100. *. up90))
+    (List.combine calibrated uncalibrated);
+  List.iter
+    (fun (backend, f) ->
+       Printf.printf "  fitted factor %-12s x%.3f\n" backend f)
+    factors;
+  (* byte-identity: every run of both modes must produce the same rows *)
+  let baseline =
+    match calibrated with
+    | (_, _, outputs) :: _ -> outputs
+    | [] -> []
+  in
+  let identical =
+    List.for_all
+      (fun (_, _, outputs) -> outputs = baseline)
+      (calibrated @ uncalibrated)
+  in
+  Printf.printf "  outputs identical across runs and modes: %b\n%!" identical;
+  if not identical then begin
+    Printf.eprintf "FATAL: calibration changed workflow outputs\n";
+    exit 1
+  end;
+  let rec strictly_decreasing = function
+    | (a50, a90, _) :: ((b50, b90, _) :: _ as rest) ->
+      b50 < a50 && b90 < a90 && strictly_decreasing rest
+    | _ -> true
+  in
+  if not (strictly_decreasing calibrated) then begin
+    Printf.eprintf
+      "FATAL: calibrated |rel error| must shrink strictly run-over-run\n";
+    exit 1
+  end;
+  let flat =
+    match uncalibrated with
+    | (p50, p90, _) :: rest ->
+      List.for_all
+        (fun (q50, q90, _) ->
+           Float.abs (q50 -. p50) < 1e-12 && Float.abs (q90 -. p90) < 1e-12)
+        rest
+    | [] -> true
+  in
+  if not flat then begin
+    Printf.eprintf
+      "FATAL: without calibration the error trend must stay flat\n";
+    exit 1
+  end;
+  let json =
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "{\n";
+    Buffer.add_string b (Printf.sprintf "  \"runs\": %d,\n" runs);
+    Buffer.add_string b
+      (Printf.sprintf "  \"engines\": [%s],\n"
+         (String.concat ", "
+            (List.map
+               (fun e -> Printf.sprintf "%S" (Engines.Backend.name e))
+               engines)));
+    let series name results =
+      Buffer.add_string b (Printf.sprintf "  %S: [\n" name);
+      List.iteri
+        (fun i (p50, p90, _) ->
+           Buffer.add_string b
+             (Printf.sprintf
+                "    {\"run\": %d, \"abs_rel_error_p50\": %.6f, \
+                 \"abs_rel_error_p90\": %.6f}%s\n"
+                (i + 1) p50 p90
+                (if i = List.length results - 1 then "" else ",")))
+        results;
+      Buffer.add_string b "  ],\n"
+    in
+    series "calibrated" calibrated;
+    series "uncalibrated" uncalibrated;
+    Buffer.add_string b "  \"factors\": [\n";
+    List.iteri
+      (fun i (backend, f) ->
+         Buffer.add_string b
+           (Printf.sprintf "    {\"backend\": %S, \"factor\": %.6f}%s\n"
+              backend f
+              (if i = List.length factors - 1 then "" else ",")))
+      factors;
+    Buffer.add_string b "  ],\n";
+    Buffer.add_string b
+      (Printf.sprintf "  \"outputs_identical\": %b\n}\n" identical);
+    Buffer.contents b
+  in
+  Out_channel.with_open_text "BENCH_calibration.json" (fun oc ->
+      Out_channel.output_string oc json);
+  Printf.printf "wrote BENCH_calibration.json\n"
+
 (* pull "--trace FILE" out of the argument list *)
 let rec extract_trace = function
   | [] -> (None, [])
@@ -713,11 +961,15 @@ let () =
          (BENCH_fusion.json)";
       print_endline
         "supervision  straggler speculation, breaker, re-planning \
-         (BENCH_supervision.json)"
+         (BENCH_supervision.json)";
+      print_endline
+        "calibration  ledger-driven cost-model correction \
+         (BENCH_calibration.json)"
     | [ "bechamel" ] -> run_target "bechamel" bechamel
     | [ "kernels-par" ] -> run_target "kernels-par" kernels_par
     | [ "fusion" ] -> run_target "fusion" fusion_bench
     | [ "supervision" ] -> run_target "supervision" supervision_bench
+    | [ "calibration" ] -> run_target "calibration" calibration_bench
     | [] ->
       List.iter
         (fun (name, _, f) ->
@@ -737,6 +989,8 @@ let () =
              else if raw = "fusion" then run_target "fusion" fusion_bench
              else if raw = "supervision" then
                run_target "supervision" supervision_bench
+             else if raw = "calibration" then
+               run_target "calibration" calibration_bench
              else Printf.eprintf "unknown target %s (try: list)\n" raw)
         names
   in

@@ -8,6 +8,12 @@
      parse     parse a front-end source file and print its IR DAG
      calibrate print the calibrated rate parameters (paper Table 1)
      engines   print the system feature matrix (paper Table 3)
+     report    read a --ledger file back: error trend, engine league
+               table, regressions (--check gates CI)
+
+   `--ledger FILE` on run / run-file / stats appends one JSONL record
+   per executed run and fits per-engine cost-model correction factors
+   from the file's history (disable with --no-calibrate).
 
    The zoo workflows ship with synthetic inputs at the paper's modeled
    scales, so `musketeer run -w pagerank -n 100` reproduces a Figure 8
@@ -271,6 +277,72 @@ let with_injection inject seed retries f =
       Format.eprintf "injecting: %a@." Engines.Faults.pp_plan plan;
       f recovery (fun exec -> Engines.Injector.with_plan plan exec))
 
+let ledger_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "ledger" ] ~docv:"FILE"
+        ~doc:
+          "Append one run record per executed workflow (chosen mapping, \
+           per-job predicted/observed makespans, recoveries, fusion and \
+           shared-scan savings, kernel histograms) to FILE as JSONL, \
+           and fit per-engine calibration factors from its existing \
+           records before planning. See docs/observability.md.")
+
+let no_calibrate_arg =
+  Arg.(
+    value & flag
+    & info [ "no-calibrate" ]
+        ~doc:
+          "Do not apply ledger-fitted calibration factors to the cost \
+           model; with --ledger, records are still appended (raw and \
+           calibrated predictions then coincide).")
+
+(* load the ledger and install per-engine correction factors; fatal on
+   a newer-major schema or a corrupt (non-final) line *)
+let setup_calibration ledger no_calibrate =
+  Musketeer.Calibrate.set_enabled (not no_calibrate);
+  match ledger with
+  | None -> []
+  | Some filename -> (
+    match Obs.Ledger.load ~filename () with
+    | exception Obs.Ledger.Schema_error msg ->
+      Format.eprintf "ledger %s: %s@." filename msg;
+      exit 1
+    | exception Obs.Json.Parse_error msg ->
+      Format.eprintf "ledger %s is corrupt: %s@." filename msg;
+      exit 1
+    | records ->
+      if no_calibrate then []
+      else begin
+        let factors = Musketeer.Calibrate.install_from records in
+        (match factors with
+         | [] -> ()
+         | factors ->
+           Format.eprintf "calibration (%d ledger runs): %s@."
+             (List.length records)
+             (String.concat ", "
+                (List.map
+                   (fun (b, f) -> Printf.sprintf "%s x%.3f" b f)
+                   factors)));
+        factors
+      end)
+
+let append_ledger ledger ~workflow ~graph ~plan ~since ~makespan_s =
+  match ledger with
+  | None -> ()
+  | Some filename ->
+    let partition =
+      List.map
+        (fun (b, ids) -> (Engines.Backend.name b, ids))
+        plan.Musketeer.Partitioner.jobs
+    in
+    let record =
+      Obs.Ledger.snapshot ~since ~workflow
+        ~ir_hash:(Ir.Dag.canonical_hash graph) ~partition ~makespan_s ()
+    in
+    (try Obs.Ledger.append ~filename record
+     with Sys_error msg -> Format.eprintf "cannot write ledger: %s@." msg)
+
 let repeat_arg =
   Arg.(
     value & opt int 2
@@ -367,10 +439,11 @@ let plan_cmd =
 let run_cmd =
   let run kind nodes backend show_code trace inject seed retries jobs
       no_fusion deadline_factor deadline no_speculation replan_threshold
-      breaker =
+      breaker ledger no_calibrate =
     Relation.Pool.set_jobs jobs;
     set_fusion no_fusion;
     set_breaker breaker;
+    ignore (setup_calibration ledger no_calibrate);
     let supervision =
       supervision_of deadline_factor deadline no_speculation
         replan_threshold
@@ -389,6 +462,7 @@ let run_cmd =
           (fun (label, source) ->
              Format.printf "@.---- %s ----@.%s@." label source)
           (Musketeer.show_code ~graph:g' plan);
+      let since = Obs.Ledger.mark Obs.Metrics.default in
       (match
          injected (fun () ->
              Musketeer.execute_plan ~recovery ~supervision
@@ -404,6 +478,8 @@ let run_cmd =
          Format.printf "@.workflow makespan: %.1fs@."
            result.Musketeer.Executor.makespan_s;
          pp_run_telemetry Format.std_formatter ();
+         append_ledger ledger ~workflow ~graph:g' ~plan ~since
+           ~makespan_s:result.Musketeer.Executor.makespan_s;
          List.iter
            (fun (name, table) ->
               Format.printf "@.output %s:@.%a" name
@@ -418,7 +494,8 @@ let run_cmd =
       const run $ workflow_arg $ nodes_arg $ backend_arg $ show_code_arg
       $ trace_arg $ inject_arg $ seed_arg $ retries_arg $ jobs_arg
       $ no_fusion_arg $ deadline_factor_arg $ deadline_arg
-      $ no_speculation_arg $ replan_threshold_arg $ breaker_arg)
+      $ no_speculation_arg $ replan_threshold_arg $ breaker_arg
+      $ ledger_arg $ no_calibrate_arg)
 
 let parse_cmd =
   let run frontend file dot =
@@ -441,10 +518,11 @@ let parse_cmd =
 let run_file_cmd =
   let run frontend file tables nodes backend show_code history_file trace
       inject seed retries jobs no_fusion deadline_factor deadline
-      no_speculation replan_threshold breaker =
+      no_speculation replan_threshold breaker ledger no_calibrate =
     Relation.Pool.set_jobs jobs;
     set_fusion no_fusion;
     set_breaker breaker;
+    ignore (setup_calibration ledger no_calibrate);
     let supervision =
       supervision_of deadline_factor deadline no_speculation
         replan_threshold
@@ -475,6 +553,7 @@ let run_file_cmd =
           (fun (label, job_source) ->
              Format.printf "@.---- %s ----@.%s@." label job_source)
           (Musketeer.show_code ~graph:g' plan);
+      let since = Obs.Ledger.mark Obs.Metrics.default in
       (match
          injected (fun () ->
              Musketeer.execute_plan ~recovery ~supervision
@@ -490,6 +569,8 @@ let run_file_cmd =
          Format.printf "@.workflow makespan: %.1fs@."
            result.Musketeer.Executor.makespan_s;
          pp_run_telemetry Format.std_formatter ();
+         append_ledger ledger ~workflow ~graph:g' ~plan ~since
+           ~makespan_s:result.Musketeer.Executor.makespan_s;
          List.iter
            (fun (name, table) ->
               Format.printf "@.output %s:@.%a" name
@@ -511,21 +592,23 @@ let run_file_cmd =
       const
         (fun frontend file tables nodes backend show_code history trace inject
           seed retries jobs no_fusion deadline_factor deadline no_speculation
-          replan_threshold breaker ->
+          replan_threshold breaker ledger no_calibrate ->
           with_parse_errors (fun () ->
               run frontend file tables nodes backend show_code history trace
                 inject seed retries jobs no_fusion deadline_factor deadline
-                no_speculation replan_threshold breaker))
+                no_speculation replan_threshold breaker ledger no_calibrate))
       $ frontend_arg $ file_arg $ tables_arg $ nodes_arg $ backend_arg
       $ show_code_arg $ history_arg $ trace_arg $ inject_arg $ seed_arg
       $ retries_arg $ jobs_arg $ no_fusion_arg $ deadline_factor_arg
       $ deadline_arg $ no_speculation_arg $ replan_threshold_arg
-      $ breaker_arg)
+      $ breaker_arg $ ledger_arg $ no_calibrate_arg)
 
 let explain_cmd =
-  let run kind nodes backend trace jobs no_fusion =
+  let run kind nodes backend trace jobs no_fusion ledger no_calibrate =
     Relation.Pool.set_jobs jobs;
     set_fusion no_fusion;
+    (* read-only: factors shape the explained costs, nothing is appended *)
+    ignore (setup_calibration ledger no_calibrate);
     with_trace trace @@ fun () ->
     let m, hdfs, graph = setup kind nodes in
     let backends = Option.map (fun b -> [ b ]) backend in
@@ -536,16 +619,28 @@ let explain_cmd =
     (Cmd.info "explain"
        ~doc:
          "Show the optimized IR, the per-operator volume estimates and \
-          why the chosen mapping beats the alternatives.")
+          why the chosen mapping beats the alternatives (with --ledger, \
+          costs are shown raw and calibrated).")
     Term.(
       const run $ workflow_arg $ nodes_arg $ backend_arg $ trace_arg
-      $ jobs_arg $ no_fusion_arg)
+      $ jobs_arg $ no_fusion_arg $ ledger_arg $ no_calibrate_arg)
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Dump the metrics registry as JSON (counters, gauges, \
+           histograms, predictions, recoveries) instead of the \
+           human-readable tables.")
 
 let stats_cmd =
   let run kind nodes backend repeat trace inject seed retries jobs
-      deadline_factor deadline no_speculation replan_threshold breaker =
+      deadline_factor deadline no_speculation replan_threshold breaker
+      ledger no_calibrate json =
     Relation.Pool.set_jobs jobs;
     set_breaker breaker;
+    ignore (setup_calibration ledger no_calibrate);
     let supervision =
       supervision_of deadline_factor deadline no_speculation
         replan_threshold
@@ -560,21 +655,31 @@ let stats_cmd =
       (* fresh inputs per run; history persists in [m] between runs, so
          run 2+ shows the history-informed prediction accuracy *)
       let hdfs, graph = load_workflow kind in
+      let since = Obs.Ledger.mark Obs.Metrics.default in
+      (* with --json, stdout is reserved for the JSON document *)
+      let progress = if json then Format.err_formatter else Format.std_formatter in
       match
         injected (fun () ->
             Musketeer.execute m ?backends ~recovery ~supervision ~workflow
               ~hdfs graph)
       with
       | Error e ->
-        Format.printf "run %d failed: %s@." i
+        Format.fprintf progress "run %d failed: %s@." i
           (Engines.Report.error_to_string e)
-      | Ok (result, _) ->
-        Format.printf "run %d: makespan %.1fs@." i
-          result.Musketeer.Executor.makespan_s
+      | Ok (result, plan) ->
+        Format.fprintf progress "run %d: makespan %.1fs@." i
+          result.Musketeer.Executor.makespan_s;
+        append_ledger ledger ~workflow ~graph ~plan ~since
+          ~makespan_s:result.Musketeer.Executor.makespan_s
     done;
-    Format.printf "@.%a" Musketeer.Obs.Metrics.pp Obs.Metrics.default;
-    if Engines.Breaker.enabled () then
-      Format.printf "@.%a" Engines.Breaker.pp ()
+    if json then
+      print_endline
+        (Obs.Json.to_string (Obs.Metrics.to_json Obs.Metrics.default))
+    else begin
+      Format.printf "@.%a" Musketeer.Obs.Metrics.pp Obs.Metrics.default;
+      if Engines.Breaker.enabled () then
+        Format.printf "@.%a" Engines.Breaker.pp ()
+    end
   in
   Cmd.v
     (Cmd.info "stats"
@@ -583,12 +688,13 @@ let stats_cmd =
           registry: jobs per backend, rewrite hits, partitioner search \
           sizes, per-job predicted-vs-observed makespan error (the \
           live Figure 14 signal) and — with --breaker — the circuit \
-          breaker states.")
+          breaker states. --json makes the dump machine-readable.")
     Term.(
       const run $ workflow_arg $ nodes_arg $ backend_arg $ repeat_arg
       $ trace_arg $ inject_arg $ seed_arg $ retries_arg $ jobs_arg
       $ deadline_factor_arg $ deadline_arg $ no_speculation_arg
-      $ replan_threshold_arg $ breaker_arg)
+      $ replan_threshold_arg $ breaker_arg $ ledger_arg $ no_calibrate_arg
+      $ json_arg)
 
 let calibrate_cmd =
   let run nodes =
@@ -602,6 +708,250 @@ let calibrate_cmd =
     (Cmd.info "calibrate"
        ~doc:"Print the calibrated rate parameters (paper Table 1).")
     Term.(const run $ nodes_arg)
+
+(* ---- report: read the ledger back ---- *)
+
+let percentile values q =
+  match values with
+  | [] -> None
+  | _ ->
+    let a = Array.of_list values in
+    Array.sort compare a;
+    let n = Array.length a in
+    let h = q *. float_of_int (n - 1) in
+    let lo = int_of_float (floor h) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = h -. float_of_int lo in
+    Some (a.(lo) +. (frac *. (a.(hi) -. a.(lo))))
+
+let abs_rel_errors (r : Obs.Ledger.record) =
+  List.filter_map
+    (fun (p : Obs.Metrics.prediction) ->
+       if p.observed_s > 0. then
+         Some (Float.abs (p.predicted_s -. p.observed_s) /. p.observed_s)
+       else None)
+    r.Obs.Ledger.predictions
+
+(* per-run trend rows: (index, workflow, makespan, n, p50, p90) *)
+let error_trend records =
+  List.mapi
+    (fun i (r : Obs.Ledger.record) ->
+       let errors = abs_rel_errors r in
+       ( i + 1, r.Obs.Ledger.workflow, r.Obs.Ledger.makespan_s,
+         List.length errors,
+         percentile errors 0.5, percentile errors 0.9 ))
+    records
+
+(* per-engine league table: (backend, n, median obs/raw ratio, p50, p90) *)
+let engine_league records =
+  let tbl : (string, (float * float) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun (r : Obs.Ledger.record) ->
+       List.iter
+         (fun (p : Obs.Metrics.prediction) ->
+            if p.observed_s > 0. && p.raw_predicted_s > 1e-9 then begin
+              let cell =
+                match Hashtbl.find_opt tbl p.backend with
+                | Some c -> c
+                | None ->
+                  let c = ref [] in
+                  Hashtbl.add tbl p.backend c;
+                  c
+              in
+              let err =
+                Float.abs (p.predicted_s -. p.observed_s) /. p.observed_s
+              in
+              cell := (p.observed_s /. p.raw_predicted_s, err) :: !cell
+            end)
+         r.Obs.Ledger.predictions)
+    records;
+  Hashtbl.fold
+    (fun backend cell acc ->
+       let ratios = List.map fst !cell and errors = List.map snd !cell in
+       ( backend, List.length ratios,
+         Option.value ~default:1. (percentile ratios 0.5),
+         Option.value ~default:0. (percentile errors 0.5),
+         Option.value ~default:0. (percentile errors 0.9) )
+       :: acc)
+    tbl []
+  |> List.sort compare
+
+(* workflows whose latest run is slower than the run before it:
+   (workflow, previous makespan, last makespan, relative increase) *)
+let regressions records =
+  let by_wf : (string, Obs.Ledger.record list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun (r : Obs.Ledger.record) ->
+       match Hashtbl.find_opt by_wf r.Obs.Ledger.workflow with
+       | Some c -> c := r :: !c
+       | None -> Hashtbl.add by_wf r.Obs.Ledger.workflow (ref [ r ]))
+    records;
+  Hashtbl.fold
+    (fun workflow cell acc ->
+       match !cell with
+       (* reversed: head is the latest run *)
+       | last :: prev :: _
+         when prev.Obs.Ledger.makespan_s > 0.
+              && last.Obs.Ledger.makespan_s > prev.Obs.Ledger.makespan_s ->
+         let delta =
+           (last.Obs.Ledger.makespan_s -. prev.Obs.Ledger.makespan_s)
+           /. prev.Obs.Ledger.makespan_s
+         in
+         (workflow, prev.Obs.Ledger.makespan_s, last.Obs.Ledger.makespan_s,
+          delta)
+         :: acc
+       | _ -> acc)
+    by_wf []
+  |> List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a)
+
+let report_json records =
+  let opt = function Some v -> Obs.Json.Number v | None -> Obs.Json.Null in
+  Obs.Json.Obj
+    [ ("runs",
+       Obs.Json.List
+         (List.map
+            (fun (i, wf, makespan, n, p50, p90) ->
+               Obs.Json.Obj
+                 [ ("run", Obs.Json.Number (float_of_int i));
+                   ("workflow", Obs.Json.String wf);
+                   ("makespan_s", Obs.Json.Number makespan);
+                   ("predictions", Obs.Json.Number (float_of_int n));
+                   ("abs_rel_error_p50", opt p50);
+                   ("abs_rel_error_p90", opt p90) ])
+            (error_trend records)));
+      ("engines",
+       Obs.Json.List
+         (List.map
+            (fun (backend, n, ratio, p50, p90) ->
+               Obs.Json.Obj
+                 [ ("backend", Obs.Json.String backend);
+                   ("predictions", Obs.Json.Number (float_of_int n));
+                   ("observed_over_predicted_p50", Obs.Json.Number ratio);
+                   ("abs_rel_error_p50", Obs.Json.Number p50);
+                   ("abs_rel_error_p90", Obs.Json.Number p90) ])
+            (engine_league records)));
+      ("regressions",
+       Obs.Json.List
+         (List.map
+            (fun (wf, prev, last, delta) ->
+               Obs.Json.Obj
+                 [ ("workflow", Obs.Json.String wf);
+                   ("previous_makespan_s", Obs.Json.Number prev);
+                   ("last_makespan_s", Obs.Json.Number last);
+                   ("rel_increase", Obs.Json.Number delta) ])
+            (regressions records))) ]
+
+let pp_report ppf records =
+  let fmt_opt = function
+    | Some v -> Printf.sprintf "%6.1f%%" (100. *. v)
+    | None -> "    n/a"
+  in
+  Format.fprintf ppf "ledger: %d run record%s@." (List.length records)
+    (if List.length records = 1 then "" else "s");
+  Format.fprintf ppf "@.prediction error per run:@.";
+  Format.fprintf ppf "  %4s %-16s %10s %6s %8s %8s@." "run" "workflow"
+    "makespan" "preds" "|e| p50" "|e| p90";
+  List.iter
+    (fun (i, wf, makespan, n, p50, p90) ->
+       Format.fprintf ppf "  %4d %-16s %9.1fs %6d %8s %8s@." i wf makespan n
+         (fmt_opt p50) (fmt_opt p90))
+    (error_trend records);
+  (match engine_league records with
+   | [] -> ()
+   | league ->
+     Format.fprintf ppf "@.engine league table (all runs):@.";
+     Format.fprintf ppf "  %-12s %6s %10s %8s %8s@." "backend" "preds"
+       "obs/pred" "|e| p50" "|e| p90";
+     List.iter
+       (fun (backend, n, ratio, p50, p90) ->
+          Format.fprintf ppf "  %-12s %6d %9.3fx %7.1f%% %7.1f%%@." backend n
+            ratio (100. *. p50) (100. *. p90))
+       league);
+  match regressions records with
+  | [] -> Format.fprintf ppf "@.no workflow regressed vs. its previous run@."
+  | regs ->
+    Format.fprintf ppf "@.workflows slower than their previous run:@.";
+    List.iter
+      (fun (wf, prev, last, delta) ->
+         Format.fprintf ppf "  %-16s %8.1fs -> %8.1fs  (+%.1f%%)@." wf prev
+           last (100. *. delta))
+      regs
+
+let ledger_required_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "ledger" ] ~docv:"FILE"
+        ~doc:"The run ledger to read (written by run/run-file/stats).")
+
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Exit non-zero when some workflow's latest run is more than \
+           --threshold slower than its previous run — a CI perf gate.")
+
+let threshold_arg =
+  Arg.(
+    value & opt float 0.1
+    & info [ "threshold" ] ~docv:"E"
+        ~doc:
+          "Relative makespan increase tolerated by --check (default \
+           0.1 = 10%).")
+
+let report_cmd =
+  let run filename json check threshold =
+    let records =
+      match Obs.Ledger.load ~filename () with
+      | exception Obs.Ledger.Schema_error msg ->
+        Format.eprintf "ledger %s: %s@." filename msg;
+        exit 1
+      | exception Obs.Json.Parse_error msg ->
+        Format.eprintf "ledger %s is corrupt: %s@." filename msg;
+        exit 1
+      | [] ->
+        Format.eprintf "ledger %s has no records@." filename;
+        exit 1
+      | records -> records
+    in
+    let torn = Obs.Metrics.counter Obs.Metrics.default "ledger.torn_lines" in
+    if torn > 0 then
+      Format.eprintf "warning: skipped %d torn final line(s)@." torn;
+    if json then print_endline (Obs.Json.to_string (report_json records))
+    else pp_report Format.std_formatter records;
+    if check then begin
+      let over =
+        List.filter
+          (fun (_, _, _, delta) -> delta > threshold)
+          (regressions records)
+      in
+      match over with
+      | [] ->
+        Format.printf "@.check ok: no regression above %.0f%%@."
+          (100. *. threshold)
+      | (wf, prev, last, delta) :: _ ->
+        Format.eprintf
+          "@.check FAILED: %s regressed %.1f%% (%.1fs -> %.1fs), \
+           threshold %.0f%%@."
+          wf (100. *. delta) prev last (100. *. threshold);
+        exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Read a run ledger and report the prediction-error trend per \
+          run, a per-engine league table and workflows slower than \
+          their previous run; --check turns regressions into a \
+          non-zero exit for CI.")
+    Term.(
+      const run $ ledger_required_arg $ json_arg $ check_arg
+      $ threshold_arg)
 
 let engines_cmd =
   let run () = Experiments.Tables.table3 Format.std_formatter in
@@ -619,4 +969,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ plan_cmd; run_cmd; run_file_cmd; stats_cmd; parse_cmd;
-            explain_cmd; calibrate_cmd; engines_cmd ]))
+            explain_cmd; calibrate_cmd; engines_cmd; report_cmd ]))

@@ -239,12 +239,14 @@ let job_cost ~profile ~graph ~est backend ids =
         | _ -> None)
       | _ -> None
     in
+    (* ledger-fitted per-engine correction; 1.0 until installed *)
+    let factor = Calibrate.factor_for (Engines.Backend.name backend) in
     (match expanded_while with
-     | Some cost -> Finite cost
+     | Some cost -> Finite (factor *. cost)
      | None ->
        let volumes = job_volumes ~graph ~est ids in
        let _, total = Engines.Perf.makespan rates volumes in
-       Finite total)
+       Finite (factor *. total))
 
 let plan_cost ~profile ~graph ~est plan =
   List.fold_left

@@ -90,3 +90,7 @@ let from_history t id =
   match Hashtbl.find_opt t.entries id with
   | Some e -> e.historical
   | None -> false
+
+let size_rel_error t id ~observed_mb =
+  let predicted = output_mb t id in
+  Float.abs (observed_mb -. predicted) /. Float.max (Float.abs predicted) 1e-6

@@ -38,3 +38,8 @@ val from_history : t -> int -> bool
 (** Pessimism multiplier applied to unbounded operators on first runs;
     exposed for tests. *)
 val conservative_factor : float
+
+(** [size_rel_error t id ~observed_mb] — |observed − predicted| over
+    max(|predicted|, 1e-6); the executor's per-node size-misprediction
+    telemetry (["estimator.size_rel_error"] histogram). *)
+val size_rel_error : t -> int -> observed_mb:float -> float

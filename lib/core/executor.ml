@@ -37,6 +37,9 @@ let dispatch ~mode ~profile ~history ~workflow ~record_history ~hdfs ~label
   let job = job_for ~mode ~label ~backend g in
   Log.debug (fun m ->
       m "dispatch %s to %s" label (Engines.Backend.name backend));
+  (* resource probe around the dispatch: wall time, GC pressure and
+     throughput land on this job's span and in the registry *)
+  let probe = Obs.Probe.start () in
   match Engines.Registry.run backend ~cluster ~hdfs job with
   | Error e ->
     Obs.Trace.add_attr "error" (Obs.Trace.String
@@ -49,6 +52,10 @@ let dispatch ~mode ~profile ~history ~workflow ~record_history ~hdfs ~label
           (Engines.Report.error_to_string e));
     raise (Execution_failed e)
   | Ok report ->
+    Obs.Probe.attach ~backend:(Engines.Backend.name backend)
+      ~input_mb:report.Engines.Report.input_mb
+      ~output_mb:report.Engines.Report.output_mb
+      (Obs.Probe.stop probe);
     (* the simulated makespan breakdown (§6.1) rides on the span *)
     Obs.Trace.add_attr "makespan_s"
       (Obs.Trace.Float report.Engines.Report.makespan_s);
@@ -320,11 +327,26 @@ let run_plan ?(mode = Generated) ?(record_history = true)
          when observed_s > 0.
               && (not outcome.Recovery.replanned)
               && not verdict.Supervisor.speculation_won ->
+         let backend_name = Engines.Backend.name backend in
          Obs.Metrics.record_prediction Obs.Metrics.default ~workflow
-           ~job:label
-           ~backend:(Engines.Backend.name backend)
-           ~predicted_s ~observed_s
+           ~job:label ~backend:backend_name
+           ~raw_predicted_s:(predicted_s /. Calibrate.factor_for backend_name)
+           ~predicted_s ~observed_s ()
        | _ -> ());
+      (* size-misprediction telemetry: planner's estimate vs. the
+         materialized size, for every node this job wrote to HDFS *)
+      (match est with
+       | Some est ->
+         List.iter
+           (fun id ->
+              let rel = (Ir.Dag.node graph id).Ir.Operator.output in
+              if Engines.Hdfs.mem hdfs rel then
+                Obs.Metrics.observe Obs.Metrics.default
+                  "estimator.size_rel_error"
+                  (Estimator.size_rel_error est id
+                     ~observed_mb:(Engines.Hdfs.modeled_mb hdfs rel)))
+           ids
+       | None -> ());
       acc := List.rev_append job_reports !acc;
       if supervising && !remaining <> [] then
         match

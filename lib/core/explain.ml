@@ -5,6 +5,7 @@ type report = {
   plan : Partitioner.plan option;
   job_costs : (Engines.Backend.t * int list * float) list;
   alternatives : (Engines.Backend.t * Cost.verdict) list;
+  calibration : (string * float) list;
 }
 
 let explain ?(backends = Engines.Backend.all) ~profile ~history ~workflow
@@ -65,7 +66,8 @@ let explain ?(backends = Engines.Backend.all) ~profile ~history ~workflow
          (backend, verdict))
       backends
   in
-  { rewrites_applied; optimized; estimates; plan; job_costs; alternatives }
+  { rewrites_applied; optimized; estimates; plan; job_costs; alternatives;
+    calibration = (if Calibrate.is_enabled () then Calibrate.factors () else []) }
 
 let pp ppf r =
   Format.fprintf ppf "optimized IR (%d rewrite%s applied):@."
@@ -80,6 +82,14 @@ let pp ppf r =
          mb
          (if historical then "  (history)" else ""))
     r.estimates;
+  (match r.calibration with
+   | [] -> ()
+   | factors ->
+     Format.fprintf ppf "@.calibration factors (ledger-fitted):@.";
+     List.iter
+       (fun (backend, f) ->
+          Format.fprintf ppf "  %-12s x%.3f@." backend f)
+       factors);
   (match r.plan with
    | None -> Format.fprintf ppf "no feasible plan@."
    | Some p ->
@@ -87,10 +97,16 @@ let pp ppf r =
        p.Partitioner.cost_s;
      List.iteri
        (fun i (backend, ids, cost) ->
-          Format.fprintf ppf "  job %d on %-10s ops [%s]  ~%.1fs@." i
+          (* cost already includes the engine's calibration factor;
+             show the raw model estimate next to it when they differ *)
+          let factor = Calibrate.factor_for (Engines.Backend.name backend) in
+          Format.fprintf ppf "  job %d on %-10s ops [%s]  ~%.1fs%s@." i
             (Engines.Backend.name backend)
             (String.concat "; " (List.map string_of_int ids))
-            cost)
+            cost
+            (if Float.abs (factor -. 1.0) > 1e-9 then
+               Printf.sprintf " (raw %.1fs, x%.3f)" (cost /. factor) factor
+             else ""))
        r.job_costs);
   Format.fprintf ppf "@.single-back-end alternatives:@.";
   List.iter

@@ -77,9 +77,9 @@ let of_string data =
             (Printf.sprintf "History.of_string: bad line %d" (lineno + 1)));
   t
 
-let save t ~filename =
-  Out_channel.with_open_text filename (fun oc ->
-      Out_channel.output_string oc (to_string t))
+(* temp file + rename: a crash mid-save never truncates the previous
+   history (shared helper with the run ledger's writers) *)
+let save t ~filename = Obs.Export.write_file_atomic (to_string t) ~filename
 
 let load ~filename =
   of_string (In_channel.with_open_text filename In_channel.input_all)

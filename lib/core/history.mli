@@ -35,6 +35,8 @@ val is_empty : t -> workflow:string -> bool
     ([size <workflow> <node-id> <mb>] / [runtime <workflow> <seconds>]);
     workflow names must not contain whitespace. *)
 
+(** Crash-safe: writes a temp file in the target directory and renames
+    it into place, so an interrupted save leaves the old file intact. *)
 val save : t -> filename:string -> unit
 
 (** Raises [Invalid_argument] on malformed files. *)

@@ -15,6 +15,7 @@ module Recovery = Recovery
 module Supervisor = Supervisor
 module Mapper = Mapper
 module Explain = Explain
+module Calibrate = Calibrate
 module Obs = Obs
 
 type t = {

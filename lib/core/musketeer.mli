@@ -36,6 +36,9 @@ module Supervisor = Supervisor
 module Mapper = Mapper
 module Explain = Explain
 
+(** Cost-model calibration from the run ledger (CLI [--ledger]). *)
+module Calibrate = Calibrate
+
 (** Observability: tracing, metrics and exporters (also available as
     the stand-alone [musketeer.obs] library). *)
 module Obs = Obs

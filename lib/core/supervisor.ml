@@ -81,6 +81,13 @@ let supervise_job ~config ~profile ~graph ~est ~candidates ~hdfs ~label ~ids
   let deadline =
     effective_deadline_s config ~predicted_s ~predicted_total_s
   in
+  (* deadlines inherit calibration through Cost's predictions; expose
+     the effective value so drift is visible in traces and the ledger *)
+  (match deadline with
+   | Some d ->
+     Obs.Trace.add_attr "deadline_s" (Obs.Trace.Float d);
+     Obs.Metrics.observe Obs.Metrics.default "supervisor.deadline_s" d
+   | None -> ());
   let deadline_breached =
     match deadline with Some d -> observed_s > d | None -> false
   in

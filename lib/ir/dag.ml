@@ -315,3 +315,49 @@ let to_dot ?(name = "workflow") (g : t) =
   line "  rankdir=TB;";
   emit "n" g;
   Buffer.contents buf ^ "}\n"
+
+(* FNV-1a 64-bit over a canonical node rendering: ids, operator
+   descriptions, edges, output relations, recursing into WHILE bodies.
+   Two structurally identical DAGs hash equal regardless of how they
+   were built, which is what keys run-ledger records to workflows. *)
+let canonical_hash (g : t) =
+  let h = ref 0xcbf29ce484222325L in
+  let feed s =
+    String.iter
+      (fun c ->
+         h :=
+           Int64.mul
+             (Int64.logxor !h (Int64.of_int (Char.code c)))
+             0x100000001b3L)
+      s
+  in
+  let rec feed_graph (g : Operator.graph) =
+    List.iter
+      (fun (n : Operator.node) ->
+         feed (string_of_int n.Operator.id);
+         feed "|";
+         feed (Operator.describe n.Operator.kind);
+         feed "|";
+         List.iter
+           (fun i ->
+              feed (string_of_int i);
+              feed ",")
+           n.Operator.inputs;
+         feed "|";
+         feed n.Operator.output;
+         feed ";";
+         match n.Operator.kind with
+         | Operator.While { body; _ } ->
+           feed "{";
+           feed_graph body;
+           feed "}"
+         | _ -> ())
+      g.Operator.nodes;
+    List.iter
+      (fun id ->
+         feed (string_of_int id);
+         feed ",")
+      g.Operator.outputs
+  in
+  feed_graph g;
+  Printf.sprintf "fnv1a:%016Lx" !h

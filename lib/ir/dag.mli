@@ -68,3 +68,9 @@ val to_string : t -> string
 (** Graphviz rendering of the DAG (WHILE bodies become clusters);
     useful with the CLI's [--dot] flag. *)
 val to_dot : ?name:string -> t -> string
+
+(** Stable structural hash ("fnv1a:<16 hex>") over ids, operator
+    descriptions, edges and output relations, recursing into WHILE
+    bodies. Keys run-ledger records to workflow structure: same DAG →
+    same hash across processes. *)
+val canonical_hash : t -> string

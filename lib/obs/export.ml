@@ -102,3 +102,21 @@ let summary ppf t =
 let write_file content ~filename =
   Out_channel.with_open_text filename (fun oc ->
       Out_channel.output_string oc content)
+
+let write_file_atomic content ~filename =
+  let dir = Filename.dirname filename in
+  let tmp =
+    Filename.temp_file ~temp_dir:dir
+      ("." ^ Filename.basename filename) ".tmp"
+  in
+  (try
+     Out_channel.with_open_bin tmp (fun oc ->
+         Out_channel.output_string oc content;
+         Out_channel.flush oc)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  try Sys.rename tmp filename
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e

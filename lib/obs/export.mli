@@ -27,3 +27,9 @@ val summary : Format.formatter -> Trace.t -> unit
 
 (** [write_file content ~filename]. *)
 val write_file : string -> filename:string -> unit
+
+(** [write_file_atomic content ~filename] writes to a temp file in the
+    same directory and renames it into place, so a crash mid-write never
+    leaves a truncated file behind. Used by [History.save] and the run
+    ledger's rewrite path. *)
+val write_file_atomic : string -> filename:string -> unit

@@ -1,0 +1,302 @@
+(* Append-only JSONL run ledger: one record per executed workflow run.
+   The reader is deliberately lenient (unknown fields ignored, torn
+   final line skipped) so ledgers survive schema evolution and
+   mid-append crashes; only a newer *major* schema version is refused. *)
+
+let current_schema = "1.0"
+
+let supported_major = 1
+
+exception Schema_error of string
+
+type record = {
+  schema : string;
+  ts : float;
+  workflow : string;
+  ir_hash : string;
+  partition : (string * int list) list;
+  makespan_s : float;
+  predictions : Metrics.prediction list;
+  recoveries : Metrics.recovery_event list;
+  speculations : int;
+  replans : int;
+  deadline_breaches : int;
+  fusion_chains : int;
+  fusion_ops_fused : int;
+  fusion_mb_saved : float;
+  shared_scans : int;
+  shared_scan_mb_saved : float;
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * Metrics.histogram_stats) list;
+}
+
+let backends r =
+  List.sort_uniq compare (List.map fst r.partition)
+
+(* ---- JSON ---- *)
+
+let to_json r =
+  Json.Obj
+    [ ("schema", Json.String r.schema);
+      ("ts", Json.Number r.ts);
+      ("workflow", Json.String r.workflow);
+      ("ir_hash", Json.String r.ir_hash);
+      ("partition",
+       Json.List
+         (List.map
+            (fun (backend, nodes) ->
+               Json.Obj
+                 [ ("backend", Json.String backend);
+                   ("nodes",
+                    Json.List
+                      (List.map
+                         (fun id -> Json.Number (float_of_int id))
+                         nodes)) ])
+            r.partition));
+      ("makespan_s", Json.Number r.makespan_s);
+      ("predictions",
+       Json.List (List.map Metrics.json_of_prediction r.predictions));
+      ("recoveries",
+       Json.List
+         (List.map
+            (fun (e : Metrics.recovery_event) ->
+               Json.Obj
+                 [ ("workflow", Json.String e.rec_workflow);
+                   ("job", Json.String e.rec_job);
+                   ("from_backend", Json.String e.from_backend);
+                   ("to_backend", Json.String e.to_backend);
+                   ("attempts", Json.Number (float_of_int e.attempts));
+                   ("first_error", Json.String e.first_error);
+                   ("recovery_s", Json.Number e.recovery_s) ])
+            r.recoveries));
+      ("events",
+       Json.Obj
+         [ ("speculations", Json.Number (float_of_int r.speculations));
+           ("replans", Json.Number (float_of_int r.replans));
+           ("deadline_breaches",
+            Json.Number (float_of_int r.deadline_breaches)) ]);
+      ("fusion",
+       Json.Obj
+         [ ("chains", Json.Number (float_of_int r.fusion_chains));
+           ("ops_fused", Json.Number (float_of_int r.fusion_ops_fused));
+           ("intermediate_mb_saved", Json.Number r.fusion_mb_saved) ]);
+      ("shared_scans",
+       Json.Obj
+         [ ("count", Json.Number (float_of_int r.shared_scans));
+           ("mb_saved", Json.Number r.shared_scan_mb_saved) ]);
+      ("counters",
+       Json.Obj
+         (List.map
+            (fun (name, v) -> (name, Json.Number (float_of_int v)))
+            r.counters));
+      ("gauges",
+       Json.Obj
+         (List.map (fun (name, v) -> (name, Json.Number v)) r.gauges));
+      ("histograms",
+       Json.Obj
+         (List.map
+            (fun (name, s) -> (name, Metrics.json_of_stats s))
+            r.histograms)) ]
+
+let major_of schema =
+  match String.index_opt schema '.' with
+  | Some i -> int_of_string_opt (String.sub schema 0 i)
+  | None -> int_of_string_opt schema
+
+let of_json j =
+  let schema = Json.get_string j "schema" ~default:current_schema in
+  (match major_of schema with
+   | Some major when major > supported_major ->
+     raise
+       (Schema_error
+          (Printf.sprintf
+             "ledger schema %s is newer than supported %d.x; \
+              upgrade musketeer or start a fresh ledger"
+             schema supported_major))
+   | Some _ -> ()
+   | None ->
+     raise
+       (Schema_error
+          (Printf.sprintf "unparseable ledger schema version %S" schema)));
+  let assoc name of_value =
+    match Json.member name j with
+    | Some (Json.Obj fields) ->
+      List.filter_map
+        (fun (k, v) -> Option.map (fun v -> (k, v)) (of_value v))
+        fields
+    | _ -> []
+  in
+  let nested parent name ~default =
+    match Json.member parent j with
+    | Some o -> Json.get_int o name ~default
+    | None -> default
+  in
+  let nested_f parent name ~default =
+    match Json.member parent j with
+    | Some o -> Json.get_float o name ~default
+    | None -> default
+  in
+  { schema;
+    ts = Json.get_float j "ts";
+    workflow = Json.get_string j "workflow";
+    ir_hash = Json.get_string j "ir_hash";
+    partition =
+      List.filter_map
+        (fun job ->
+           match Json.member "backend" job with
+           | Some (Json.String backend) ->
+             Some
+               ( backend,
+                 List.filter_map Json.to_int_opt (Json.get_list job "nodes")
+               )
+           | _ -> None)
+        (Json.get_list j "partition");
+    makespan_s = Json.get_float j "makespan_s";
+    predictions =
+      List.map Metrics.prediction_of_json (Json.get_list j "predictions");
+    recoveries =
+      List.map
+        (fun e ->
+           { Metrics.rec_workflow = Json.get_string e "workflow";
+             rec_job = Json.get_string e "job";
+             from_backend = Json.get_string e "from_backend";
+             to_backend = Json.get_string e "to_backend";
+             attempts = Json.get_int e "attempts";
+             first_error = Json.get_string e "first_error";
+             recovery_s = Json.get_float e "recovery_s" })
+        (Json.get_list j "recoveries");
+    speculations = nested "events" "speculations" ~default:0;
+    replans = nested "events" "replans" ~default:0;
+    deadline_breaches = nested "events" "deadline_breaches" ~default:0;
+    fusion_chains = nested "fusion" "chains" ~default:0;
+    fusion_ops_fused = nested "fusion" "ops_fused" ~default:0;
+    fusion_mb_saved = nested_f "fusion" "intermediate_mb_saved" ~default:0.;
+    shared_scans = nested "shared_scans" "count" ~default:0;
+    shared_scan_mb_saved = nested_f "shared_scans" "mb_saved" ~default:0.;
+    counters = assoc "counters" Json.to_int_opt;
+    gauges = assoc "gauges" Json.to_float_opt;
+    histograms =
+      (match Json.member "histograms" j with
+       | Some (Json.Obj fields) ->
+         List.map (fun (k, v) -> (k, Metrics.stats_of_json v)) fields
+       | _ -> []) }
+
+(* ---- file I/O ---- *)
+
+let line_of_record r = Json.to_string (to_json r)
+
+let of_lines lines =
+  let lines =
+    (* a trailing newline yields one empty last element; not a torn line *)
+    match List.rev lines with
+    | "" :: rest -> List.rev rest
+    | _ -> lines
+  in
+  let n = List.length lines in
+  let torn = ref 0 in
+  let records =
+    List.concat
+      (List.mapi
+         (fun i line ->
+            if String.trim line = "" then []
+            else
+              match of_json (Json.of_string line) with
+              | r -> [ r ]
+              | exception Json.Parse_error _ when i = n - 1 ->
+                (* torn final line: the writer crashed mid-append *)
+                incr torn;
+                [])
+         lines)
+  in
+  (records, !torn)
+
+let load ?(metrics = Metrics.default) ~filename () =
+  if not (Sys.file_exists filename) then []
+  else begin
+    let lines =
+      In_channel.with_open_bin filename (fun ic ->
+          String.split_on_char '\n' (In_channel.input_all ic))
+    in
+    let records, torn = of_lines lines in
+    if torn > 0 then Metrics.incr metrics ~by:torn "ledger.torn_lines";
+    records
+  end
+
+let append ~filename r =
+  let oc =
+    Out_channel.open_gen
+      [ Open_append; Open_creat; Open_binary ] 0o644 filename
+  in
+  Fun.protect
+    ~finally:(fun () -> Out_channel.close oc)
+    (fun () ->
+       Out_channel.output_string oc (line_of_record r);
+       Out_channel.output_char oc '\n';
+       Out_channel.flush oc)
+
+(* ---- snapshots of the metrics registry ---- *)
+
+type mark = {
+  m_preds : int;
+  m_recs : int;
+  m_counters : (string * int) list;
+  m_gauges : (string * float) list;
+}
+
+let mark m =
+  { m_preds = List.length (Metrics.predictions m);
+    m_recs = List.length (Metrics.recoveries m);
+    m_counters = Metrics.counters m;
+    m_gauges = Metrics.gauges m }
+
+let zero_mark = { m_preds = 0; m_recs = 0; m_counters = []; m_gauges = [] }
+
+let rec drop n = function
+  | l when n <= 0 -> l
+  | [] -> []
+  | _ :: tl -> drop (n - 1) tl
+
+let snapshot ?(metrics = Metrics.default) ?since ~workflow ~ir_hash
+    ~partition ~makespan_s () =
+  let since = Option.value since ~default:zero_mark in
+  let base_c name =
+    Option.value ~default:0 (List.assoc_opt name since.m_counters)
+  in
+  let base_g name =
+    Option.value ~default:0. (List.assoc_opt name since.m_gauges)
+  in
+  (* counters are cumulative within a process; the record stores the
+     per-run delta so repeated runs don't double-count *)
+  let counters =
+    List.filter_map
+      (fun (name, v) ->
+         let d = v - base_c name in
+         if d <> 0 then Some (name, d) else None)
+      (Metrics.counters metrics)
+  in
+  let c name = Option.value ~default:0 (List.assoc_opt name counters) in
+  let g_delta name =
+    match Metrics.gauge metrics name with
+    | Some v -> v -. base_g name
+    | None -> 0.
+  in
+  { schema = current_schema;
+    ts = Unix.gettimeofday ();
+    workflow;
+    ir_hash;
+    partition;
+    makespan_s;
+    predictions = drop since.m_preds (Metrics.predictions metrics);
+    recoveries = drop since.m_recs (Metrics.recoveries metrics);
+    speculations = c "supervisor.speculations";
+    replans = c "supervisor.replans";
+    deadline_breaches = c "supervisor.deadline_breaches";
+    fusion_chains = c "fusion.chains";
+    fusion_ops_fused = c "fusion.ops_fused";
+    fusion_mb_saved = g_delta "fusion.intermediate_mb_saved";
+    shared_scans = c "scan.shared";
+    shared_scan_mb_saved = g_delta "scan.shared_mb_saved";
+    counters;
+    gauges = Metrics.gauges metrics;
+    histograms = Metrics.histograms metrics }

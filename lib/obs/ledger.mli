@@ -1,0 +1,93 @@
+(** Persistent run ledger: one JSONL record per executed workflow run.
+
+    The ledger is the durable side of the metrics registry — everything
+    the registry learns in a run (predicted vs. observed makespans,
+    recoveries, fusion and shared-scan savings, kernel histograms) dies
+    with the process; a record appended here survives, so later runs
+    can fit per-engine calibration factors ([Core.Calibrate]) and the
+    [report] subcommand can track prediction error across runs.
+
+    Schema evolution contract: records carry a ["schema"] version.
+    Readers ignore unknown fields and default missing ones (so older
+    binaries read newer minor versions, and vice versa), but refuse a
+    newer {e major} version with {!Schema_error}. A torn final line —
+    the writer crashed mid-append — is skipped with a warning counter,
+    never an error; a malformed line anywhere else raises, because that
+    is corruption, not a crash artifact. *)
+
+(** Version written into new records ("major.minor"). *)
+val current_schema : string
+
+val supported_major : int
+
+exception Schema_error of string
+
+type record = {
+  schema : string;
+  ts : float;                  (** unix time the record was snapshot *)
+  workflow : string;
+  ir_hash : string;            (** {!Ir.Dag.canonical_hash} of the plan's IR *)
+  partition : (string * int list) list;
+      (** (backend, node ids) per job, in execution order *)
+  makespan_s : float;
+  predictions : Metrics.prediction list;
+  recoveries : Metrics.recovery_event list;
+  speculations : int;
+  replans : int;
+  deadline_breaches : int;
+  fusion_chains : int;
+  fusion_ops_fused : int;
+  fusion_mb_saved : float;
+  shared_scans : int;
+  shared_scan_mb_saved : float;
+  counters : (string * int) list;   (** per-run counter deltas *)
+  gauges : (string * float) list;   (** gauge values at snapshot time *)
+  histograms : (string * Metrics.histogram_stats) list;
+}
+
+(** Distinct backend names used by the run's partition, sorted. *)
+val backends : record -> string list
+
+val to_json : record -> Json.t
+
+(** Lenient except for the schema major version (see module doc).
+    @raise Schema_error on a newer major or unparseable version. *)
+val of_json : Json.t -> record
+
+(** One record rendered as a single JSON line (no trailing newline). *)
+val line_of_record : record -> string
+
+(** [of_lines lines] parses one record per non-empty line, returning
+    the records and the number of torn (unparseable) {e final} lines
+    skipped — 0 or 1. Malformed earlier lines raise
+    {!Json.Parse_error}. *)
+val of_lines : string list -> record list * int
+
+(** Read a ledger file; missing file is an empty ledger. A torn final
+    line bumps the ["ledger.torn_lines"] counter on [metrics] (default
+    {!Metrics.default}) and is skipped. *)
+val load : ?metrics:Metrics.t -> filename:string -> unit -> record list
+
+(** Append one record (creates the file if needed). Appends are
+    flushed line-atomically; a crash mid-append leaves at most one torn
+    final line, which {!load} tolerates. *)
+val append : filename:string -> record -> unit
+
+(** {2 Building records from the live registry}
+
+    Counters and predictions in {!Metrics.t} are cumulative within a
+    process. [mark] captures the registry position before a run;
+    [snapshot ~since] then records only that run's delta, so repeated
+    runs in one process ([stats --repeat], the calibration bench) each
+    get an accurate record. *)
+
+type mark
+
+val mark : Metrics.t -> mark
+
+(** [snapshot ?metrics ?since ~workflow ~ir_hash ~partition ~makespan_s ()]
+    builds a record from the registry (default {!Metrics.default}),
+    restricted to activity after [since] when given. *)
+val snapshot :
+  ?metrics:Metrics.t -> ?since:mark -> workflow:string -> ir_hash:string ->
+  partition:(string * int list) list -> makespan_s:float -> unit -> record

@@ -13,6 +13,7 @@ type prediction = {
   job : string;
   backend : string;
   predicted_s : float;
+  raw_predicted_s : float;
   observed_s : float;
 }
 
@@ -155,10 +156,15 @@ let histograms t =
     snapshot
   |> List.sort compare
 
-let record_prediction t ~workflow ~job ~backend ~predicted_s ~observed_s =
+let record_prediction t ?raw_predicted_s ~workflow ~job ~backend ~predicted_s
+    ~observed_s () =
+  let raw_predicted_s =
+    Option.value raw_predicted_s ~default:predicted_s
+  in
   locked t @@ fun () ->
   t.preds <-
-    { workflow; job; backend; predicted_s; observed_s } :: t.preds
+    { workflow; job; backend; predicted_s; raw_predicted_s; observed_s }
+    :: t.preds
 
 let predictions t = locked t (fun () -> List.rev t.preds)
 
@@ -209,9 +215,12 @@ let pp_predictions ppf t =
     List.iter
       (fun p ->
          let e = rel_error p in
-         Format.fprintf ppf "  %-28s %-10s %9.1fs %9.1fs %+7.1f%%@."
-           p.job p.backend p.predicted_s p.observed_s
-           (if Float.is_finite e then 100. *. e else Float.nan))
+         let err =
+           if Float.is_finite e then Printf.sprintf "%+7.1f%%" (100. *. e)
+           else "n/a"  (* nothing observed: no error to report *)
+         in
+         Format.fprintf ppf "  %-28s %-10s %9.1fs %9.1fs %8s@."
+           p.job p.backend p.predicted_s p.observed_s err)
       preds;
     (match prediction_error t with
      | Some s ->
@@ -244,3 +253,67 @@ let pp ppf t =
        hs);
   pp_recoveries ppf t;
   pp_predictions ppf t
+
+(* ---- JSON (stats --json, the run ledger) ---- *)
+
+let json_of_stats (s : histogram_stats) =
+  Json.Obj
+    [ ("count", Json.Number (float_of_int s.count));
+      ("min", Json.Number s.min); ("max", Json.Number s.max);
+      ("mean", Json.Number s.mean); ("p50", Json.Number s.p50);
+      ("p90", Json.Number s.p90); ("p99", Json.Number s.p99) ]
+
+let stats_of_json j =
+  { count = Json.get_int j "count";
+    min = Json.get_float j "min"; max = Json.get_float j "max";
+    mean = Json.get_float j "mean"; p50 = Json.get_float j "p50";
+    p90 = Json.get_float j "p90"; p99 = Json.get_float j "p99" }
+
+let json_of_prediction p =
+  Json.Obj
+    [ ("workflow", Json.String p.workflow); ("job", Json.String p.job);
+      ("backend", Json.String p.backend);
+      ("predicted_s", Json.Number p.predicted_s);
+      ("raw_predicted_s", Json.Number p.raw_predicted_s);
+      ("observed_s", Json.Number p.observed_s) ]
+
+let prediction_of_json j =
+  { workflow = Json.get_string j "workflow";
+    job = Json.get_string j "job";
+    backend = Json.get_string j "backend";
+    predicted_s = Json.get_float j "predicted_s";
+    raw_predicted_s =
+      Json.get_float j "raw_predicted_s"
+        ~default:(Json.get_float j "predicted_s");
+    observed_s = Json.get_float j "observed_s" }
+
+let to_json t =
+  Json.Obj
+    [ ("counters",
+       Json.Obj
+         (List.map
+            (fun (name, v) -> (name, Json.Number (float_of_int v)))
+            (counters t)));
+      ("gauges",
+       Json.Obj (List.map (fun (name, v) -> (name, Json.Number v)) (gauges t)));
+      ("histograms",
+       Json.Obj
+         (List.map (fun (name, s) -> (name, json_of_stats s)) (histograms t)));
+      ("predictions", Json.List (List.map json_of_prediction (predictions t)));
+      ("recoveries",
+       Json.List
+         (List.map
+            (fun r ->
+               Json.Obj
+                 [ ("workflow", Json.String r.rec_workflow);
+                   ("job", Json.String r.rec_job);
+                   ("from_backend", Json.String r.from_backend);
+                   ("to_backend", Json.String r.to_backend);
+                   ("attempts", Json.Number (float_of_int r.attempts));
+                   ("first_error", Json.String r.first_error);
+                   ("recovery_s", Json.Number r.recovery_s) ])
+            (recoveries t)));
+      ("prediction_error",
+       match prediction_error t with
+       | Some s -> json_of_stats s
+       | None -> Json.Null) ]

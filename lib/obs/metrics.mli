@@ -27,7 +27,8 @@ type prediction = {
   workflow : string;
   job : string;              (** job label, e.g. ["pagerank/job0"] *)
   backend : string;
-  predicted_s : float;       (** cost-model estimate (§5.1) *)
+  predicted_s : float;       (** cost-model estimate (§5.1), calibrated *)
+  raw_predicted_s : float;   (** estimate before calibration factors *)
   observed_s : float;        (** executed makespan (§6.1) *)
 }
 
@@ -108,9 +109,12 @@ val pp_recoveries : Format.formatter -> t -> unit
 
 (** {2 Prediction accuracy} *)
 
+(** [raw_predicted_s] defaults to [predicted_s]; the calibration layer
+    passes the uncorrected estimate so fitting on the ratio
+    observed/raw never compounds factors across runs. *)
 val record_prediction :
-  t -> workflow:string -> job:string -> backend:string ->
-  predicted_s:float -> observed_s:float -> unit
+  t -> ?raw_predicted_s:float -> workflow:string -> job:string ->
+  backend:string -> predicted_s:float -> observed_s:float -> unit -> unit
 
 (** In record order. *)
 val predictions : t -> prediction list
@@ -126,3 +130,21 @@ val pp_predictions : Format.formatter -> t -> unit
 
 (** Full registry dump: counters, gauges, histograms, predictions. *)
 val pp : Format.formatter -> t -> unit
+
+(** {2 JSON}
+
+    Machine-readable forms shared by [stats --json] and the run
+    ledger. The [of_json] direction is lenient: missing fields take
+    defaults, unknown fields are ignored. *)
+
+val json_of_stats : histogram_stats -> Json.t
+
+val stats_of_json : Json.t -> histogram_stats
+
+val json_of_prediction : prediction -> Json.t
+
+val prediction_of_json : Json.t -> prediction
+
+(** Whole-registry dump: counters, gauges, histograms, predictions,
+    recoveries, and the |relative error| summary. *)
+val to_json : t -> Json.t

@@ -259,9 +259,9 @@ let test_histogram_quantiles () =
 let test_prediction_records () =
   let m = Obs.Metrics.create () in
   Obs.Metrics.record_prediction m ~workflow:"wf" ~job:"wf/job0"
-    ~backend:"Spark" ~predicted_s:12. ~observed_s:10.;
+    ~backend:"Spark" ~predicted_s:12. ~observed_s:10. ();
   Obs.Metrics.record_prediction m ~workflow:"wf" ~job:"wf/job1"
-    ~backend:"Hadoop" ~predicted_s:5. ~observed_s:10.;
+    ~backend:"Hadoop" ~predicted_s:5. ~observed_s:10. ();
   let preds = Obs.Metrics.predictions m in
   Alcotest.(check int) "two records" 2 (List.length preds);
   Alcotest.(check (float 1e-9)) "signed over-prediction" 0.2
