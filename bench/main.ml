@@ -130,14 +130,18 @@ let bechamel () =
     (fun (name, est) -> Printf.printf "%-36s %s\n" name est)
     (List.sort compare !rows)
 
-(* ---- serial vs parallel kernel benchmark ----
+(* ---- columnar vs row kernel benchmark ----
 
-   Times each hot kernel on NetFlix-scale synthetic tables under
-   [Pool.with_jobs 1] (exact serial path) and under the parallel jobs
-   count, checks the outputs are byte-identical, prints a table and
-   writes the numbers to BENCH_kernels.json. On a single-core machine
-   the "parallel" runs exercise the pool but cannot beat serial;
-   speedups are honest wall-clock ratios either way. *)
+   Times each hot kernel on NetFlix-scale synthetic tables three ways:
+   the row engine with the columnar gate off at jobs=1 (the pre-columnar
+   serial baseline), and the columnar path at jobs=1 and at the parallel
+   jobs count. All three outputs must be byte-identical (CSV compare;
+   fatal otherwise). Ratios are row-baseline / columnar — ≥ 1.0 means
+   the vectorized path is no slower than the engine it replaced.
+   Writes BENCH_kernels.json; with MUSKETEER_BENCH_GATE=1 (CI) the run
+   fails if any ratio drops below 1.0. On a single-core machine jobs=4
+   exercises the pool without beating jobs=1; the gate compares both
+   against the row baseline, not against each other. *)
 
 let kernels_par () =
   let open Relation in
@@ -184,35 +188,48 @@ let kernels_par () =
                 Aggregate.make Aggregate.Count ~as_name:"n" ]);
       ("sort", fun () -> Table.sort_by ratings [ "movie"; "user" ]) ]
   in
-  let reps = 3 in
-  let best_of jobs f =
+  let reps = 5 in
+  let best_of ~columnar jobs f =
     let best = ref infinity and out = ref None in
     for _ = 1 to reps do
-      let result, s = Obs.Trace.time (fun () -> Pool.with_jobs jobs f) in
+      let result, s =
+        Obs.Trace.time (fun () ->
+            Column.with_enabled columnar (fun () -> Pool.with_jobs jobs f))
+      in
       if s < !best then best := s;
       out := Some result
     done;
     (Option.get !out, !best)
   in
-  Printf.printf "serial vs parallel kernels (%d rows, jobs=%d, best of %d)\n"
+  let gate = Sys.getenv_opt "MUSKETEER_BENCH_GATE" = Some "1" in
+  Printf.printf
+    "columnar vs row kernels (%d rows, parallel jobs=%d, best of %d)\n"
     ratings_n par_jobs reps;
-  Printf.printf "%-10s %12s %12s %9s  %s\n" "kernel" "serial" "parallel"
-    "speedup" "identical";
+  Printf.printf "%-10s %12s %12s %12s %8s %8s  %s\n" "kernel" "row j1"
+    "col j1" "col j4" "r(j1)" "r(j4)" "identical";
   let results =
     List.map
       (fun (name, f) ->
-         let serial_out, serial_s = best_of 1 f in
-         let par_out, par_s = best_of par_jobs f in
-         let identical = Table.to_csv serial_out = Table.to_csv par_out in
-         let speedup = serial_s /. par_s in
-         Printf.printf "%-10s %10.1fms %10.1fms %8.2fx  %b\n%!" name
-           (1000. *. serial_s) (1000. *. par_s) speedup identical;
+         let row_out, row_s = best_of ~columnar:false 1 f in
+         let col_out, col_s = best_of ~columnar:true 1 f in
+         let par_out, par_s = best_of ~columnar:true par_jobs f in
+         let row_csv = Table.to_csv row_out in
+         let identical =
+           row_csv = Table.to_csv col_out && row_csv = Table.to_csv par_out
+         in
+         (* floor the denominator: zero-copy kernels measure ~0s and a
+            literal [inf] would not be valid JSON *)
+         let ratio a b = a /. Float.max b 1e-6 in
+         let ratio1 = ratio row_s col_s and ratio4 = ratio row_s par_s in
+         Printf.printf "%-10s %10.1fms %10.1fms %10.1fms %7.2fx %7.2fx  %b\n%!"
+           name (1000. *. row_s) (1000. *. col_s) (1000. *. par_s) ratio1
+           ratio4 identical;
          if not identical then begin
-           Printf.eprintf "FATAL: %s parallel output differs from serial\n"
+           Printf.eprintf "FATAL: %s columnar output differs from row engine\n"
              name;
            exit 1
          end;
-         (name, serial_s, par_s, speedup))
+         (name, row_s, col_s, par_s, ratio1, ratio4))
       kernels
   in
   let json =
@@ -223,12 +240,13 @@ let kernels_par () =
     Buffer.add_string b (Printf.sprintf "  \"reps\": %d,\n" reps);
     Buffer.add_string b "  \"kernels\": [\n";
     List.iteri
-      (fun i (name, serial_s, par_s, speedup) ->
+      (fun i (name, row_s, col_s, par_s, ratio1, ratio4) ->
          Buffer.add_string b
            (Printf.sprintf
-              "    {\"kernel\": %S, \"serial_s\": %.6f, \"parallel_s\": \
-               %.6f, \"speedup\": %.3f}%s\n"
-              name serial_s par_s speedup
+              "    {\"kernel\": %S, \"row_serial_s\": %.6f, \
+               \"columnar_s\": %.6f, \"parallel_s\": %.6f, \
+               \"ratio_jobs1\": %.3f, \"ratio_jobs4\": %.3f}%s\n"
+              name row_s col_s par_s ratio1 ratio4
               (if i = List.length results - 1 then "" else ",")))
       results;
     Buffer.add_string b "  ]\n}\n";
@@ -236,7 +254,20 @@ let kernels_par () =
   in
   Out_channel.with_open_text "BENCH_kernels.json" (fun oc ->
       Out_channel.output_string oc json);
-  Printf.printf "wrote BENCH_kernels.json\n"
+  Printf.printf "wrote BENCH_kernels.json\n";
+  if gate then begin
+    let slow =
+      List.filter (fun (_, _, _, _, r1, r4) -> r1 < 1.0 || r4 < 1.0) results
+    in
+    List.iter
+      (fun (name, _, _, _, r1, r4) ->
+         Printf.eprintf
+           "GATE: %s columnar/row ratio below 1.0 (jobs1 %.2f, jobs4 %.2f)\n"
+           name r1 r4)
+      slow;
+    if slow <> [] then exit 1;
+    Printf.printf "ratio gate passed: every kernel >= 1.0x vs row baseline\n"
+  end
 
 (* ---- fused vs unfused execution benchmark ----
 

@@ -119,7 +119,18 @@ let rec eval_graph ?(protect = []) ~hdfs
         Hashtbl.replace values m.id (out, out_mb);
         Hashtbl.replace by_name m.output (out, out_mb)
       | (m : Ir.Operator.node) :: rest ->
-        let out_mb = (Ir.Sizing.of_kind m.kind ~inputs:[ in_mb ]).expected in
+        (* interior PROJECTs use per-column encoded widths off the chain
+           source (column widths are scale-free, so the source's are
+           valid after interior filters); other interiors keep the
+           generic Sizing defaults *)
+        let out_mb =
+          match m.kind with
+          | Ir.Operator.Project { columns } -> (
+            match Ir.Sizing.project_mb src_table columns ~in_mb with
+            | Some mb -> mb
+            | None -> (Ir.Sizing.of_kind m.kind ~inputs:[ in_mb ]).expected)
+          | kind -> (Ir.Sizing.of_kind kind ~inputs:[ in_mb ]).expected
+        in
         interior_mb := !interior_mb +. out_mb;
         acc.stats <-
           { node_id = m.id; kind_name = Ir.Operator.kind_name m.kind;

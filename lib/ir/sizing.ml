@@ -60,6 +60,40 @@ let of_kind (kind : Operator.kind) ~inputs =
   | Operator.While _ -> { expected = input_total; upper = None }
   | Operator.Black_box _ -> { expected = input_total; upper = None }
 
+(* Dictionary-aware PROJECT estimate: the generic [of_kind] charges a
+   flat 25% per retained column, which overstates narrow columns and —
+   worse — misprices dictionary-encoded strings, whose per-row cost is a
+   4-byte code regardless of string length. When the input table is at
+   hand, weigh each retained column by its actual encoded bytes
+   ({!Relation.Column.encoded_bytes} charges a dictionary's distinct
+   strings once, not per row). Returns [None] when some retained column
+   is not in the table's schema (e.g. created upstream by a MAP inside a
+   fused chain) — callers fall back to [of_kind]. *)
+let project_mb table columns ~in_mb =
+  let open Relation in
+  let schema = Table.schema table in
+  let known =
+    List.for_all
+      (fun name ->
+         List.exists
+           (fun (c : Schema.column) -> c.name = name)
+           (Schema.columns schema))
+      columns
+  in
+  if not known then None
+  else begin
+    let cols = Table.columns table in
+    let total = ref 0 and kept = ref 0 in
+    List.iteri
+      (fun i (c : Schema.column) ->
+         let b = Column.encoded_bytes cols.(i) in
+         total := !total + b;
+         if List.mem c.name columns then kept := !kept + b)
+      (Schema.columns schema);
+    if !total = 0 then Some 0.
+    else Some (in_mb *. (float_of_int !kept /. float_of_int !total))
+  end
+
 let safe_to_merge_without_history kind ~inputs =
   if Operator.selective kind then true
   else

@@ -1,0 +1,51 @@
+(** Vectorized (column-at-a-time) kernel implementations.
+
+    Each [try_*] function is the columnar counterpart of the kernel of
+    the same name in {!Kernel}. It returns [Some table] — byte-identical
+    to the row kernel's output: same schema, same rows, same order —
+    when the columnar path applies, and [None] when the caller must fall
+    back to the row path. Fallback triggers are: the gate
+    ({!Column.enabled}) is off, the expression is not
+    {!Vector.vectorizable}, or the operator shape has row-path semantics
+    that column-at-a-time evaluation cannot reproduce exactly (float
+    join/group keys, whose NaN behavior under structural equality is
+    row-specific; multi-column group keys; SUM/AVG over non-numeric
+    inputs).
+
+    Exceptions the row path would raise (unknown columns, ill-typed
+    predicates evaluated on live rows, [Division_by_zero]) propagate
+    from here with identical payloads — never swallowed into [None]. *)
+
+(** Row count at or above which chunkable columnar kernels (select,
+    map_column) split across the {!Pool} domains. Re-exported by
+    {!Kernel.par_threshold}. *)
+val par_threshold : int
+
+val try_select : Table.t -> Expr.t -> Table.t option
+
+val try_project : Table.t -> string list -> Table.t option
+
+val try_map_column :
+  Table.t -> target:string -> expr:Expr.t -> Table.t option
+
+(** Hash equi-join, build side = left, probe in right-row order with
+    per-key match lists in the serial kernel's [Hashtbl.find_all] order.
+    Runs serially at every jobs setting (the hash build dominates and
+    chunking regressed it), so jobs = 1 and jobs = 4 are trivially
+    identical. *)
+val try_join :
+  Table.t -> Table.t -> left_key:string -> right_key:string ->
+  Table.t option
+
+(** Single-key grouping over int/string/bool keys with typed
+    accumulators (dictionary codes serve as string group ids). Group
+    order is first appearance, as in the serial kernel. *)
+val try_group_by :
+  Table.t -> keys:string list -> aggs:Aggregate.t list -> Table.t option
+
+(** Fused SELECT/PROJECT/MAP chains evaluated as column chunks with a
+    selection vector threaded between stages ({!Fused} calls this before
+    its row loop). [compile_error]s — unknown columns, ill-typed MAP
+    expressions — are raised by {!Fused.compile} before this runs, so
+    both paths fail identically. *)
+val try_fused : Table.t -> Fused_step.t list -> Table.t option

@@ -1,4 +1,4 @@
-type step =
+type step = Fused_step.t =
   | Filter of Expr.t
   | Keep of string list
   | Map_col of { target : string; expr : Expr.t }
@@ -72,7 +72,12 @@ let compile in_schema steps =
   { out_schema = schema; transform }
 
 let run t steps =
+  (* compile first so unknown columns / ill-typed MAP expressions raise
+     here, identically on both execution paths *)
   let c = compile (Table.schema t) steps in
+  match Columnar.try_fused t steps with
+  | Some out -> out
+  | None ->
   let rows = Table.rows t in
   let n = Array.length rows in
   (* one pass over [start, start+len): fill a scratch array, trim once *)

@@ -12,7 +12,7 @@
     the {!Pool} domain pool. Each step compiles against the schema the
     previous step produces, exactly as the unfused kernels would see it. *)
 
-type step =
+type step = Fused_step.t =
   | Filter of Expr.t  (** SELECT: drop rows whose predicate is false *)
   | Keep of string list  (** PROJECT: restrict to the named columns *)
   | Map_col of { target : string; expr : Expr.t }

@@ -1,0 +1,12 @@
+(* The fused-chain step algebra, split out of {!Fused} so that
+   {!Columnar} (which Fused dispatches to) can consume steps without a
+   module cycle. {!Fused} re-exports this as [Fused.step] with the
+   constructors intact. *)
+
+type t =
+  | Filter of Expr.t
+  | Keep of string list
+  | Map_col of {
+      target : string;
+      expr : Expr.t;
+    }

@@ -5,7 +5,7 @@
    parallel variants in {!Par} are byte-identical to the serial paths,
    so dispatch never changes an answer — only the wall clock. *)
 
-let par_threshold = 512
+let par_threshold = Columnar.par_threshold
 
 (* single-pass filter: fill a scratch array, trim once at the end — the
    old [Array.of_seq (Seq.filter ...)] walked the rows twice and consed
@@ -41,7 +41,14 @@ let dispatch name ~rows serial parallel =
   end
   else serial ()
 
+(* The hot kernels try the vectorized columnar path first; [None] means
+   "not expressible byte-identically in columns", and the row path —
+   serial or domain-pool chunked — runs instead. *)
+
 let select t pred =
+  match Columnar.try_select t pred with
+  | Some r -> r
+  | None ->
   dispatch "select" ~rows:(Table.row_count t)
     (fun () ->
        let schema = Table.schema t in
@@ -59,6 +66,9 @@ let select t pred =
     (fun ~jobs -> Par.select ~jobs t pred)
 
 let project t cols =
+  match Columnar.try_project t cols with
+  | Some r -> r
+  | None ->
   dispatch "project" ~rows:(Table.row_count t)
     (fun () ->
        let schema = Table.schema t in
@@ -72,6 +82,9 @@ let project t cols =
     (fun ~jobs -> Par.project ~jobs t cols)
 
 let map_column t ~target ~expr =
+  match Columnar.try_map_column t ~target ~expr with
+  | Some r -> r
+  | None ->
   dispatch "map" ~rows:(Table.row_count t)
     (fun () ->
        let schema = Table.schema t in
@@ -140,6 +153,9 @@ let serial_join left right ~left_key ~right_key =
   Table.create_unchecked out_schema (Array.of_list (List.rev !out))
 
 let join left right ~left_key ~right_key =
+  match Columnar.try_join left right ~left_key ~right_key with
+  | Some r -> r
+  | None ->
   dispatch "join" ~rows:(Table.row_count left + Table.row_count right)
     (fun () -> serial_join left right ~left_key ~right_key)
     (fun ~jobs -> Par.join ~jobs left right ~left_key ~right_key)
@@ -354,6 +370,9 @@ let serial_group_by t ~keys ~aggs =
   Table.create_unchecked out_schema (Array.of_list out)
 
 let group_by t ~keys ~aggs =
+  match Columnar.try_group_by t ~keys ~aggs with
+  | Some r -> r
+  | None ->
   let mergeable =
     List.for_all (Par.exactly_mergeable (Table.schema t)) aggs
   in

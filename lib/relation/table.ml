@@ -1,12 +1,26 @@
+(* A table is a schema plus row data in one of two physical
+   representations:
+
+   - row-backed: [Value.t array array], the seed engine's layout;
+   - column-backed: one typed {!Column.t} per schema column (unboxed
+     int/float/bool arrays, dictionary-encoded strings).
+
+   Either view is materialized lazily from the other and memoized, so
+   the whole pre-columnar API ([rows], [get], [create], ...) keeps
+   working unchanged while the vectorized kernels exchange columns.
+   The conversions are exact inverses (see Column), which is what the
+   columnar differential suite proves end-to-end.
+
+   Memo fields are unsynchronized on purpose: tables are immutable, so
+   concurrent domains can at worst both compute the same value and race
+   to store it — a benign race; a stale [None]/[-1] just recomputes. *)
+
 type t = {
   schema : Schema.t;
-  rows : Value.t array array;
-  (* memoized [encoded_bytes]; -1 = not yet computed. Tables are
-     immutable, so the size never changes once measured. Unsynchronized
-     on purpose: concurrent domains can at worst both compute the same
-     value and race to store it — a benign race, reads of a stale -1
-     just recompute. *)
-  mutable encoded : int;
+  nrows : int;
+  mutable rows_v : Value.t array array option;
+  mutable cols_v : Column.t array option;
+  mutable encoded : int;  (* memoized [encoded_bytes]; -1 = not computed *)
 }
 
 let check_row schema i row =
@@ -24,38 +38,140 @@ let check_row schema i row =
               c.name (Value.ty_to_string ty) (Value.ty_to_string c.ty)))
     (Schema.columns schema)
 
+let of_rows schema rows =
+  { schema; nrows = Array.length rows; rows_v = Some rows; cols_v = None;
+    encoded = -1 }
+
 let create schema rows =
   List.iteri (check_row schema) rows;
-  { schema; rows = Array.of_list rows; encoded = -1 }
+  of_rows schema (Array.of_list rows)
 
-let create_unchecked schema rows = { schema; rows; encoded = -1 }
+let create_unchecked schema rows = of_rows schema rows
 
-let empty schema = { schema; rows = [||]; encoded = -1 }
+let empty schema = of_rows schema [||]
+
+let of_columns schema cols =
+  let arity = Schema.arity schema in
+  if Array.length cols <> arity then
+    invalid_arg
+      (Printf.sprintf "Table.of_columns: %d columns for schema %s"
+         (Array.length cols) (Schema.to_string schema));
+  let nrows = if arity = 0 then 0 else Column.length cols.(0) in
+  List.iteri
+    (fun j (c : Schema.column) ->
+       let col = cols.(j) in
+       if Column.length col <> nrows then
+         invalid_arg
+           (Printf.sprintf
+              "Table.of_columns: column %s has %d rows, expected %d" c.name
+              (Column.length col) nrows);
+       if Column.ty col <> c.ty then
+         invalid_arg
+           (Printf.sprintf
+              "Table.of_columns: column %s has type %s, expected %s" c.name
+              (Value.ty_to_string (Column.ty col))
+              (Value.ty_to_string c.ty));
+       if not (Column.all_valid col) then
+         invalid_arg
+           (Printf.sprintf
+              "Table.of_columns: column %s has null slots (tables are \
+               non-nullable)"
+              c.name))
+    (Schema.columns schema);
+  { schema; nrows; rows_v = None; cols_v = Some cols; encoded = -1 }
 
 let schema t = t.schema
 
-let rows t = t.rows
-
-let row_count t = Array.length t.rows
+let row_count t = t.nrows
 
 let is_empty t = row_count t = 0
 
+let rows t =
+  match t.rows_v with
+  | Some rows -> rows
+  | None ->
+    let cols = Option.get t.cols_v in
+    let arity = Array.length cols in
+    let rows =
+      Array.init t.nrows (fun i ->
+          Array.init arity (fun j -> Column.get cols.(j) i))
+    in
+    t.rows_v <- Some rows;
+    rows
+
+let columns t =
+  match t.cols_v with
+  | Some cols -> cols
+  | None ->
+    let rows = Option.get t.rows_v in
+    let col_tys =
+      Array.of_list
+        (List.map (fun (c : Schema.column) -> c.ty) (Schema.columns t.schema))
+    in
+    let cols =
+      Array.mapi
+        (fun j ty ->
+           Column.of_values ty (Array.map (fun row -> row.(j)) rows))
+        col_tys
+    in
+    t.cols_v <- Some cols;
+    cols
+
+let is_columnar t = t.cols_v <> None
+
 let column t name =
   let i = Schema.index_of t.schema name in
-  Array.map (fun row -> row.(i)) t.rows
+  match t.cols_v with
+  | Some cols -> Column.to_values cols.(i)
+  | None -> Array.map (fun row -> row.(i)) (rows t)
 
-let get t i name = t.rows.(i).(Schema.index_of t.schema name)
+let get t i name =
+  let j = Schema.index_of t.schema name in
+  match t.cols_v with
+  | Some cols -> Column.get cols.(j) i
+  | None -> (rows t).(i).(j)
+
+(* ---- modeled encoded size (dictionary-aware) ----
+
+   Strings are charged once per distinct value plus 4 bytes per row of
+   dictionary code — the columnar on-disk model — rather than the old
+   per-row [len+1], which overstated low-cardinality columns by orders
+   of magnitude. Computed from whichever representation the table
+   already has, so sizing never forces a conversion. *)
+
+let encoded_of_rows schema rows =
+  let n = Array.length rows in
+  let total = ref 0 in
+  List.iteri
+    (fun j (c : Schema.column) ->
+       match c.ty with
+       | Value.Tint | Value.Tfloat -> total := !total + (8 * n)
+       | Value.Tbool -> total := !total + n
+       | Value.Tstring ->
+         let distinct : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+         let dict_bytes = ref 0 in
+         Array.iter
+           (fun row ->
+              match row.(j) with
+              | Value.Str s ->
+                if not (Hashtbl.mem distinct s) then begin
+                  Hashtbl.add distinct s ();
+                  dict_bytes := !dict_bytes + String.length s + 1
+                end
+              | _ -> ())
+           rows;
+         total := !total + (4 * n) + !dict_bytes)
+    (Schema.columns schema);
+  !total
 
 let encoded_bytes t =
   if t.encoded >= 0 then t.encoded
   else begin
     let n =
-      Array.fold_left
-        (fun acc row ->
-           Array.fold_left
-             (fun acc v -> acc + Value.encoded_size v)
-             (acc + 1) row)
-        0 t.rows
+      match t.cols_v with
+      | Some cols ->
+        Array.fold_left (fun acc c -> acc + Column.encoded_bytes c) 0 cols
+      | None -> encoded_of_rows t.schema (Option.get t.rows_v)
     in
     t.encoded <- n;
     n
@@ -123,7 +239,7 @@ let sort_rows_with cmp rows =
                chunk)
             (Pool.chunks ~jobs n)))
 
-let sorted_rows t = sort_rows_with compare_rows t.rows
+let sorted_rows t = sort_rows_with compare_rows (rows t)
 
 let equal_unordered a b =
   Schema.equal a.schema b.schema
@@ -140,53 +256,126 @@ let sep = '|'
 
 let to_csv t =
   let buf = Buffer.create (16 * (row_count t + 1)) in
-  Array.iter
-    (fun row ->
-       Array.iteri
-         (fun j v ->
-            if j > 0 then Buffer.add_char buf sep;
-            Buffer.add_string buf (Value.to_string v))
-         row;
-       Buffer.add_char buf '\n')
-    t.rows;
+  (match t.cols_v with
+   | Some cols ->
+     (* stream straight off the columns; no boxed rows materialized *)
+     let arity = Array.length cols in
+     for i = 0 to t.nrows - 1 do
+       for j = 0 to arity - 1 do
+         if j > 0 then Buffer.add_char buf sep;
+         Buffer.add_string buf (Value.to_string (Column.get cols.(j) i))
+       done;
+       Buffer.add_char buf '\n'
+     done
+   | None ->
+     Array.iter
+       (fun row ->
+          Array.iteri
+            (fun j v ->
+               if j > 0 then Buffer.add_char buf sep;
+               Buffer.add_string buf (Value.to_string v))
+            row;
+          Buffer.add_char buf '\n')
+       (rows t));
   Buffer.contents buf
 
 let of_csv schema s =
-  let types = List.map (fun (c : Schema.column) -> c.ty) (Schema.columns schema) in
-  let parse_line line =
-    let fields = String.split_on_char sep line in
-    if List.length fields <> List.length types then
-      invalid_arg (Printf.sprintf "Table.of_csv: bad line %S" line);
-    Array.of_list (List.map2 Value.parse types fields)
+  let types =
+    List.map (fun (c : Schema.column) -> c.ty) (Schema.columns schema)
   in
-  let lines =
-    String.split_on_char '\n' s |> List.filter (fun l -> l <> "")
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  if Column.enabled () then begin
+    (* parse straight into column builders: loaded relations start
+       column-backed, so the first kernel pays no conversion *)
+    let builders =
+      Array.of_list
+        (List.map (fun ty -> Column.Builder.create ~capacity:64 ty) types)
+    in
+    let tys = Array.of_list types in
+    let arity = Array.length tys in
+    List.iter
+      (fun line ->
+         let fields = String.split_on_char sep line in
+         if List.length fields <> arity then
+           invalid_arg (Printf.sprintf "Table.of_csv: bad line %S" line);
+         List.iteri
+           (fun j f -> Column.Builder.push builders.(j) (Value.parse tys.(j) f))
+           fields)
+      lines;
+    of_columns schema (Array.map Column.Builder.to_column builders)
+  end
+  else begin
+    let parse_line line =
+      let fields = String.split_on_char sep line in
+      if List.length fields <> List.length types then
+        invalid_arg (Printf.sprintf "Table.of_csv: bad line %S" line);
+      Array.of_list (List.map2 Value.parse types fields)
+    in
+    of_rows schema (Array.of_list (List.map parse_line lines))
+  end
+
+(* ---- sorting ---- *)
+
+(* Columnar sort: stable-sort a permutation of row indexes with typed
+   per-column comparators ({!Column.compare_at} matches Value.compare's
+   same-type semantics exactly), then gather every column through the
+   permutation. Ties keep ascending index order — the original row
+   order — so the result is byte-identical to the row engine's stable
+   sort, while never touching a boxed value. *)
+let columnar_sort_by ~descending t names =
+  let cols = columns t in
+  let key_cols =
+    List.map (fun n -> cols.(Schema.index_of t.schema n)) names
   in
-  { schema; rows = Array.of_list (List.map parse_line lines); encoded = -1 }
-
-(* the byte cache survives sorting: encoding is permutation-invariant *)
-let sort_with t cmp = { t with rows = sort_rows_with cmp t.rows }
-
-let sort_by ?(descending = false) t names =
-  let idxs = List.map (Schema.index_of t.schema) names in
-  let cmp a b =
+  let cmp_keys i j =
     let rec go = function
       | [] -> 0
-      | i :: rest -> (
-        match Value.compare a.(i) b.(i) with
+      | c :: rest -> (
+        match Column.compare_at c i j with
         | 0 -> go rest
-        | c -> c)
+        | r -> r)
     in
-    go idxs
+    go key_cols
   in
-  let cmp = if descending then fun a b -> cmp b a else cmp in
-  sort_with t cmp
+  let cmp = if descending then fun i j -> cmp_keys j i else cmp_keys in
+  let idx = Array.init t.nrows (fun i -> i) in
+  Array.stable_sort cmp idx;
+  of_columns t.schema (Array.map (fun c -> Column.gather c idx) cols)
+
+(* the byte cache survives sorting: encoding is permutation-invariant *)
+let sort_with t cmp =
+  let sorted = of_rows t.schema (sort_rows_with cmp (rows t)) in
+  sorted.encoded <- t.encoded;
+  sorted
+
+let sort_by ?(descending = false) t names =
+  if Column.enabled () then begin
+    let sorted = columnar_sort_by ~descending t names in
+    sorted.encoded <- t.encoded;
+    sorted
+  end
+  else begin
+    let idxs = List.map (Schema.index_of t.schema) names in
+    let cmp a b =
+      let rec go = function
+        | [] -> 0
+        | i :: rest -> (
+          match Value.compare a.(i) b.(i) with
+          | 0 -> go rest
+          | c -> c)
+      in
+      go idxs
+    in
+    let cmp = if descending then fun a b -> cmp b a else cmp in
+    sort_with t cmp
+  end
 
 let pp_rows ppf t limit =
   Format.fprintf ppf "%a@." Schema.pp t.schema;
   let n = min limit (row_count t) in
+  let rs = rows t in
   for i = 0 to n - 1 do
-    let row = t.rows.(i) in
+    let row = rs.(i) in
     Array.iteri
       (fun j v ->
          if j > 0 then Format.fprintf ppf " | ";

@@ -1,8 +1,15 @@
-(** In-memory relations: a schema plus an array of rows.
+(** In-memory relations: a schema plus row data.
 
     Tables are immutable; kernels in {!Kernel} return fresh tables.
     Every engine simulator executes operators against these tables, so
-    the answers Musketeer returns are real — only the clock is modeled. *)
+    the answers Musketeer returns are real — only the clock is modeled.
+
+    Physically a table is either row-backed (boxed [Value.t] rows, the
+    seed layout) or column-backed (typed unboxed {!Column.t}s); each
+    view materializes lazily from the other and is memoized, so both
+    APIs are always available. The vectorized kernels ({!Columnar})
+    produce and consume column-backed tables; everything else is
+    oblivious. *)
 
 type t
 
@@ -17,9 +24,25 @@ val create_unchecked : Schema.t -> Value.t array array -> t
 
 val empty : Schema.t -> t
 
+(** [of_columns schema cols] builds a column-backed table, one column
+    per schema column in order. Raises [Invalid_argument] on an arity,
+    length or type mismatch, or if any column has null slots (tables
+    are non-nullable). *)
+val of_columns : Schema.t -> Column.t array -> t
+
 val schema : t -> Schema.t
 
+(** Row view; materialized from the columns (and memoized) when the
+    table is column-backed. *)
 val rows : t -> Value.t array array
+
+(** Columnar view; materialized from the rows (and memoized) when the
+    table is row-backed. *)
+val columns : t -> Column.t array
+
+(** Whether the columnar view is already materialized — i.e. reading
+    {!columns} is free. *)
+val is_columnar : t -> bool
 
 val row_count : t -> int
 
@@ -31,8 +54,11 @@ val column : t -> string -> Value.t array
 (** [get t i name] is the cell at row [i], column [name]. *)
 val get : t -> int -> string -> Value.t
 
-(** Actual encoded size of the stored rows, in bytes — the basis for the
-    simulated-HDFS modeled sizes. *)
+(** Actual encoded size of the stored data, in bytes — the basis for
+    the simulated-HDFS modeled sizes. Dictionary-aware: string columns
+    are charged 4 bytes of code per row plus each distinct value once
+    (len+1), matching the columnar layout, instead of the pre-columnar
+    per-row string sizing that overstated low-cardinality columns. *)
 val encoded_bytes : t -> int
 
 val encoded_mb : t -> float

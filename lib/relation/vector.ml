@@ -1,0 +1,427 @@
+type vec =
+  | VInt of int array
+  | VFloat of float array
+  | VBool of bool array
+  | VStr of string array
+  | VConst of Value.t
+
+type sel =
+  | Dense of int * int
+  | Sparse of int array
+
+let sel_length = function
+  | Dense (_, len) -> len
+  | Sparse idx -> Array.length idx
+
+(* ---- vectorizability ----
+
+   Mirrors [Expr.infer]'s typing rules, but refuses (instead of
+   promoting) the cases where column-at-a-time evaluation could diverge
+   from the row engine: mixed-type [If] branches, and int division or
+   modulo in a position the row engine evaluates conditionally (the
+   right operand of [And]/[Or], either branch of [If]) — a vectorized
+   loop would evaluate the raising row the short-circuit skips. *)
+
+exception Fallback
+
+let rec scan schema ~guarded (e : Expr.t) : Value.ty =
+  match e with
+  | Expr.Col c -> (
+    try Schema.column_type schema c with Not_found -> raise Fallback)
+  | Expr.Const v -> Value.type_of v
+  | Expr.Binop (op, a, b) -> (
+    let ta = scan schema ~guarded a and tb = scan schema ~guarded b in
+    match ta, tb with
+    | Value.Tstring, Value.Tstring when op = Expr.Add -> Value.Tstring
+    | (Value.Tint | Value.Tfloat), (Value.Tint | Value.Tfloat) ->
+      let ty =
+        if ta = Value.Tfloat || tb = Value.Tfloat then Value.Tfloat
+        else Value.Tint
+      in
+      (match op with
+       | (Expr.Div | Expr.Mod) when ty = Value.Tint && guarded ->
+         raise Fallback
+       | _ -> ());
+      ty
+    | _ -> raise Fallback)
+  | Expr.Cmp (_, a, b) ->
+    let ta = scan schema ~guarded a and tb = scan schema ~guarded b in
+    let comparable =
+      match ta, tb with
+      | (Value.Tint | Value.Tfloat), (Value.Tint | Value.Tfloat) -> true
+      | x, y -> x = y
+    in
+    if not comparable then raise Fallback;
+    Value.Tbool
+  | Expr.And (a, b) | Expr.Or (a, b) ->
+    if scan schema ~guarded a <> Value.Tbool then raise Fallback;
+    if scan schema ~guarded:true b <> Value.Tbool then raise Fallback;
+    Value.Tbool
+  | Expr.Not a ->
+    if scan schema ~guarded a <> Value.Tbool then raise Fallback;
+    Value.Tbool
+  | Expr.If (c, a, b) ->
+    if scan schema ~guarded c <> Value.Tbool then raise Fallback;
+    let ta = scan schema ~guarded:true a
+    and tb = scan schema ~guarded:true b in
+    if ta <> tb then raise Fallback;
+    ta
+
+let vectorizable schema e =
+  match scan schema ~guarded:false e with
+  | (_ : Value.ty) -> true
+  | exception Fallback -> false
+
+(* ---- typed operand views ---- *)
+
+type iv = Ia of int array | Ic of int
+type fv = Fa of float array | Fc of float
+type bv = Ba of bool array | Bc of bool
+type sv = Sa of string array | Sc of string
+
+let as_iv = function
+  | VInt a -> Ia a
+  | VConst (Value.Int x) -> Ic x
+  | _ -> invalid_arg "Vector: expected int operand"
+
+(* numeric promotion, exactly [Value.to_float] on the types that reach
+   arithmetic post-typecheck *)
+let as_fv = function
+  | VFloat a -> Fa a
+  | VConst (Value.Float x) -> Fc x
+  | VInt a -> Fa (Array.map float_of_int a)
+  | VConst (Value.Int x) -> Fc (float_of_int x)
+  | _ -> invalid_arg "Vector: expected numeric operand"
+
+let as_bv = function
+  | VBool a -> Ba a
+  | VConst (Value.Bool x) -> Bc x
+  | _ -> invalid_arg "Vector: expected bool operand"
+
+let as_sv = function
+  | VStr a -> Sa a
+  | VConst (Value.Str x) -> Sc x
+  | _ -> invalid_arg "Vector: expected string operand"
+
+let is_float = function
+  | VFloat _ | VConst (Value.Float _) -> true
+  | _ -> false
+
+let is_string = function
+  | VStr _ | VConst (Value.Str _) -> true
+  | _ -> false
+
+(* ---- arithmetic ---- *)
+
+let int_op : Expr.binop -> int -> int -> int = function
+  | Expr.Add -> ( + )
+  | Expr.Sub -> ( - )
+  | Expr.Mul -> ( * )
+  | Expr.Div -> ( / )
+  | Expr.Mod -> ( mod )
+
+(* float division by zero yields 0. and Mod is Float.rem, as in
+   [Expr.eval_binop] *)
+let float_op : Expr.binop -> float -> float -> float = function
+  | Expr.Add -> ( +. )
+  | Expr.Sub -> ( -. )
+  | Expr.Mul -> ( *. )
+  | Expr.Div -> fun a b -> if b = 0. then 0. else a /. b
+  | Expr.Mod -> Float.rem
+
+(* the hot shapes (array ⊕ const, array ⊕ array) get one specialized
+   loop per operator so the per-element work is a primitive, not a
+   closure chain — this is where the vectorized win comes from *)
+let int_binop ~len op a b =
+  match a, b with
+  | Ic x, Ic y -> VConst (Value.Int (int_op op x y))
+  | Ia xs, Ic y ->
+    VInt
+      (match op with
+       | Expr.Add -> Array.map (fun x -> x + y) xs
+       | Expr.Sub -> Array.map (fun x -> x - y) xs
+       | Expr.Mul -> Array.map (fun x -> x * y) xs
+       | Expr.Div -> Array.map (fun x -> x / y) xs
+       | Expr.Mod -> Array.map (fun x -> x mod y) xs)
+  | Ic x, Ia ys ->
+    VInt
+      (match op with
+       | Expr.Add -> Array.map (fun y -> x + y) ys
+       | Expr.Sub -> Array.map (fun y -> x - y) ys
+       | Expr.Mul -> Array.map (fun y -> x * y) ys
+       | Expr.Div -> Array.map (fun y -> x / y) ys
+       | Expr.Mod -> Array.map (fun y -> x mod y) ys)
+  | Ia xs, Ia ys ->
+    VInt
+      (match op with
+       | Expr.Add -> Array.init len (fun i -> xs.(i) + ys.(i))
+       | Expr.Sub -> Array.init len (fun i -> xs.(i) - ys.(i))
+       | Expr.Mul -> Array.init len (fun i -> xs.(i) * ys.(i))
+       | Expr.Div -> Array.init len (fun i -> xs.(i) / ys.(i))
+       | Expr.Mod -> Array.init len (fun i -> xs.(i) mod ys.(i)))
+
+let float_binop ~len op a b =
+  match a, b with
+  | Fc x, Fc y -> VConst (Value.Float (float_op op x y))
+  | Fa xs, Fc y ->
+    VFloat
+      (match op with
+       | Expr.Add -> Array.map (fun x -> x +. y) xs
+       | Expr.Sub -> Array.map (fun x -> x -. y) xs
+       | Expr.Mul -> Array.map (fun x -> x *. y) xs
+       | Expr.Div ->
+         if y = 0. then Array.map (fun _ -> 0.) xs
+         else Array.map (fun x -> x /. y) xs
+       | Expr.Mod -> Array.map (fun x -> Float.rem x y) xs)
+  | Fc x, Fa ys ->
+    VFloat
+      (match op with
+       | Expr.Add -> Array.map (fun y -> x +. y) ys
+       | Expr.Sub -> Array.map (fun y -> x -. y) ys
+       | Expr.Mul -> Array.map (fun y -> x *. y) ys
+       | Expr.Div -> Array.map (fun y -> if y = 0. then 0. else x /. y) ys
+       | Expr.Mod -> Array.map (fun y -> Float.rem x y) ys)
+  | Fa xs, Fa ys ->
+    VFloat
+      (match op with
+       | Expr.Add -> Array.init len (fun i -> xs.(i) +. ys.(i))
+       | Expr.Sub -> Array.init len (fun i -> xs.(i) -. ys.(i))
+       | Expr.Mul -> Array.init len (fun i -> xs.(i) *. ys.(i))
+       | Expr.Div ->
+         Array.init len (fun i ->
+             let y = ys.(i) in
+             if y = 0. then 0. else xs.(i) /. y)
+       | Expr.Mod -> Array.init len (fun i -> Float.rem xs.(i) ys.(i)))
+
+let str_concat ~len a b =
+  match a, b with
+  | Sc x, Sc y -> VConst (Value.Str (x ^ y))
+  | Sa xs, Sc y -> VStr (Array.map (fun x -> x ^ y) xs)
+  | Sc x, Sa ys -> VStr (Array.map (fun y -> x ^ y) ys)
+  | Sa xs, Sa ys -> VStr (Array.init len (fun i -> xs.(i) ^ ys.(i)))
+
+(* ---- comparisons (Value.compare semantics per type) ---- *)
+
+let cmp_test : Expr.cmpop -> int -> bool = function
+  | Expr.Eq -> fun c -> c = 0
+  | Expr.Neq -> fun c -> c <> 0
+  | Expr.Lt -> fun c -> c < 0
+  | Expr.Le -> fun c -> c <= 0
+  | Expr.Gt -> fun c -> c > 0
+  | Expr.Ge -> fun c -> c >= 0
+
+(* [x < y] etc. on values statically typed [int] compile to primitive
+   integer comparisons, with exactly [Int.compare] semantics *)
+let int_cmp ~len op a b =
+  match a, b with
+  | Ic x, Ic y -> VConst (Value.Bool (cmp_test op (Int.compare x y)))
+  | Ia xs, Ic y ->
+    VBool
+      (match op with
+       | Expr.Eq -> Array.map (fun (x : int) -> x = y) xs
+       | Expr.Neq -> Array.map (fun (x : int) -> x <> y) xs
+       | Expr.Lt -> Array.map (fun (x : int) -> x < y) xs
+       | Expr.Le -> Array.map (fun (x : int) -> x <= y) xs
+       | Expr.Gt -> Array.map (fun (x : int) -> x > y) xs
+       | Expr.Ge -> Array.map (fun (x : int) -> x >= y) xs)
+  | Ic x, Ia ys ->
+    VBool
+      (match op with
+       | Expr.Eq -> Array.map (fun (y : int) -> x = y) ys
+       | Expr.Neq -> Array.map (fun (y : int) -> x <> y) ys
+       | Expr.Lt -> Array.map (fun (y : int) -> x < y) ys
+       | Expr.Le -> Array.map (fun (y : int) -> x <= y) ys
+       | Expr.Gt -> Array.map (fun (y : int) -> x > y) ys
+       | Expr.Ge -> Array.map (fun (y : int) -> x >= y) ys)
+  | Ia xs, Ia ys ->
+    VBool
+      (match op with
+       | Expr.Eq -> Array.init len (fun i -> xs.(i) = ys.(i))
+       | Expr.Neq -> Array.init len (fun i -> xs.(i) <> ys.(i))
+       | Expr.Lt -> Array.init len (fun i -> xs.(i) < ys.(i))
+       | Expr.Le -> Array.init len (fun i -> xs.(i) <= ys.(i))
+       | Expr.Gt -> Array.init len (fun i -> xs.(i) > ys.(i))
+       | Expr.Ge -> Array.init len (fun i -> xs.(i) >= ys.(i)))
+
+(* Float.compare, not IEEE <: NaN equals itself and sorts
+   deterministically, exactly as in [Value.compare] *)
+let float_cmp ~len op a b =
+  match a, b with
+  | Fc x, Fc y -> VConst (Value.Bool (cmp_test op (Float.compare x y)))
+  | Fa xs, Fc y ->
+    VBool
+      (match op with
+       | Expr.Eq -> Array.map (fun x -> Float.compare x y = 0) xs
+       | Expr.Neq -> Array.map (fun x -> Float.compare x y <> 0) xs
+       | Expr.Lt -> Array.map (fun x -> Float.compare x y < 0) xs
+       | Expr.Le -> Array.map (fun x -> Float.compare x y <= 0) xs
+       | Expr.Gt -> Array.map (fun x -> Float.compare x y > 0) xs
+       | Expr.Ge -> Array.map (fun x -> Float.compare x y >= 0) xs)
+  | Fc x, Fa ys ->
+    VBool
+      (match op with
+       | Expr.Eq -> Array.map (fun y -> Float.compare x y = 0) ys
+       | Expr.Neq -> Array.map (fun y -> Float.compare x y <> 0) ys
+       | Expr.Lt -> Array.map (fun y -> Float.compare x y < 0) ys
+       | Expr.Le -> Array.map (fun y -> Float.compare x y <= 0) ys
+       | Expr.Gt -> Array.map (fun y -> Float.compare x y > 0) ys
+       | Expr.Ge -> Array.map (fun y -> Float.compare x y >= 0) ys)
+  | Fa xs, Fa ys ->
+    VBool
+      (match op with
+       | Expr.Eq -> Array.init len (fun i -> Float.compare xs.(i) ys.(i) = 0)
+       | Expr.Neq ->
+         Array.init len (fun i -> Float.compare xs.(i) ys.(i) <> 0)
+       | Expr.Lt -> Array.init len (fun i -> Float.compare xs.(i) ys.(i) < 0)
+       | Expr.Le -> Array.init len (fun i -> Float.compare xs.(i) ys.(i) <= 0)
+       | Expr.Gt -> Array.init len (fun i -> Float.compare xs.(i) ys.(i) > 0)
+       | Expr.Ge -> Array.init len (fun i -> Float.compare xs.(i) ys.(i) >= 0))
+
+let str_cmp ~len op a b =
+  let t = cmp_test op in
+  let f x y = t (String.compare x y) in
+  match a, b with
+  | Sc x, Sc y -> VConst (Value.Bool (f x y))
+  | Sa xs, Sc y -> VBool (Array.map (fun x -> f x y) xs)
+  | Sc x, Sa ys -> VBool (Array.map (fun y -> f x y) ys)
+  | Sa xs, Sa ys -> VBool (Array.init len (fun i -> f xs.(i) ys.(i)))
+
+let bool_cmp ~len op a b =
+  let t = cmp_test op in
+  let f x y = t (Bool.compare x y) in
+  match a, b with
+  | Bc x, Bc y -> VConst (Value.Bool (f x y))
+  | Ba xs, Bc y -> VBool (Array.map (fun x -> f x y) xs)
+  | Bc x, Ba ys -> VBool (Array.map (fun y -> f x y) ys)
+  | Ba xs, Ba ys -> VBool (Array.init len (fun i -> f xs.(i) ys.(i)))
+
+(* ---- booleans ---- *)
+
+let bool_binop ~len f a b =
+  match a, b with
+  | Bc x, Bc y -> VConst (Value.Bool (f x y))
+  | Ba xs, Bc y -> VBool (Array.map (fun x -> f x y) xs)
+  | Bc x, Ba ys -> VBool (Array.map (fun y -> f x y) ys)
+  | Ba xs, Ba ys -> VBool (Array.init len (fun i -> f xs.(i) ys.(i)))
+
+(* ---- column reads through the selection ---- *)
+
+let read_ints a sel =
+  match sel with
+  | Dense (0, len) when len = Array.length a -> a
+  | Dense (start, len) -> Array.sub a start len
+  | Sparse idx -> Array.map (fun i -> a.(i)) idx
+
+let read_floats a sel =
+  match sel with
+  | Dense (0, len) when len = Array.length a -> a
+  | Dense (start, len) -> Array.sub a start len
+  | Sparse idx -> Array.map (fun i -> a.(i)) idx
+
+let read_bools a sel =
+  match sel with
+  | Dense (0, len) when len = Array.length a -> a
+  | Dense (start, len) -> Array.sub a start len
+  | Sparse idx -> Array.map (fun i -> a.(i)) idx
+
+let read_column (col : Column.t) sel =
+  match col.Column.data with
+  | Column.Ints a -> VInt (read_ints a sel)
+  | Column.Floats a -> VFloat (read_floats a sel)
+  | Column.Bools a -> VBool (read_bools a sel)
+  | Column.Dict { codes; dict } -> (
+    match sel with
+    | Dense (start, len) ->
+      VStr (Array.init len (fun k -> dict.(codes.(start + k))))
+    | Sparse idx -> VStr (Array.map (fun i -> dict.(codes.(i))) idx))
+
+(* ---- evaluation ---- *)
+
+let eval schema cols ~sel e =
+  let len = sel_length sel in
+  let rec go : Expr.t -> vec = function
+    | Expr.Col c ->
+      let i =
+        try Schema.index_of schema c
+        with Not_found ->
+          raise
+            (Expr.Type_error (Printf.sprintf "unknown column %S" c))
+      in
+      read_column cols.(i) sel
+    | Expr.Const v -> VConst v
+    | Expr.Binop (op, a, b) ->
+      let va = go a and vb = go b in
+      if is_string va || is_string vb then
+        str_concat ~len (as_sv va) (as_sv vb)
+      else if is_float va || is_float vb then
+        float_binop ~len op (as_fv va) (as_fv vb)
+      else int_binop ~len op (as_iv va) (as_iv vb)
+    | Expr.Cmp (op, a, b) -> (
+      let va = go a and vb = go b in
+      if is_string va || is_string vb then
+        str_cmp ~len op (as_sv va) (as_sv vb)
+      else
+        match va, vb with
+        | (VBool _ | VConst (Value.Bool _)), _ ->
+          bool_cmp ~len op (as_bv va) (as_bv vb)
+        | _ when is_float va || is_float vb ->
+          float_cmp ~len op (as_fv va) (as_fv vb)
+        | _ -> int_cmp ~len op (as_iv va) (as_iv vb))
+    | Expr.And (a, b) ->
+      bool_binop ~len ( && ) (as_bv (go a)) (as_bv (go b))
+    | Expr.Or (a, b) ->
+      bool_binop ~len ( || ) (as_bv (go a)) (as_bv (go b))
+    | Expr.Not a -> (
+      match as_bv (go a) with
+      | Bc x -> VConst (Value.Bool (not x))
+      | Ba xs -> VBool (Array.map not xs))
+    | Expr.If (c, a, b) -> (
+      match as_bv (go c) with
+      | Bc true -> go a
+      | Bc false -> go b
+      | Ba cond -> (
+        let va = go a and vb = go b in
+        if is_string va || is_string vb then begin
+          let x = as_sv va and y = as_sv vb in
+          let at v i = match v with Sa a -> a.(i) | Sc s -> s in
+          VStr (Array.init len (fun i -> if cond.(i) then at x i else at y i))
+        end
+        else if is_float va || is_float vb then begin
+          let x = as_fv va and y = as_fv vb in
+          let at v i = match v with Fa a -> a.(i) | Fc s -> s in
+          VFloat
+            (Array.init len (fun i -> if cond.(i) then at x i else at y i))
+        end
+        else
+          match va, vb with
+          | (VBool _ | VConst (Value.Bool _)), _ ->
+            let x = as_bv va and y = as_bv vb in
+            let at v i = match v with Ba a -> a.(i) | Bc s -> s in
+            VBool
+              (Array.init len (fun i -> if cond.(i) then at x i else at y i))
+          | _ ->
+            let x = as_iv va and y = as_iv vb in
+            let at v i = match v with Ia a -> a.(i) | Ic s -> s in
+            VInt
+              (Array.init len (fun i -> if cond.(i) then at x i else at y i))))
+  in
+  go e
+
+(* ---- materialization ---- *)
+
+let to_column ~length = function
+  | VInt a -> Column.make (Column.Ints a)
+  | VFloat a -> Column.make (Column.Floats a)
+  | VBool a -> Column.make (Column.Bools a)
+  | VStr a -> Column.of_strings a
+  | VConst (Value.Int x) -> Column.make (Column.Ints (Array.make length x))
+  | VConst (Value.Float x) ->
+    Column.make (Column.Floats (Array.make length x))
+  | VConst (Value.Bool x) ->
+    Column.make (Column.Bools (Array.make length x))
+  | VConst (Value.Str s) -> Column.of_strings (Array.make length s)
+
+let to_mask ~length = function
+  | VBool a -> a
+  | VConst (Value.Bool b) -> Array.make length b
+  | _ -> invalid_arg "Vector.to_mask: not a boolean vector"

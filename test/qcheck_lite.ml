@@ -306,3 +306,111 @@ let straggler_plan_arbitrary =
       Printf.sprintf "%s (seed %d)" (Engines.Faults.plan_to_string p)
         p.Engines.Faults.seed)
     gen_straggler_plan
+
+(* ---- table-shape fuzzer (columnar differential suite) ----
+
+   Shapes, not tables: a shape records row count, a cell seed, a null
+   density and per-column (type, cardinality) pairs, and
+   [table_of_shape] rebuilds the same table deterministically — so
+   shrinking and counterexample printing stay cheap. Column 0 is always
+   [k : int] (the join / group key); up to 12 extra columns cover every
+   value type. Cardinalities are drawn from {1, 10, 10_000}: 1 forces
+   all-equal dictionary keys, 10 forces heavy dictionary sharing, 10k
+   approaches all-distinct. Row counts are biased toward the kernels'
+   edge cases (empty, single row) and include tables past the 512-row
+   parallel threshold so jobs=2/4 actually chunk. Float cells include
+   NaN, +/-inf and -0. so byte-identity covers the non-total orders. *)
+
+type table_shape = {
+  sh_rows : int;
+  sh_extra : (Relation.Value.ty * int) list;  (* extra columns: type, cardinality *)
+  sh_null : float;    (* null density for the Column round-trip property *)
+  sh_seed : int;      (* cell RNG seed *)
+}
+
+let shape_columns sh =
+  ("k", Relation.Value.Tint, 16)
+  :: List.mapi
+       (fun i (ty, card) -> (Printf.sprintf "c%d" i, ty, card))
+       sh.sh_extra
+
+let table_of_shape sh =
+  let open Relation in
+  let rng = Rng.create sh.sh_seed in
+  let cols = shape_columns sh in
+  let schema =
+    Schema.make (List.map (fun (name, ty, _) -> { Schema.name; ty }) cols)
+  in
+  let cell ty card =
+    match (ty : Value.ty) with
+    | Value.Tint -> Value.Int (Rng.int rng (2 * card) - card) (* mixed sign *)
+    | Value.Tfloat -> (
+      match Rng.int rng 16 with
+      | 0 -> Value.Float Float.nan
+      | 1 -> Value.Float Float.infinity
+      | 2 -> Value.Float Float.neg_infinity
+      | 3 -> Value.Float (-0.)
+      | _ -> Value.Float (float_of_int (Rng.int rng card - (card / 2)) /. 8.))
+    | Value.Tbool -> Value.Bool (Rng.bool rng)
+    | Value.Tstring -> Value.Str (Printf.sprintf "s%d" (Rng.int rng card))
+  in
+  let rows =
+    Array.init sh.sh_rows (fun _ ->
+        Array.of_list (List.map (fun (_, ty, card) -> cell ty card) cols))
+  in
+  Table.create_unchecked schema rows
+
+let ty_to_string = function
+  | Relation.Value.Tint -> "int"
+  | Relation.Value.Tfloat -> "float"
+  | Relation.Value.Tbool -> "bool"
+  | Relation.Value.Tstring -> "str"
+
+let shape_to_string sh =
+  Printf.sprintf "{rows=%d; null=%.1f; seed=%d; cols=[%s]}" sh.sh_rows
+    sh.sh_null sh.sh_seed
+    (String.concat "; "
+       (List.map
+          (fun (ty, card) -> Printf.sprintf "%s/%d" (ty_to_string ty) card)
+          sh.sh_extra))
+
+let gen_shape rng =
+  let n =
+    match Rng.int rng 5 with
+    | 0 -> 0
+    | 1 -> 1
+    | 2 -> 2 + Rng.int rng 60
+    | 3 -> 100 + Rng.int rng 300
+    | _ -> 600 + Rng.int rng 1000 (* past par_threshold: chunked at jobs>1 *)
+  in
+  let extra =
+    List.init (Rng.int rng 12) (fun _ ->
+        let ty =
+          Rng.pick rng
+            [ Relation.Value.Tint; Relation.Value.Tfloat;
+              Relation.Value.Tbool; Relation.Value.Tstring ]
+        in
+        (ty, Rng.pick rng [ 1; 10; 10_000 ]))
+  in
+  { sh_rows = n;
+    sh_extra = extra;
+    sh_null = Rng.pick rng [ 0.; 0.5; 1. ];
+    sh_seed = Rng.int rng 1_000_000 }
+
+let shrink_shape sh =
+  (if sh.sh_rows > 0 then
+     [ { sh with sh_rows = 0 }; { sh with sh_rows = sh.sh_rows / 2 } ]
+   else [])
+  @ List.map (fun sh_extra -> { sh with sh_extra }) (halves sh.sh_extra)
+
+let shape_arbitrary =
+  make ~shrink:shrink_shape ~print:shape_to_string gen_shape
+
+(* independent left/right shapes for join properties; both have [k] *)
+let shape_pair_arbitrary =
+  make
+    ~shrink:(fun (a, b) ->
+      List.map (fun a -> (a, b)) (shrink_shape a)
+      @ List.map (fun b -> (a, b)) (shrink_shape b))
+    ~print:(fun (a, b) -> shape_to_string a ^ " / " ^ shape_to_string b)
+    (fun rng -> (gen_shape rng, gen_shape rng))
