@@ -4,6 +4,8 @@
      plan      plan a workflow from the built-in zoo and show the mapping
      run       plan + execute, printing per-job reports and result samples
      run-file  run a user workflow file against user CSV relations
+     serve     persistent multi-tenant serving: plan cache, weighted
+               fair admission, cross-workflow shared scans
      stats     run a workflow (repeatedly) and dump the metrics registry
      parse     parse a front-end source file and print its IR DAG
      calibrate print the calibrated rate parameters (paper Table 1)
@@ -709,6 +711,221 @@ let calibrate_cmd =
        ~doc:"Print the calibrated rate parameters (paper Table 1).")
     Term.(const run $ nodes_arg)
 
+(* ---- serve: persistent multi-tenant serving ---- *)
+
+(* "name[:weight],..." — shared syntax of --mix and --tenants *)
+let parse_weighted ~what spec =
+  List.map
+    (fun item ->
+       match String.split_on_char ':' (String.trim item) with
+       | [ name ] when name <> "" -> (name, 1.)
+       | [ name; w ] when name <> "" -> (
+         match float_of_string_opt w with
+         | Some w when w > 0. -> (name, w)
+         | _ ->
+           Format.eprintf "bad %s weight in %S (want name:positive)@." what
+             item;
+           exit 1)
+       | _ ->
+         Format.eprintf "bad %s entry %S (want name[:weight])@." what item;
+         exit 1)
+    (String.split_on_char ',' spec)
+
+let mix_arg =
+  Arg.(
+    value & opt string "join,project"
+    & info [ "mix" ] ~docv:"W[:WEIGHT],..."
+        ~doc:
+          (Printf.sprintf
+             "Workflow mix served: comma-separated zoo names, each with \
+              an optional :WEIGHT traffic share (default 1). Available: \
+              %s."
+             (String.concat ", " (List.map fst zoo))))
+
+let tenants_arg =
+  Arg.(
+    value & opt string "gold:3,bronze:1"
+    & info [ "tenants" ] ~docv:"NAME[:WEIGHT],..."
+        ~doc:
+          "Tenants submitting the load, each with an optional :WEIGHT. \
+           The weight is both the tenant's traffic share in the \
+           generated load and its fair-queueing weight at admission.")
+
+let rate_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "rate" ] ~docv:"R"
+        ~doc:"Mean arrivals per virtual second (open-loop Poisson).")
+
+let count_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "count" ] ~docv:"N" ~doc:"Number of submissions to serve.")
+
+let concurrency_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "concurrency" ] ~docv:"K"
+        ~doc:"Admission slots: workflows in flight at once.")
+
+let cache_capacity_arg =
+  Arg.(
+    value & opt int 128
+    & info [ "cache-capacity" ] ~docv:"N"
+        ~doc:"Plan-cache entries before LRU eviction.")
+
+let check_identity_arg =
+  Arg.(
+    value & flag
+    & info [ "check-identity" ]
+        ~doc:
+          "After serving, re-run each distinct workflow one-shot \
+           against a snapshot of the initial HDFS and exit non-zero \
+           unless every served submission produced byte-identical \
+           outputs — the CI smoke gate for the serving layer.")
+
+let serve_cmd =
+  let run mix_spec tenants_spec rate count seed nodes concurrency
+      cache_capacity check_identity trace jobs no_fusion breaker ledger
+      no_calibrate =
+    Relation.Pool.set_jobs jobs;
+    set_fusion no_fusion;
+    set_breaker breaker;
+    ignore (setup_calibration ledger no_calibrate);
+    let tenants = parse_weighted ~what:"tenant" tenants_spec in
+    let hdfs = Engines.Hdfs.create () in
+    (* merge every mix workflow's loader HDFS into one shared instance;
+       duplicate relation names are fine — the zoo loaders are
+       deterministic, so overwrites are byte-identical *)
+    let mix =
+      List.map
+        (fun (name, weight) ->
+           match List.assoc_opt name zoo with
+           | None ->
+             Format.eprintf "unknown workflow %S in --mix (known: %s)@."
+               name
+               (String.concat ", " (List.map fst zoo));
+             exit 1
+           | Some kind ->
+             let wf_hdfs, graph = load_workflow kind in
+             List.iter
+               (fun rel ->
+                  let e = Engines.Hdfs.get wf_hdfs rel in
+                  Engines.Hdfs.put hdfs rel
+                    ~modeled_mb:e.Engines.Hdfs.modeled_mb
+                    e.Engines.Hdfs.table)
+               (Engines.Hdfs.list wf_hdfs);
+             { Serve.Client.workflow = name; graph; weight })
+        (parse_weighted ~what:"mix" mix_spec)
+    in
+    (* pre-serve snapshot: the one-shot identity baseline runs on this *)
+    let base = Engines.Hdfs.snapshot hdfs in
+    let submissions =
+      Serve.Client.generate ~seed ~rate_per_s:rate ~count ~tenants ~mix ()
+    in
+    let config =
+      { Serve.Service.concurrency; cache_capacity; weights = tenants;
+        ledger }
+    in
+    with_trace trace @@ fun () ->
+    let cluster = Engines.Cluster.ec2 ~nodes in
+    let m = Experiments.Common.musketeer_for cluster in
+    let outcomes, svc = Serve.Service.run ~config m ~hdfs submissions in
+    List.iter
+      (fun (o : Serve.Service.outcome) ->
+         match o.error with
+         | Some e ->
+           Format.eprintf "submission %s/%s @ %.2fs failed: %s@."
+             o.sub.Serve.Service.tenant o.sub.Serve.Service.workflow
+             o.sub.Serve.Service.arrival_s e
+         | None -> ())
+      outcomes;
+    Serve.Service.pp_summary Format.std_formatter
+      (Serve.Service.summarize svc outcomes);
+    if check_identity then begin
+      (* reference outputs: one-shot run per distinct workflow on a
+         fresh snapshot of the pre-serve HDFS, fresh manager (empty
+         history), no cache, no sharing — the plain [run] path *)
+      let sorted_csv outputs =
+        List.sort compare
+          (List.map
+             (fun (name, table) -> (name, Relation.Table.to_csv table))
+             outputs)
+      in
+      let reference = Hashtbl.create 8 in
+      List.iter
+        (fun (e : Serve.Client.mix_entry) ->
+           if not (Hashtbl.mem reference e.workflow) then begin
+             let h = Engines.Hdfs.snapshot base in
+             let m' = Experiments.Common.musketeer_for cluster in
+             match
+               Musketeer.plan m' ~workflow:e.workflow ~hdfs:h e.graph
+             with
+             | None ->
+               Format.eprintf "identity baseline: no plan for %s@."
+                 e.workflow;
+               exit 1
+             | Some (plan, g') -> (
+               match
+                 Musketeer.execute_plan ~record_history:false m'
+                   ~workflow:e.workflow ~hdfs:h ~graph:g' plan
+               with
+               | Error err ->
+                 Format.eprintf "identity baseline %s failed: %s@."
+                   e.workflow
+                   (Engines.Report.error_to_string err);
+                 exit 1
+               | Ok result ->
+                 Hashtbl.add reference e.workflow
+                   (sorted_csv result.Musketeer.Executor.outputs))
+           end)
+        mix;
+      let mismatches = ref 0 in
+      List.iter
+        (fun (o : Serve.Service.outcome) ->
+           match o.error with
+           | Some _ -> incr mismatches
+           | None ->
+             let got = sorted_csv o.outputs in
+             let want = Hashtbl.find reference o.sub.Serve.Service.workflow in
+             if got <> want then begin
+               incr mismatches;
+               Format.eprintf
+                 "identity MISMATCH: %s/%s @ %.2fs differs from its \
+                  one-shot run@."
+                 o.sub.Serve.Service.tenant o.sub.Serve.Service.workflow
+                 o.sub.Serve.Service.arrival_s
+             end)
+        outcomes;
+      if !mismatches > 0 then begin
+        Format.eprintf
+          "@.identity check FAILED: %d of %d served submissions@."
+          !mismatches (List.length outcomes);
+        exit 1
+      end
+      else
+        Format.printf
+          "@.identity ok: %d served submissions byte-identical to \
+           one-shot runs@."
+          (List.length outcomes)
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent serving layer against a synthetic \
+          multi-tenant load: plan cache, weighted fair admission and \
+          cross-workflow shared scans amortize work across \
+          submissions. Prints throughput, latency percentiles, cache \
+          hit rate and per-tenant queue delays; --check-identity \
+          verifies served outputs byte-match one-shot runs. See \
+          docs/serving.md.")
+    Term.(
+      const run $ mix_arg $ tenants_arg $ rate_arg $ count_arg $ seed_arg
+      $ nodes_arg $ concurrency_arg $ cache_capacity_arg
+      $ check_identity_arg $ trace_arg $ jobs_arg $ no_fusion_arg
+      $ breaker_arg $ ledger_arg $ no_calibrate_arg)
+
 (* ---- report: read the ledger back ---- *)
 
 let percentile values q =
@@ -808,6 +1025,48 @@ let regressions records =
     by_wf []
   |> List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a)
 
+(* serving-mode records (schema 1.1): plan-cache outcomes and
+   per-tenant queue delays, present when the ledger was written by
+   [musketeer serve] *)
+let serve_rows records =
+  List.filter_map (fun (r : Obs.Ledger.record) -> r.Obs.Ledger.serve) records
+
+let serve_cache_counts rows =
+  List.fold_left
+    (fun (h, m, i) (s : Obs.Ledger.serve_info) ->
+       match s.cache with
+       | "hit" -> (h + 1, m, i)
+       | "invalidated" -> (h, m, i + 1)
+       | _ -> (h, m + 1, i))
+    (0, 0, 0) rows
+
+(* per-tenant table: (tenant, n, queue p50, queue p99, latency p99) *)
+let serve_tenant_table rows =
+  let tbl : (string, Obs.Ledger.serve_info list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun (s : Obs.Ledger.serve_info) ->
+       match Hashtbl.find_opt tbl s.tenant with
+       | Some c -> c := s :: !c
+       | None -> Hashtbl.add tbl s.tenant (ref [ s ]))
+    rows;
+  Hashtbl.fold
+    (fun tenant cell acc ->
+       let qs =
+         List.map (fun (s : Obs.Ledger.serve_info) -> s.queue_delay_s) !cell
+       in
+       let ls =
+         List.map (fun (s : Obs.Ledger.serve_info) -> s.latency_s) !cell
+       in
+       ( tenant, List.length !cell,
+         Option.value ~default:0. (percentile qs 0.5),
+         Option.value ~default:0. (percentile qs 0.99),
+         Option.value ~default:0. (percentile ls 0.99) )
+       :: acc)
+    tbl []
+  |> List.sort compare
+
 let report_json records =
   let opt = function Some v -> Obs.Json.Number v | None -> Obs.Json.Null in
   Obs.Json.Obj
@@ -843,7 +1102,34 @@ let report_json records =
                    ("previous_makespan_s", Obs.Json.Number prev);
                    ("last_makespan_s", Obs.Json.Number last);
                    ("rel_increase", Obs.Json.Number delta) ])
-            (regressions records))) ]
+            (regressions records)));
+      ("serve",
+       match serve_rows records with
+       | [] -> Obs.Json.Null
+       | rows ->
+         let hits, misses, invalidations = serve_cache_counts rows in
+         let total = hits + misses + invalidations in
+         Obs.Json.Obj
+           [ ("records", Obs.Json.Number (float_of_int total));
+             ("cache_hits", Obs.Json.Number (float_of_int hits));
+             ("cache_misses", Obs.Json.Number (float_of_int misses));
+             ("cache_invalidations",
+              Obs.Json.Number (float_of_int invalidations));
+             ("cache_hit_rate",
+              Obs.Json.Number
+                (if total = 0 then 0.
+                 else float_of_int hits /. float_of_int total));
+             ("tenants",
+              Obs.Json.List
+                (List.map
+                   (fun (tenant, n, q50, q99, l99) ->
+                      Obs.Json.Obj
+                        [ ("tenant", Obs.Json.String tenant);
+                          ("records", Obs.Json.Number (float_of_int n));
+                          ("queue_delay_p50_s", Obs.Json.Number q50);
+                          ("queue_delay_p99_s", Obs.Json.Number q99);
+                          ("latency_p99_s", Obs.Json.Number l99) ])
+                   (serve_tenant_table rows))) ]) ]
 
 let pp_report ppf records =
   let fmt_opt = function
@@ -871,15 +1157,35 @@ let pp_report ppf records =
           Format.fprintf ppf "  %-12s %6d %9.3fx %7.1f%% %7.1f%%@." backend n
             ratio (100. *. p50) (100. *. p90))
        league);
-  match regressions records with
-  | [] -> Format.fprintf ppf "@.no workflow regressed vs. its previous run@."
-  | regs ->
-    Format.fprintf ppf "@.workflows slower than their previous run:@.";
+  (match regressions records with
+   | [] ->
+     Format.fprintf ppf "@.no workflow regressed vs. its previous run@."
+   | regs ->
+     Format.fprintf ppf "@.workflows slower than their previous run:@.";
+     List.iter
+       (fun (wf, prev, last, delta) ->
+          Format.fprintf ppf "  %-16s %8.1fs -> %8.1fs  (+%.1f%%)@." wf prev
+            last (100. *. delta))
+       regs);
+  match serve_rows records with
+  | [] -> ()
+  | rows ->
+    let hits, misses, invalidations = serve_cache_counts rows in
+    let total = hits + misses + invalidations in
+    Format.fprintf ppf
+      "@.serving (%d records): plan cache %.0f%% hit (%d hit / %d miss \
+       / %d invalidated)@."
+      total
+      (if total = 0 then 0.
+       else 100. *. float_of_int hits /. float_of_int total)
+      hits misses invalidations;
+    Format.fprintf ppf "  %-12s %6s %10s %10s %12s@." "tenant" "n"
+      "queue p50" "queue p99" "latency p99";
     List.iter
-      (fun (wf, prev, last, delta) ->
-         Format.fprintf ppf "  %-16s %8.1fs -> %8.1fs  (+%.1f%%)@." wf prev
-           last (100. *. delta))
-      regs
+      (fun (tenant, n, q50, q99, l99) ->
+         Format.fprintf ppf "  %-12s %6d %9.2fs %9.2fs %11.2fs@." tenant n
+           q50 q99 l99)
+      (serve_tenant_table rows)
 
 let ledger_required_arg =
   Arg.(
@@ -968,5 +1274,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ plan_cmd; run_cmd; run_file_cmd; stats_cmd; parse_cmd;
-            explain_cmd; calibrate_cmd; engines_cmd; report_cmd ]))
+          [ plan_cmd; run_cmd; run_file_cmd; serve_cmd; stats_cmd;
+            parse_cmd; explain_cmd; calibrate_cmd; engines_cmd;
+            report_cmd ]))

@@ -16,6 +16,7 @@ module Supervisor = Supervisor
 module Mapper = Mapper
 module Explain = Explain
 module Calibrate = Calibrate
+module Plan_cache = Plan_cache
 module Obs = Obs
 
 type t = {
@@ -47,7 +48,7 @@ let estimator t ~workflow ~hdfs g =
 let optimize_ir ~hdfs g = Optimizer.optimize ~catalog:(catalog_of_hdfs hdfs) g
 
 let plan ?(backends = Engines.Backend.all) ?(merging = true)
-    ?(optimize = true) t ~workflow ~hdfs g =
+    ?(optimize = true) ?cache t ~workflow ~hdfs g =
   Obs.Trace.with_span
     ~attrs:[ ("workflow", Obs.Trace.String workflow);
              ("backends", Obs.Trace.Int (List.length backends)) ]
@@ -56,19 +57,47 @@ let plan ?(backends = Engines.Backend.all) ?(merging = true)
   (* quarantined engines are not planning candidates — unless the
      quarantine would leave none at all *)
   let backends = Engines.Breaker.filter_candidates backends in
-  let g = if optimize then optimize_ir ~hdfs g else g in
-  let est = estimator t ~workflow ~hdfs g in
-  let plan =
-    if merging then
-      Partitioner.partition ~profile:t.profile ~est ~backends g
-    else Partitioner.no_merging ~profile:t.profile ~est ~backends g
+  let compute () =
+    let g = if optimize then optimize_ir ~hdfs g else g in
+    let est = estimator t ~workflow ~hdfs g in
+    let plan =
+      if merging then
+        Partitioner.partition ~profile:t.profile ~est ~backends g
+      else Partitioner.no_merging ~profile:t.profile ~est ~backends g
+    in
+    Option.map (fun p -> (p, g)) plan
   in
-  Option.map (fun p -> (p, g)) plan
+  match cache with
+  | None -> compute ()
+  | Some cache -> (
+    (* keyed on the submitted graph; a hit skips optimize + estimate +
+       partition entirely. The fingerprint pins the planning
+       environment — breaker-filtered backends, calibration factors,
+       fusion gate, flags, input sizes — so environment drift
+       invalidates rather than serves a stale plan. *)
+    let hash = Ir.Dag.canonical_hash g in
+    let fingerprint =
+      Plan_cache.fingerprint ~backends ~merging ~optimize ~workflow ~hdfs g
+    in
+    let outcome = Plan_cache.find cache ~hash ~fingerprint in
+    Obs.Trace.add_attr "plan.cache"
+      (Obs.Trace.String (Plan_cache.lookup_label outcome));
+    match outcome with
+    | Plan_cache.Hit { Plan_cache.plan; graph } -> Some (plan, graph)
+    | Plan_cache.Miss | Plan_cache.Invalidated ->
+      let result = compute () in
+      Option.iter
+        (fun (p, g') ->
+           Plan_cache.store cache ~hash ~fingerprint
+             { Plan_cache.plan = p; graph = g' })
+        result;
+      result)
 
-let execute_plan ?mode ?record_history ?recovery ?candidates ?supervision t
-    ~workflow ~hdfs ~graph p =
+let execute_plan ?mode ?record_history ?recovery ?candidates ?supervision
+    ?sharing t ~workflow ~hdfs ~graph p =
   Executor.run_plan ?mode ?record_history ?recovery ?candidates ?supervision
-    ~profile:t.profile ~history:t.history ~workflow ~hdfs ~graph ~plan:p ()
+    ?sharing ~profile:t.profile ~history:t.history ~workflow ~hdfs ~graph
+    ~plan:p ()
 
 let execute ?backends ?merging ?optimize ?mode ?recovery ?supervision t
     ~workflow ~hdfs g =

@@ -39,6 +39,9 @@ module Explain = Explain
 (** Cost-model calibration from the run ledger (CLI [--ledger]). *)
 module Calibrate = Calibrate
 
+(** Plan cache for repeat traffic (serving mode). *)
+module Plan_cache = Plan_cache
+
 (** Observability: tracing, metrics and exporters (also available as
     the stand-alone [musketeer.obs] library). *)
 module Obs = Obs
@@ -77,9 +80,15 @@ val optimize_ir : hdfs:Engines.Hdfs.t -> Ir.Dag.t -> Ir.Dag.t
     @param backends candidate engines (default: all seven)
     @param merging operator merging on (default true; Figure 12's
            ablation passes false)
-    @param optimize apply IR rewrites first (default true) *)
+    @param optimize apply IR rewrites first (default true)
+    @param cache plan cache (serving mode): a hit returns the cached
+           (plan, optimized graph) without re-running
+           optimize/estimate/partition; misses and invalidations plan
+           as usual and store the result. The lookup outcome rides the
+           ["plan"] span as the [plan.cache] attribute. *)
 val plan :
   ?backends:Engines.Backend.t list -> ?merging:bool -> ?optimize:bool ->
+  ?cache:Plan_cache.t ->
   t -> workflow:string -> hdfs:Engines.Hdfs.t -> Ir.Dag.t ->
   (Partitioner.plan * Ir.Dag.t) option
 
@@ -96,11 +105,13 @@ val execute :
   workflow:string -> hdfs:Engines.Hdfs.t -> Ir.Dag.t ->
   (Executor.result * Partitioner.plan, Engines.Report.error) result
 
-(** Run a pre-computed plan (used by experiments that compare plans). *)
+(** Run a pre-computed plan (used by experiments that compare plans,
+    and by the serving layer — [sharing] installs a cross-workflow
+    scan share around the run, see {!Engines.Scan_share}). *)
 val execute_plan :
   ?mode:Executor.mode -> ?record_history:bool ->
   ?recovery:Recovery.policy -> ?candidates:Engines.Backend.t list ->
-  ?supervision:Supervisor.config ->
+  ?supervision:Supervisor.config -> ?sharing:Engines.Scan_share.t ->
   t -> workflow:string -> hdfs:Engines.Hdfs.t -> graph:Ir.Dag.t ->
   Partitioner.plan ->
   (Executor.result, Engines.Report.error) result

@@ -26,30 +26,69 @@ type t = {
   config : config;
   entries : (Backend.t, entry) Hashtbl.t;
   mutable clock : int;
+  tenant : string option;  (** labels the [breaker.open.*] gauges *)
 }
 
 let installed : t option ref = ref None
+
+(* Per-tenant scopes (serving mode): each tenant gets its own breaker
+   states sharing the enabled configuration, so one tenant's failures
+   quarantine an engine for that tenant only. Scopes materialize lazily
+   inside [with_tenant]; outside any tenant scope the process-global
+   breaker applies, exactly as before. *)
+let tenants : (string, t) Hashtbl.t = Hashtbl.create 8
+
+let current_tenant : string option ref = ref None
 
 let enable ?(threshold = 3) ?(window = 8) ?(cooldown = 8) () =
   if threshold < 1 then invalid_arg "Breaker.enable: threshold < 1";
   if window < threshold then invalid_arg "Breaker.enable: window < threshold";
   if cooldown < 1 then invalid_arg "Breaker.enable: cooldown < 1";
+  Hashtbl.reset tenants;
   installed :=
     Some
       { config = { threshold; window; cooldown };
         entries = Hashtbl.create 7;
-        clock = 0 }
+        clock = 0;
+        tenant = None }
 
-let disable () = installed := None
+let disable () =
+  Hashtbl.reset tenants;
+  installed := None
 
 let enabled () = Option.is_some !installed
 
-let reset () =
+let active () =
   match !installed with
-  | None -> ()
-  | Some t ->
+  | None -> None
+  | Some default -> (
+    match !current_tenant with
+    | None -> Some default
+    | Some name -> (
+      match Hashtbl.find_opt tenants name with
+      | Some t -> Some t
+      | None ->
+        let t =
+          { config = default.config;
+            entries = Hashtbl.create 7;
+            clock = 0;
+            tenant = Some name }
+        in
+        Hashtbl.replace tenants name t;
+        Some t))
+
+let with_tenant name f =
+  let prev = !current_tenant in
+  current_tenant := Some name;
+  Fun.protect ~finally:(fun () -> current_tenant := prev) f
+
+let reset () =
+  let clear t =
     Hashtbl.reset t.entries;
     t.clock <- 0
+  in
+  Option.iter clear !installed;
+  Hashtbl.iter (fun _ t -> clear t) tenants
 
 let entry t backend =
   match Hashtbl.find_opt t.entries backend with
@@ -70,9 +109,13 @@ let take n xs =
   in
   go n xs
 
-let set_open_gauge backend v =
-  Obs.Metrics.set_gauge Obs.Metrics.default
-    ("breaker.open." ^ Backend.name backend) v
+let set_open_gauge t backend v =
+  let name =
+    match t.tenant with
+    | None -> "breaker.open." ^ Backend.name backend
+    | Some tenant -> "breaker.open." ^ tenant ^ "." ^ Backend.name backend
+  in
+  Obs.Metrics.set_gauge Obs.Metrics.default name v
 
 (* Open -> Half_open once the cool-down has elapsed. Reads as well as
    writes perform this refresh, so [state]/[filter] see the probe
@@ -81,7 +124,7 @@ let refresh t backend e =
   if e.st = Open && t.clock >= e.open_until then begin
     e.st <- Half_open;
     Obs.Metrics.incr Obs.Metrics.default "breaker.probes";
-    set_open_gauge backend 0.
+    set_open_gauge t backend 0.
   end
 
 let trip t backend e =
@@ -89,10 +132,10 @@ let trip t backend e =
   e.open_until <- t.clock + e.cooldown_cur;
   e.trips <- e.trips + 1;
   Obs.Metrics.incr Obs.Metrics.default "breaker.trips";
-  set_open_gauge backend 1.
+  set_open_gauge t backend 1.
 
 let record outcome backend =
-  match !installed with
+  match active () with
   | None -> ()
   | Some t ->
     t.clock <- t.clock + 1;
@@ -122,7 +165,7 @@ let record_success = record true
 let record_failure = record false
 
 let state backend =
-  match !installed with
+  match active () with
   | None -> Closed
   | Some t -> (
     match Hashtbl.find_opt t.entries backend with
@@ -144,7 +187,7 @@ let filter_candidates backends =
   | kept -> kept
 
 let states () =
-  match !installed with
+  match active () with
   | None -> []
   | Some t ->
     Hashtbl.fold (fun b e acc -> (b, e) :: acc) t.entries []
@@ -154,7 +197,7 @@ let states () =
          (b, e.st))
 
 let pp ppf () =
-  match !installed with
+  match active () with
   | None -> Format.fprintf ppf "circuit breaker: disabled@."
   | Some t ->
     Format.fprintf ppf

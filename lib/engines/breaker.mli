@@ -40,9 +40,18 @@ val disable : unit -> unit
 
 val enabled : unit -> bool
 
-(** Drop all per-engine state (and the logical clock) but keep the
-    breaker enabled with its current configuration. *)
+(** Drop all per-engine state (and the logical clocks) in every scope,
+    but keep the breaker enabled with its current configuration. *)
 val reset : unit -> unit
+
+(** [with_tenant name f] runs [f] under the tenant's private breaker
+    scope (serving mode): the tenant gets its own per-engine states and
+    logical clock, created lazily with the enabled configuration, so
+    one tenant's failures quarantine an engine for that tenant only.
+    Gauges gain the tenant label ([breaker.open.<tenant>.<engine>]).
+    No-op while disabled; scopes nest (innermost wins) and are dropped
+    by {!enable}/{!disable}. *)
+val with_tenant : string -> (unit -> 'a) -> 'a
 
 (** Record one engine run outcome. Each call advances the logical
     clock by one tick. No-ops while disabled. *)

@@ -65,7 +65,16 @@ let rec eval_graph ?(protect = []) ~hdfs
       | Some _ | None -> (
         try
           let e = Hdfs.get hdfs relation in
-          acc.input_mb <- acc.input_mb +. e.Hdfs.modeled_mb;
+          (* a service-scoped share may have a co-admitted workflow
+             already paying for this scan; the bytes still come from
+             HDFS either way, only the charge is waived *)
+          let free =
+            match Scan_share.active () with
+            | Some share ->
+              Scan_share.claim share ~relation ~mb:e.Hdfs.modeled_mb
+            | None -> false
+          in
+          if not free then acc.input_mb <- acc.input_mb +. e.Hdfs.modeled_mb;
           Hashtbl.replace scans relation (e.Hdfs.table, e.Hdfs.modeled_mb);
           (e.Hdfs.table, e.Hdfs.modeled_mb)
         with Hdfs.No_such_relation r ->

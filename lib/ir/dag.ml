@@ -316,48 +316,90 @@ let to_dot ?(name = "workflow") (g : t) =
   emit "n" g;
   Buffer.contents buf ^ "}\n"
 
-(* FNV-1a 64-bit over a canonical node rendering: ids, operator
-   descriptions, edges, output relations, recursing into WHILE bodies.
-   Two structurally identical DAGs hash equal regardless of how they
-   were built, which is what keys run-ledger records to workflows. *)
+(* FNV-1a 64-bit over a *structural* rendering: each node's hash folds
+   in its operator description, output relation and the hashes of its
+   input nodes (bottom-up — [validate] guarantees inputs have lower
+   ids, so one forward pass suffices); the graph hash combines the
+   sorted multiset of node hashes with the output-node and loop-carried
+   sets. Raw node ids never enter the hash, so two DAGs that differ
+   only in operator insertion order (and hence in id assignment) hash
+   equal, while a duplicated subtree still differs from a shared one
+   (the duplicate contributes its hash twice to the multiset). This is
+   what the plan cache and the run ledger key on. *)
+let fnv_seed = 0xcbf29ce484222325L
+
+let fnv_feed h s =
+  String.fold_left
+    (fun h c ->
+       Int64.mul (Int64.logxor h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    h s
+
+let rec structural_hash (g : Operator.graph) =
+  let hex h = Printf.sprintf "%016Lx" h in
+  let by_id = Hashtbl.create 32 in
+  let node_hash (n : Operator.node) =
+    let h = fnv_feed fnv_seed (Operator.describe n.Operator.kind) in
+    let h = fnv_feed h "|" in
+    let h = fnv_feed h n.Operator.output in
+    let h = fnv_feed h "|" in
+    let h =
+      List.fold_left
+        (fun h i -> fnv_feed (fnv_feed h (hex (Hashtbl.find by_id i))) ",")
+        h n.Operator.inputs
+    in
+    match n.Operator.kind with
+    | Operator.While { body; _ } ->
+      fnv_feed (fnv_feed (fnv_feed h "{") (structural_hash body)) "}"
+    | _ -> h
+  in
+  List.iter
+    (fun (n : Operator.node) ->
+       Hashtbl.replace by_id n.Operator.id (node_hash n))
+    g.Operator.nodes;
+  let feed_sorted h items =
+    List.fold_left
+      (fun h s -> fnv_feed (fnv_feed h s) ";")
+      h
+      (List.sort String.compare items)
+  in
+  let h =
+    feed_sorted fnv_seed
+      (List.map
+         (fun (n : Operator.node) -> hex (Hashtbl.find by_id n.Operator.id))
+         g.Operator.nodes)
+  in
+  let h = fnv_feed h "|outs|" in
+  let h =
+    feed_sorted h (List.map (fun id -> hex (Hashtbl.find by_id id)) g.Operator.outputs)
+  in
+  let h = fnv_feed h "|carried|" in
+  let h = feed_sorted h g.Operator.loop_carried in
+  hex h
+
+(* The hash is recomputed on every ledger append, history record and
+   plan-cache probe, so memoize per DAG value. Keyed on physical
+   identity: [Operator.graph] embeds UDF closures, which structural
+   equality/hashing must never touch. Bounded so long-lived services
+   cycling through many DAGs don't leak. *)
+let hash_memo : (t * string) list ref = ref []
+let hash_memo_capacity = 64
+let hash_memo_lock = Mutex.create ()
+
 let canonical_hash (g : t) =
-  let h = ref 0xcbf29ce484222325L in
-  let feed s =
-    String.iter
-      (fun c ->
-         h :=
-           Int64.mul
-             (Int64.logxor !h (Int64.of_int (Char.code c)))
-             0x100000001b3L)
-      s
-  in
-  let rec feed_graph (g : Operator.graph) =
-    List.iter
-      (fun (n : Operator.node) ->
-         feed (string_of_int n.Operator.id);
-         feed "|";
-         feed (Operator.describe n.Operator.kind);
-         feed "|";
-         List.iter
-           (fun i ->
-              feed (string_of_int i);
-              feed ",")
-           n.Operator.inputs;
-         feed "|";
-         feed n.Operator.output;
-         feed ";";
-         match n.Operator.kind with
-         | Operator.While { body; _ } ->
-           feed "{";
-           feed_graph body;
-           feed "}"
-         | _ -> ())
-      g.Operator.nodes;
-    List.iter
-      (fun id ->
-         feed (string_of_int id);
-         feed ",")
-      g.Operator.outputs
-  in
-  feed_graph g;
-  Printf.sprintf "fnv1a:%016Lx" !h
+  Mutex.lock hash_memo_lock;
+  let cached = List.find_opt (fun (k, _) -> k == g) !hash_memo in
+  Mutex.unlock hash_memo_lock;
+  match cached with
+  | Some (_, h) -> h
+  | None ->
+    let h = "fnv1a:" ^ structural_hash g in
+    Obs.Metrics.incr Obs.Metrics.default "ir.canonical_hash.computed";
+    Mutex.lock hash_memo_lock;
+    let kept =
+      if List.length !hash_memo >= hash_memo_capacity then
+        List.filteri (fun i _ -> i < hash_memo_capacity - 1) !hash_memo
+      else !hash_memo
+    in
+    hash_memo := (g, h) :: kept;
+    Mutex.unlock hash_memo_lock;
+    h

@@ -69,8 +69,18 @@ val to_string : t -> string
     useful with the CLI's [--dot] flag. *)
 val to_dot : ?name:string -> t -> string
 
-(** Stable structural hash ("fnv1a:<16 hex>") over ids, operator
-    descriptions, edges and output relations, recursing into WHILE
-    bodies. Keys run-ledger records to workflow structure: same DAG →
-    same hash across processes. *)
+(** Stable structural hash ("fnv1a:<16 hex>") over operator
+    descriptions, edges, output relations and loop-carried names,
+    recursing into WHILE bodies. Node ids never enter the hash, so the
+    result is independent of operator insertion order: two graphs built
+    in different orders but with the same structure hash equal, while
+    semantically different graphs (different operators, edges, outputs,
+    or a duplicated vs shared subtree) hash differently. Keys run-ledger
+    records and the serving layer's plan cache to workflow structure:
+    same DAG → same hash across processes.
+
+    Memoized per DAG value (physical identity — UDF closures make
+    structural equality unusable), so repeated calls on the same graph
+    are O(1); the [ir.canonical_hash.computed] counter in
+    {!Obs.Metrics.default} counts actual computations. *)
 val canonical_hash : t -> string

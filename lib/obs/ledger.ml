@@ -3,11 +3,21 @@
    final line skipped) so ledgers survive schema evolution and
    mid-append crashes; only a newer *major* schema version is refused. *)
 
-let current_schema = "1.0"
+(* 1.1 added the optional "serve" object (serving-mode records);
+   1.0 readers ignore it, and 1.0 records read back with [serve = None]
+   — minor-version evolution per the module contract. *)
+let current_schema = "1.1"
 
 let supported_major = 1
 
 exception Schema_error of string
+
+type serve_info = {
+  tenant : string;
+  queue_delay_s : float;
+  latency_s : float;
+  cache : string;  (** plan-cache outcome: "hit" | "miss" | "invalidated" *)
+}
 
 type record = {
   schema : string;
@@ -29,6 +39,7 @@ type record = {
   counters : (string * int) list;
   gauges : (string * float) list;
   histograms : (string * Metrics.histogram_stats) list;
+  serve : serve_info option;  (** present on serving-mode records *)
 }
 
 let backends r =
@@ -38,7 +49,7 @@ let backends r =
 
 let to_json r =
   Json.Obj
-    [ ("schema", Json.String r.schema);
+    ([ ("schema", Json.String r.schema);
       ("ts", Json.Number r.ts);
       ("workflow", Json.String r.workflow);
       ("ir_hash", Json.String r.ir_hash);
@@ -98,6 +109,16 @@ let to_json r =
          (List.map
             (fun (name, s) -> (name, Metrics.json_of_stats s))
             r.histograms)) ]
+     @
+     match r.serve with
+     | None -> []
+     | Some s ->
+       [ ("serve",
+          Json.Obj
+            [ ("tenant", Json.String s.tenant);
+              ("queue_delay_s", Json.Number s.queue_delay_s);
+              ("latency_s", Json.Number s.latency_s);
+              ("cache", Json.String s.cache) ]) ])
 
 let major_of schema =
   match String.index_opt schema '.' with
@@ -180,7 +201,16 @@ let of_json j =
       (match Json.member "histograms" j with
        | Some (Json.Obj fields) ->
          List.map (fun (k, v) -> (k, Metrics.stats_of_json v)) fields
-       | _ -> []) }
+       | _ -> []);
+    serve =
+      (match Json.member "serve" j with
+       | Some o ->
+         Some
+           { tenant = Json.get_string o "tenant" ~default:"default";
+             queue_delay_s = Json.get_float o "queue_delay_s" ~default:0.;
+             latency_s = Json.get_float o "latency_s" ~default:0.;
+             cache = Json.get_string o "cache" ~default:"miss" }
+       | None -> None) }
 
 (* ---- file I/O ---- *)
 
@@ -257,7 +287,7 @@ let rec drop n = function
   | [] -> []
   | _ :: tl -> drop (n - 1) tl
 
-let snapshot ?(metrics = Metrics.default) ?since ~workflow ~ir_hash
+let snapshot ?(metrics = Metrics.default) ?since ?serve ~workflow ~ir_hash
     ~partition ~makespan_s () =
   let since = Option.value since ~default:zero_mark in
   let base_c name =
@@ -299,4 +329,5 @@ let snapshot ?(metrics = Metrics.default) ?since ~workflow ~ir_hash
     shared_scan_mb_saved = g_delta "scan.shared_mb_saved";
     counters;
     gauges = Metrics.gauges metrics;
-    histograms = Metrics.histograms metrics }
+    histograms = Metrics.histograms metrics;
+    serve }

@@ -22,6 +22,16 @@ val supported_major : int
 
 exception Schema_error of string
 
+(** Serving-mode extension (schema 1.1): how the submission fared in
+    the admission queue and the plan cache. Absent on one-shot runs
+    and on pre-1.1 records. *)
+type serve_info = {
+  tenant : string;
+  queue_delay_s : float;      (** admission − arrival, virtual seconds *)
+  latency_s : float;          (** completion − arrival, virtual seconds *)
+  cache : string;             (** "hit" | "miss" | "invalidated" *)
+}
+
 type record = {
   schema : string;
   ts : float;                  (** unix time the record was snapshot *)
@@ -43,6 +53,7 @@ type record = {
   counters : (string * int) list;   (** per-run counter deltas *)
   gauges : (string * float) list;   (** gauge values at snapshot time *)
   histograms : (string * Metrics.histogram_stats) list;
+  serve : serve_info option;        (** serving-mode records only *)
 }
 
 (** Distinct backend names used by the run's partition, sorted. *)
@@ -87,7 +98,9 @@ val mark : Metrics.t -> mark
 
 (** [snapshot ?metrics ?since ~workflow ~ir_hash ~partition ~makespan_s ()]
     builds a record from the registry (default {!Metrics.default}),
-    restricted to activity after [since] when given. *)
+    restricted to activity after [since] when given. [serve] attaches
+    the serving-mode extension. *)
 val snapshot :
-  ?metrics:Metrics.t -> ?since:mark -> workflow:string -> ir_hash:string ->
+  ?metrics:Metrics.t -> ?since:mark -> ?serve:serve_info ->
+  workflow:string -> ir_hash:string ->
   partition:(string * int list) list -> makespan_s:float -> unit -> record

@@ -1,0 +1,69 @@
+(* Seeded synthetic load generator: the many-client open-loop side of
+   the serving bench. Arrivals are a Poisson process (exponential
+   inter-arrival gaps) over virtual seconds; each submission draws a
+   tenant by traffic share and a workflow from the mix by weight.
+   Deterministic per seed — the fairness property test replays the
+   same arrival process with and without the heavy tenant. *)
+
+type mix_entry = {
+  workflow : string;
+  graph : Ir.Dag.t;
+  weight : float;
+}
+
+(* splitmix64, same generator family as the fault injector and
+   qcheck_lite — dependency-free and stable across platforms *)
+type rng = { mutable state : int64 }
+
+let rng seed = { state = Int64.of_int seed }
+
+let next r =
+  r.state <- Int64.add r.state 0x9E3779B97F4A7C15L;
+  let z = r.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* uniform in [0, 1) with 53 bits *)
+let uniform r =
+  Int64.to_float (Int64.shift_right_logical (next r) 11) *. 0x1p-53
+
+let pick_weighted r choices ~weight =
+  let total = List.fold_left (fun acc c -> acc +. weight c) 0. choices in
+  if total <= 0. then List.hd choices
+  else begin
+    let x = uniform r *. total in
+    let rec go acc = function
+      | [ c ] -> c
+      | c :: rest ->
+        let acc = acc +. weight c in
+        if x < acc then c else go acc rest
+      | [] -> assert false
+    in
+    go 0. choices
+  end
+
+(* [generate ~seed ~rate_per_s ~count ~tenants ~mix ()] — [tenants] is
+   (name, traffic share); [start_s] offsets the first arrival (default
+   0, for chaining waves on one service). *)
+let generate ?(start_s = 0.) ~seed ~rate_per_s ~count ~tenants ~mix () =
+  if rate_per_s <= 0. then invalid_arg "Serve.Client.generate: rate <= 0";
+  if count < 0 then invalid_arg "Serve.Client.generate: count < 0";
+  if tenants = [] then invalid_arg "Serve.Client.generate: no tenants";
+  if mix = [] then invalid_arg "Serve.Client.generate: empty mix";
+  let r = rng seed in
+  let clock = ref start_s in
+  List.init count (fun _ ->
+      (* exponential inter-arrival gap: open-loop Poisson arrivals *)
+      let gap = -.log (1. -. uniform r) /. rate_per_s in
+      clock := !clock +. gap;
+      let tenant, _ = pick_weighted r tenants ~weight:snd in
+      let entry = pick_weighted r mix ~weight:(fun e -> e.weight) in
+      {
+        Service.tenant;
+        workflow = entry.workflow;
+        graph = entry.graph;
+        arrival_s = !clock;
+      })

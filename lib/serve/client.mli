@@ -1,0 +1,24 @@
+(** Seeded synthetic load generator — the many-client open-loop side
+    of the serving bench and the fairness property test.
+
+    Arrivals form a Poisson process over virtual seconds; each
+    submission draws a tenant by traffic share and a workflow from the
+    mix by weight. Fully deterministic per [seed] (splitmix64), so a
+    load can be replayed, filtered to one tenant, and re-served to
+    compare against the mixed run. *)
+
+type mix_entry = {
+  workflow : string;
+  graph : Ir.Dag.t;
+  weight : float;
+}
+
+val generate :
+  ?start_s:float ->
+  seed:int ->
+  rate_per_s:float ->
+  count:int ->
+  tenants:(string * float) list ->
+  mix:mix_entry list ->
+  unit ->
+  Service.submission list

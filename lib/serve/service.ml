@@ -1,0 +1,446 @@
+(* The persistent serving layer (ROADMAP "always-on service").
+
+   Everything below the admission queue is the existing one-shot
+   pipeline — plan (now through the plan cache) and execute_plan (now
+   under a cross-workflow scan share and the tenant's breaker scope) —
+   so a served submission produces byte-identical outputs to a one-shot
+   run of the same graph.
+
+   Like the cluster itself, time is simulated: the service runs a
+   discrete-event loop over *virtual* seconds. Arrivals carry virtual
+   timestamps; an admitted workflow executes immediately in real time
+   but occupies the virtual interval [admit, admit + service], where
+   service = its simulated makespan plus the *wall-clock* seconds the
+   planner actually spent (planning is the one real computation here,
+   which is exactly what the plan cache amortizes). Workflows whose
+   virtual intervals overlap are co-admitted — that window bounds both
+   the concurrency cap and the shared-scan scope. *)
+
+let log_src = Logs.Src.create "musketeer.serve" ~doc:"serving layer"
+
+module Log = (val Logs.src_log log_src)
+
+type submission = {
+  tenant : string;
+  workflow : string;
+  graph : Ir.Dag.t;
+  arrival_s : float;
+}
+
+type outcome = {
+  sub : submission;
+  admit_s : float;
+  finish_s : float;
+  queue_delay_s : float;
+  latency_s : float;
+  makespan_s : float;
+  planning_s : float;  (** wall-clock seconds spent planning *)
+  cache : string;      (** "hit" | "miss" | "invalidated" *)
+  outputs : (string * Relation.Table.t) list;
+  error : string option;
+}
+
+type config = {
+  concurrency : int;
+  cache_capacity : int;
+  weights : (string * float) list;  (** tenant → WFQ weight (default 1) *)
+  ledger : string option;           (** append one record per completion *)
+}
+
+let default_config =
+  { concurrency = 4; cache_capacity = 128; weights = []; ledger = None }
+
+(* -------- weighted fair queueing (start-time fair queueing) --------
+
+   Each tenant keeps a virtual tag; the head of tenant q has start tag
+   max(tag(q), V) with V the virtual-work clock (the start tag of the
+   last admission), and the scheduler admits the head with the
+   smallest start tag, then sets tag(q) = start + cost/weight. Cost is
+   the operator count — known before planning — so a 40-op DAG
+   advances its tenant's tag ~13× further than a 3-op lookup and
+   cannot starve it. Selecting by *start* tag matters: finish tags tie
+   persistently under equal costs (V trails each tenant's tag by
+   exactly cost/weight), and a deterministic tie-break would then
+   starve one tenant. *)
+
+type tenant_state = {
+  t_name : string;
+  weight : float;
+  queue : submission Queue.t;
+  mutable vtag : float;
+}
+
+type t = {
+  m : Musketeer.t;
+  hdfs : Engines.Hdfs.t;
+  config : config;
+  cache : Musketeer.Plan_cache.t;
+  share : Engines.Scan_share.t;
+  tenants : (string, tenant_state) Hashtbl.t;
+  mutable vwork : float;  (* WFQ virtual-work clock *)
+  mutable now : float;    (* virtual wall clock, monotone across drives *)
+}
+
+let create ?(config = default_config) m ~hdfs =
+  if config.concurrency < 1 then
+    invalid_arg "Serve.Service.create: concurrency < 1";
+  {
+    m;
+    hdfs;
+    config;
+    cache = Musketeer.Plan_cache.create ~capacity:config.cache_capacity ();
+    share = Engines.Scan_share.create ();
+    tenants = Hashtbl.create 8;
+    vwork = 0.;
+    now = 0.;
+  }
+
+let cache t = t.cache
+
+let share t = t.share
+
+let tenant_state t name =
+  match Hashtbl.find_opt t.tenants name with
+  | Some ts -> ts
+  | None ->
+    let weight =
+      match List.assoc_opt name t.config.weights with
+      | Some w when w > 0. -> w
+      | _ -> 1.
+    in
+    let ts = { t_name = name; weight; queue = Queue.create (); vtag = 0. } in
+    Hashtbl.replace t.tenants name ts;
+    ts
+
+(* Overwrite an input relation out-of-band (a client re-uploading
+   data): bumps the scan-share epoch, so entries co-admitted workflows
+   paid against the old bytes stop matching, and changes the input-size
+   fingerprint the plan cache validates against. *)
+let put_input t relation ?modeled_mb table =
+  Engines.Hdfs.put t.hdfs relation ?modeled_mb table;
+  Engines.Scan_share.note_write t.share relation
+
+let cost_of sub = float_of_int (max 1 (Ir.Dag.operator_count sub.graph))
+
+(* one submission, executed at its (virtual) admission instant;
+   returns the outcome plus the scan-share flight to expire at its
+   virtual finish *)
+let execute t sub ~admit_s =
+  Obs.Trace.with_span
+    ~attrs:[ ("tenant", Obs.Trace.String sub.tenant);
+             ("workflow", Obs.Trace.String sub.workflow) ]
+    "serve.submit"
+  @@ fun () ->
+  Engines.Breaker.with_tenant sub.tenant @@ fun () ->
+  let since = Obs.Ledger.mark Obs.Metrics.default in
+  let s0 = Musketeer.Plan_cache.stats t.cache in
+  let t0 = Unix.gettimeofday () in
+  let planned =
+    Musketeer.plan ~cache:t.cache t.m ~workflow:sub.workflow ~hdfs:t.hdfs
+      sub.graph
+  in
+  let planning_s = Unix.gettimeofday () -. t0 in
+  let s1 = Musketeer.Plan_cache.stats t.cache in
+  let cache =
+    let open Musketeer.Plan_cache in
+    if s1.hits > s0.hits then "hit"
+    else if s1.invalidations > s0.invalidations then "invalidated"
+    else "miss"
+  in
+  let finish ~makespan_s ~outputs ~partition ~error =
+    let queue_delay_s = admit_s -. sub.arrival_s in
+    let service_s = makespan_s +. planning_s in
+    let finish_s = admit_s +. service_s in
+    let latency_s = finish_s -. sub.arrival_s in
+    Obs.Metrics.observe Obs.Metrics.default
+      ("serve.queue_delay_s." ^ sub.tenant) queue_delay_s;
+    Obs.Metrics.observe Obs.Metrics.default "serve.latency_s" latency_s;
+    Obs.Metrics.incr Obs.Metrics.default "serve.completed";
+    (match error with
+     | Some _ -> Obs.Metrics.incr Obs.Metrics.default "serve.errors"
+     | None -> ());
+    (match t.config.ledger with
+     | None -> ()
+     | Some filename ->
+       let record =
+         Obs.Ledger.snapshot ~since
+           ~serve:
+             { Obs.Ledger.tenant = sub.tenant; queue_delay_s; latency_s;
+               cache }
+           ~workflow:sub.workflow
+           ~ir_hash:(Ir.Dag.canonical_hash sub.graph) ~partition ~makespan_s
+           ()
+       in
+       Obs.Ledger.append ~filename record);
+    { sub; admit_s; finish_s; queue_delay_s; latency_s; makespan_s;
+      planning_s; cache; outputs; error }
+  in
+  match planned with
+  | None ->
+    ( finish ~makespan_s:0. ~outputs:[] ~partition:[]
+        ~error:(Some "no backend combination can express this workflow"),
+      None )
+  | Some (plan, graph) ->
+    let partition =
+      List.map
+        (fun (b, ids) -> (Engines.Backend.name b, ids))
+        plan.Musketeer.Partitioner.jobs
+    in
+    (* each submission runs against the service's base HDFS state; its
+       outputs and intermediates are isolated, not published *)
+    let pre = Engines.Hdfs.snapshot t.hdfs in
+    let flight = Engines.Scan_share.begin_flight t.share in
+    let result =
+      Fun.protect
+        ~finally:(fun () -> Engines.Hdfs.restore t.hdfs ~from:pre)
+        (fun () ->
+           Engines.Scan_share.with_flight t.share flight @@ fun () ->
+           Musketeer.execute_plan ~record_history:false ~sharing:t.share t.m
+             ~workflow:sub.workflow ~hdfs:t.hdfs ~graph plan)
+    in
+    let out =
+      match result with
+      | Ok r ->
+        finish ~makespan_s:r.Musketeer.Executor.makespan_s
+          ~outputs:r.Musketeer.Executor.outputs ~partition ~error:None
+      | Error e ->
+        finish ~makespan_s:0. ~outputs:[] ~partition
+          ~error:(Some (Engines.Report.error_to_string e))
+    in
+    (out, Some flight)
+
+(* Discrete-event loop: admit while slots are free, else advance the
+   virtual clock to the next arrival or finish. Can be called
+   repeatedly on one service; the virtual clock, WFQ tags, plan cache
+   and scan-share epochs persist across calls. *)
+let drive t subs =
+  let pending =
+    ref
+      (List.stable_sort
+         (fun a b -> Float.compare a.arrival_s b.arrival_s)
+         subs)
+  in
+  (match !pending with
+   | s :: _ -> t.now <- Float.max t.now s.arrival_s
+   | [] -> ());
+  let inflight = ref [] in (* (finish_s, flight option) *)
+  let outcomes = ref [] in
+  let expire () =
+    let finished, still =
+      List.partition (fun (f, _) -> f <= t.now +. 1e-9) !inflight
+    in
+    List.iter
+      (fun (_, flight) ->
+         Option.iter (Engines.Scan_share.end_flight t.share) flight)
+      finished;
+    inflight := still
+  in
+  let arrivals () =
+    let ready, later =
+      List.partition (fun s -> s.arrival_s <= t.now +. 1e-9) !pending
+    in
+    List.iter
+      (fun sub ->
+         Obs.Metrics.incr Obs.Metrics.default "serve.submitted";
+         Queue.add sub (tenant_state t sub.tenant).queue)
+      ready;
+    pending := later
+  in
+  let pick_tenant () =
+    Hashtbl.fold
+      (fun _ ts best ->
+         if Queue.is_empty ts.queue then best
+         else
+           let start = Float.max ts.vtag t.vwork in
+           match best with
+           | Some (_, best_start, best_name)
+             when best_start < start
+                  || (best_start = start
+                      && String.compare best_name ts.t_name <= 0) ->
+             best
+           | _ -> Some (ts, start, ts.t_name))
+      t.tenants None
+  in
+  let admit () =
+    let continue = ref true in
+    while !continue && List.length !inflight < t.config.concurrency do
+      match pick_tenant () with
+      | None -> continue := false
+      | Some (ts, start, _) ->
+        let sub = Queue.pop ts.queue in
+        t.vwork <- Float.max start t.vwork;
+        ts.vtag <- start +. (cost_of sub /. ts.weight);
+        Log.debug (fun m ->
+            m "admit %s/%s at %.2fs (queued %.2fs)" sub.tenant sub.workflow
+              t.now (t.now -. sub.arrival_s));
+        let out, flight = execute t sub ~admit_s:t.now in
+        inflight := (out.finish_s, flight) :: !inflight;
+        outcomes := out :: !outcomes
+    done
+  in
+  let next_event () =
+    let arrival =
+      match !pending with [] -> None | s :: _ -> Some s.arrival_s
+    in
+    let fin =
+      List.fold_left
+        (fun acc (f, _) ->
+           match acc with Some a when a <= f -> acc | _ -> Some f)
+        None !inflight
+    in
+    match arrival, fin with
+    | None, None -> None
+    | Some e, None | None, Some e -> Some e
+    | Some a, Some f -> Some (Float.min a f)
+  in
+  let running = ref true in
+  while !running do
+    expire ();
+    arrivals ();
+    admit ();
+    match next_event () with
+    | Some ts -> t.now <- Float.max t.now ts
+    | None -> running := false
+  done;
+  List.rev !outcomes
+
+let run ?(config = default_config) m ~hdfs subs =
+  let t = create ~config m ~hdfs in
+  let outcomes = drive t subs in
+  (outcomes, t)
+
+(* -------- summarizing -------- *)
+
+type tenant_summary = {
+  st_tenant : string;
+  st_submitted : int;
+  st_completed : int;
+  st_errors : int;
+  st_queue_p50_s : float;
+  st_queue_p99_s : float;
+  st_latency_p99_s : float;
+}
+
+type summary = {
+  submitted : int;
+  completed : int;
+  errors : int;
+  duration_s : float;          (** virtual span of the whole run *)
+  throughput_wps : float;
+  latency_p50_s : float;
+  latency_p99_s : float;
+  cache_stats : Musketeer.Plan_cache.stats;
+  cache_hit_rate : float;
+  plan_cold_s : float;         (** mean wall planning time on misses *)
+  plan_warm_s : float;         (** mean wall planning time on hits *)
+  scan_saved_mb : float;
+  scan_paid : (string * int) list;  (** paid HDFS fetches per relation *)
+  tenants : tenant_summary list;
+}
+
+(* nearest-rank percentile; 0 on empty *)
+let percentile q xs =
+  match List.sort Float.compare xs with
+  | [] -> 0.
+  | sorted ->
+    let n = List.length sorted in
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    List.nth sorted (max 0 (min (n - 1) (rank - 1)))
+
+let summarize (t : t) outcomes =
+  let submitted = List.length outcomes in
+  let errors =
+    List.length (List.filter (fun o -> o.error <> None) outcomes)
+  in
+  let completed = submitted - errors in
+  let finish =
+    List.fold_left (fun acc o -> Float.max acc o.finish_s) 0. outcomes
+  in
+  let start =
+    List.fold_left (fun acc o -> Float.min acc o.sub.arrival_s) infinity
+      outcomes
+  in
+  let duration_s =
+    if outcomes = [] then 0. else Float.max (finish -. start) 1e-9
+  in
+  let latencies = List.map (fun o -> o.latency_s) outcomes in
+  let mean = function
+    | [] -> 0.
+    | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+  in
+  let tenants =
+    Hashtbl.fold (fun name _ acc -> name :: acc) t.tenants []
+    |> List.sort String.compare
+    |> List.map (fun name ->
+         let mine = List.filter (fun o -> o.sub.tenant = name) outcomes in
+         let queues = List.map (fun o -> o.queue_delay_s) mine in
+         { st_tenant = name;
+           st_submitted = List.length mine;
+           st_completed =
+             List.length (List.filter (fun o -> o.error = None) mine);
+           st_errors =
+             List.length (List.filter (fun o -> o.error <> None) mine);
+           st_queue_p50_s = percentile 0.50 queues;
+           st_queue_p99_s = percentile 0.99 queues;
+           st_latency_p99_s =
+             percentile 0.99 (List.map (fun o -> o.latency_s) mine) })
+  in
+  {
+    submitted;
+    completed;
+    errors;
+    duration_s;
+    throughput_wps =
+      (if duration_s > 0. then float_of_int completed /. duration_s else 0.);
+    latency_p50_s = percentile 0.50 latencies;
+    latency_p99_s = percentile 0.99 latencies;
+    cache_stats = Musketeer.Plan_cache.stats t.cache;
+    cache_hit_rate = Musketeer.Plan_cache.hit_rate t.cache;
+    plan_cold_s =
+      mean
+        (List.filter_map
+           (fun (o : outcome) ->
+              if o.cache = "hit" then None else Some o.planning_s)
+           outcomes);
+    plan_warm_s =
+      mean
+        (List.filter_map
+           (fun (o : outcome) ->
+              if o.cache = "hit" then Some o.planning_s else None)
+           outcomes);
+    scan_saved_mb = Engines.Scan_share.saved_mb t.share;
+    scan_paid = Engines.Scan_share.paid_all t.share;
+    tenants;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "served %d submissions (%d ok, %d errors) over %.1f virtual s@."
+    s.submitted s.completed s.errors s.duration_s;
+  Format.fprintf ppf "  throughput    %.3f workflows/s (virtual)@."
+    s.throughput_wps;
+  Format.fprintf ppf "  latency       p50 %.2fs  p99 %.2fs@." s.latency_p50_s
+    s.latency_p99_s;
+  Format.fprintf ppf
+    "  plan cache    %.1f%% hits (%d hit / %d miss / %d invalidated)@."
+    (100. *. s.cache_hit_rate)
+    s.cache_stats.Musketeer.Plan_cache.hits
+    s.cache_stats.Musketeer.Plan_cache.misses
+    s.cache_stats.Musketeer.Plan_cache.invalidations;
+  if s.plan_warm_s > 0. then
+    Format.fprintf ppf "  planning      cold %.2fms  warm %.3fms (%.0f×)@."
+      (1e3 *. s.plan_cold_s) (1e3 *. s.plan_warm_s)
+      (s.plan_cold_s /. Float.max s.plan_warm_s 1e-9);
+  if s.scan_saved_mb > 0. then
+    Format.fprintf ppf "  shared scans  %.0f MB of reads shared@."
+      s.scan_saved_mb;
+  List.iter
+    (fun ts ->
+       Format.fprintf ppf
+         "  tenant %-10s %3d served, queue p50 %.2fs p99 %.2fs, latency p99 \
+          %.2fs%s@."
+         ts.st_tenant ts.st_submitted ts.st_queue_p50_s ts.st_queue_p99_s
+         ts.st_latency_p99_s
+         (if ts.st_errors > 0 then Printf.sprintf " (%d errors)" ts.st_errors
+          else ""))
+    s.tenants

@@ -1,0 +1,117 @@
+(** The persistent multi-tenant serving layer ([musketeer serve]).
+
+    A service wraps one {!Musketeer.t} and one shared HDFS instance and
+    accepts concurrent workflow submissions through an admission queue.
+    Three mechanisms amortize work across traffic, each independently
+    observable:
+
+    - a {b plan cache} ({!Musketeer.Plan_cache}): repeat submissions
+      skip optimize/estimate/partition; hits are validated against the
+      breaker-filtered backend set, calibration factors and input
+      sizes via the fingerprint;
+    - a {b weighted fair admission scheduler} with a concurrency cap:
+      per-tenant start-time fair queueing over operator-count cost, so
+      a heavy tenant's 40-op DAGs cannot starve a light tenant's 3-op
+      lookups (per-tenant [serve.queue_delay_s.<tenant>] histograms;
+      circuit breakers become per-tenant via
+      {!Engines.Breaker.with_tenant});
+    - {b cross-workflow shared scans} ({!Engines.Scan_share}):
+      co-admitted workflows naming the same INPUT relation pay one
+      modeled HDFS read, with epoch invalidation on overwrite.
+
+    Time is simulated (discrete-event over virtual seconds), matching
+    the simulated cluster: service time = simulated makespan + the
+    wall-clock seconds the planner really spent. Executions are
+    isolated by HDFS snapshot/restore, so a served submission's outputs
+    are byte-identical to a one-shot [run] of the same graph — the
+    serve bench and CI smoke test assert this. *)
+
+type submission = {
+  tenant : string;
+  workflow : string;
+  graph : Ir.Dag.t;
+  arrival_s : float;  (** virtual seconds *)
+}
+
+type outcome = {
+  sub : submission;
+  admit_s : float;
+  finish_s : float;
+  queue_delay_s : float;  (** admit − arrival *)
+  latency_s : float;      (** finish − arrival *)
+  makespan_s : float;     (** simulated execution makespan *)
+  planning_s : float;     (** wall-clock seconds spent planning *)
+  cache : string;         (** "hit" | "miss" | "invalidated" *)
+  outputs : (string * Relation.Table.t) list;
+  error : string option;
+}
+
+type config = {
+  concurrency : int;                (** admission slots (default 4) *)
+  cache_capacity : int;             (** plan-cache entries (default 128) *)
+  weights : (string * float) list;  (** tenant → WFQ weight (default 1) *)
+  ledger : string option;           (** JSONL run ledger to append to *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> Musketeer.t -> hdfs:Engines.Hdfs.t -> t
+
+val cache : t -> Musketeer.Plan_cache.t
+
+val share : t -> Engines.Scan_share.t
+
+(** Overwrite an input relation out-of-band: epoch-invalidates shared
+    scans and (via the size fingerprint) cached plans reading it. *)
+val put_input :
+  t -> string -> ?modeled_mb:float -> Relation.Table.t -> unit
+
+(** Run the discrete-event loop over a batch of submissions, returning
+    their outcomes in admission order. May be called repeatedly: the
+    virtual clock, fair-queueing tags, plan cache and scan-share
+    epochs persist across calls. *)
+val drive : t -> submission list -> outcome list
+
+(** [create] + [drive], returning the service for inspection. *)
+val run :
+  ?config:config -> Musketeer.t -> hdfs:Engines.Hdfs.t ->
+  submission list -> outcome list * t
+
+(** {2 Summaries} *)
+
+type tenant_summary = {
+  st_tenant : string;
+  st_submitted : int;
+  st_completed : int;
+  st_errors : int;
+  st_queue_p50_s : float;
+  st_queue_p99_s : float;
+  st_latency_p99_s : float;
+}
+
+type summary = {
+  submitted : int;
+  completed : int;
+  errors : int;
+  duration_s : float;  (** first arrival → last finish, virtual *)
+  throughput_wps : float;
+  latency_p50_s : float;
+  latency_p99_s : float;
+  cache_stats : Musketeer.Plan_cache.stats;
+  cache_hit_rate : float;
+  plan_cold_s : float;  (** mean wall planning seconds on misses *)
+  plan_warm_s : float;  (** mean wall planning seconds on hits *)
+  scan_saved_mb : float;
+  scan_paid : (string * int) list;
+  tenants : tenant_summary list;  (** sorted by tenant name *)
+}
+
+val summarize : t -> outcome list -> summary
+
+(** Nearest-rank percentile over a float list (0 on empty); exposed for
+    the bench and the fairness property test. *)
+val percentile : float -> float list -> float
+
+val pp_summary : Format.formatter -> summary -> unit

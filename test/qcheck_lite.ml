@@ -227,25 +227,25 @@ let shrink_spec s =
 let spec_arbitrary =
   make ~shrink:shrink_spec ~print:spec_to_string gen_spec
 
+let apply_op ?name b h = function
+  | Select_gt c ->
+    Ir.Builder.select b ?name ~pred:Relation.Expr.(col "v" > int c) h
+  | Map_add c ->
+    Ir.Builder.map b ?name ~target:"v"
+      ~expr:Relation.Expr.(col "v" + int c)
+      h
+  | Group_sum ->
+    Ir.Builder.group_by b ?name ~keys:[ "k" ]
+      ~aggs:[ Relation.Aggregate.make (Relation.Aggregate.Sum "v")
+                ~as_name:"v" ]
+      h
+  | Distinct -> Ir.Builder.distinct b ?name h
+  | Union_self -> Ir.Builder.union b ?name h h
+
 (* builds the IR for a spec; the result relation is always "out" *)
 let graph_of_spec spec =
   let b = Ir.Builder.create () in
-  let apply h = function
-    | Select_gt c ->
-      Ir.Builder.select b ~pred:Relation.Expr.(col "v" > int c) h
-    | Map_add c ->
-      Ir.Builder.map b ~target:"v"
-        ~expr:Relation.Expr.(col "v" + int c)
-        h
-    | Group_sum ->
-      Ir.Builder.group_by b ~keys:[ "k" ]
-        ~aggs:[ Relation.Aggregate.make (Relation.Aggregate.Sum "v")
-                  ~as_name:"v" ]
-        h
-    | Distinct -> Ir.Builder.distinct b h
-    | Union_self -> Ir.Builder.union b h h
-  in
-  let h = List.fold_left apply (Ir.Builder.input b "r") spec.ops in
+  let h = List.fold_left (apply_op b) (Ir.Builder.input b "r") spec.ops in
   let out =
     Ir.Builder.select b ~name:"out"
       ~pred:Relation.Expr.(col "k" > int (-1))
@@ -257,6 +257,84 @@ let hdfs_of_spec spec =
   let hdfs = Engines.Hdfs.create () in
   Engines.Hdfs.put hdfs "r" ~modeled_mb:64. (table_of_rows spec.rows);
   hdfs
+
+(* ---- DAG pairs (canonical-hash properties) ----
+
+   Two independent op-list branches over one shared input.
+   [graph_of_branches ~flipped:true] builds branch B before branch A:
+   every node gets a different id and the insertion order reverses, but
+   structure and relation names are the same — the structural
+   canonical hash must agree with the unflipped build. (Names are
+   given explicitly: the builder's auto-name counter follows insertion
+   order, and relation names are semantic — engines materialize and
+   scan-shares key by them — so they belong in the hash.) *)
+
+type branch_pair = {
+  ops_a : op list;
+  ops_b : op list;
+}
+
+let branch_pair_to_string p =
+  Printf.sprintf "{A=%s; B=%s}"
+    (print_list op_to_string p.ops_a)
+    (print_list op_to_string p.ops_b)
+
+let gen_branch_pair rng =
+  { ops_a = List.init (Rng.int rng 5) (fun _ -> gen_op rng);
+    ops_b = List.init (Rng.int rng 5) (fun _ -> gen_op rng) }
+
+let shrink_branch_pair p =
+  List.map
+    (fun ops_a -> { p with ops_a })
+    (shrink_list ~shrink_elt:shrink_op p.ops_a)
+  @ List.map
+      (fun ops_b -> { p with ops_b })
+      (shrink_list ~shrink_elt:shrink_op p.ops_b)
+
+let branch_pair_arbitrary =
+  make ~shrink:shrink_branch_pair ~print:branch_pair_to_string
+    gen_branch_pair
+
+let graph_of_branches ~flipped p =
+  let b = Ir.Builder.create () in
+  let inp = Ir.Builder.input b "r" in
+  let branch name ops =
+    let h, _ =
+      List.fold_left
+        (fun (h, i) op ->
+           (apply_op ~name:(Printf.sprintf "%s_n%d" name i) b h op, i + 1))
+        (inp, 0) ops
+    in
+    Ir.Builder.select b ~name ~pred:Relation.Expr.(col "k" > int (-1)) h
+  in
+  let outs =
+    if flipped then begin
+      let ob = branch "outB" p.ops_b in
+      let oa = branch "outA" p.ops_a in
+      [ oa; ob ]
+    end
+    else begin
+      let oa = branch "outA" p.ops_a in
+      let ob = branch "outB" p.ops_b in
+      [ oa; ob ]
+    end
+  in
+  Ir.Builder.finish b ~outputs:outs
+
+(* one-op semantic mutation: the mutated spec always denotes a
+   different computation, so its canonical hash must differ *)
+let mutate_ops = function
+  | [] -> [ Map_add 1 ]
+  | op :: rest ->
+    let op' =
+      match op with
+      | Select_gt c -> Select_gt (c + 1)
+      | Map_add c -> Map_add (c + 1)
+      | Group_sum -> Distinct
+      | Distinct -> Group_sum
+      | Union_self -> Distinct
+    in
+    op' :: rest
 
 (* ---- fault plans ---- *)
 

@@ -569,6 +569,100 @@ let prop_sizing_estimates_positive =
           Ir.Operator.Distinct; Ir.Operator.Cross;
           Ir.Operator.Join { left_key = "k"; right_key = "k" } ])
 
+(* ---- canonical hash: memoization and structural properties ---- *)
+
+let hash_computed () =
+  Obs.Metrics.counter Obs.Metrics.default "ir.canonical_hash.computed"
+
+(* the memo hit must survive read-only accessors: a second
+   [canonical_hash] after traversals returns the cached digest without
+   recomputing *)
+let test_hash_memoized () =
+  let g = build_pipeline [ 0; 1; 4; 2 ] in
+  let h1 = Ir.Dag.canonical_hash g in
+  let computed = hash_computed () in
+  ignore (Ir.Dag.operator_count g);
+  ignore (Ir.Dag.topological_order g);
+  ignore (Ir.Dag.sinks g);
+  ignore (Ir.Dag.output_relations g);
+  ignore (Ir.Dag.to_dot g);
+  let h2 = Ir.Dag.canonical_hash g in
+  Alcotest.(check string) "hash stable across accessors" h1 h2;
+  Alcotest.(check int) "no recomputation" computed (hash_computed ());
+  (* an equal graph built separately is a different physical value:
+     same digest, computed fresh *)
+  let g' = build_pipeline [ 0; 1; 4; 2 ] in
+  Alcotest.(check string) "same structure, same digest" h1
+    (Ir.Dag.canonical_hash g');
+  Alcotest.(check bool) "fresh graph recomputes" true
+    (hash_computed () > computed)
+
+let lite_seed =
+  match
+    Option.bind (Sys.getenv_opt "MUSKETEER_TEST_SEED") int_of_string_opt
+  with
+  | Some n -> n
+  | None -> 2026
+
+(* insertion order is representation, not structure: building branch B
+   before branch A renumbers every node yet must not move the hash *)
+let test_hash_insertion_order_invariant () =
+  try
+    Qcheck_lite.check ~count:100 ~seed:lite_seed
+      ~name:"canonical hash ignores insertion order"
+      Qcheck_lite.branch_pair_arbitrary
+      (fun p ->
+         Ir.Dag.canonical_hash (Qcheck_lite.graph_of_branches ~flipped:false p)
+         = Ir.Dag.canonical_hash
+             (Qcheck_lite.graph_of_branches ~flipped:true p))
+  with Qcheck_lite.Falsified msg -> Alcotest.fail msg
+
+(* a one-op semantic mutation must move the hash *)
+let test_hash_distinguishes_semantics () =
+  try
+    Qcheck_lite.check ~count:100 ~seed:lite_seed
+      ~name:"canonical hash separates semantically different DAGs"
+      Qcheck_lite.spec_arbitrary
+      (fun (spec : Qcheck_lite.workflow_spec) ->
+         let mutated =
+           { spec with
+             Qcheck_lite.ops = Qcheck_lite.mutate_ops spec.Qcheck_lite.ops }
+         in
+         Ir.Dag.canonical_hash (Qcheck_lite.graph_of_spec spec)
+         <> Ir.Dag.canonical_hash (Qcheck_lite.graph_of_spec mutated))
+  with Qcheck_lite.Falsified msg -> Alcotest.fail msg
+
+(* a shared subtree consumed twice hashes differently from two
+   physically duplicated copies of it only in node count, and the
+   multiset encoding keeps genuinely identical graphs equal even when
+   two nodes carry identical per-node hashes *)
+let test_hash_duplicate_nodes () =
+  let twice_shared () =
+    let b = Ir.Builder.create () in
+    let s =
+      Ir.Builder.select b ~pred:Expr.(col "v" > int 1) (Ir.Builder.input b "r")
+    in
+    let u = Ir.Builder.union b ~name:"out" s s in
+    Ir.Builder.finish b ~outputs:[ u ]
+  in
+  let twice_copied () =
+    let b = Ir.Builder.create () in
+    let inp = Ir.Builder.input b "r" in
+    let s1 = Ir.Builder.select b ~pred:Expr.(col "v" > int 1) inp in
+    let s2 = Ir.Builder.select b ~pred:Expr.(col "v" > int 1) inp in
+    let u = Ir.Builder.union b ~name:"out" s1 s2 in
+    Ir.Builder.finish b ~outputs:[ u ]
+  in
+  Alcotest.(check string) "identical builds agree"
+    (Ir.Dag.canonical_hash (twice_shared ()))
+    (Ir.Dag.canonical_hash (twice_shared ()));
+  Alcotest.(check string) "duplicated builds agree"
+    (Ir.Dag.canonical_hash (twice_copied ()))
+    (Ir.Dag.canonical_hash (twice_copied ()));
+  Alcotest.(check bool) "shared /= duplicated" true
+    (Ir.Dag.canonical_hash (twice_shared ())
+     <> Ir.Dag.canonical_hash (twice_copied ()))
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_interp_matches_kernel; prop_while_fixed_n_equals_unrolled;
@@ -612,4 +706,13 @@ let () =
           Alcotest.test_case "nested while" `Quick test_interp_nested_while;
           Alcotest.test_case "dot escaping" `Quick test_dag_to_dot_escaping;
           Alcotest.test_case "udf" `Quick test_udf ] );
+      ( "hash",
+        [ Alcotest.test_case "memoized across accessors" `Quick
+            test_hash_memoized;
+          Alcotest.test_case "insertion-order invariant" `Quick
+            test_hash_insertion_order_invariant;
+          Alcotest.test_case "separates semantics" `Quick
+            test_hash_distinguishes_semantics;
+          Alcotest.test_case "shared vs duplicated subtree" `Quick
+            test_hash_duplicate_nodes ] );
       ("properties", qcheck_cases) ]

@@ -33,7 +33,8 @@ let sample_record () : Obs.Ledger.record =
     shared_scan_mb_saved = 32.;
     counters = [ ("jobs.Hadoop", 2); ("jobs.Naiad", 1) ];
     gauges = [ ("calibration.factor.Hadoop", 1.2) ];
-    histograms = [ ("job.makespan_s", stats) ] }
+    histograms = [ ("job.makespan_s", stats) ];
+    serve = None }
 
 let test_round_trip () =
   let r = sample_record () in
@@ -78,6 +79,55 @@ let test_file_round_trip () =
   Alcotest.(check (list string)) "two appended records"
     [ "netflix"; "pagerank" ]
     (List.map (fun (r : Obs.Ledger.record) -> r.workflow) records)
+
+(* the serving-mode extension (schema 1.1) round-trips *)
+let test_serve_round_trip () =
+  let serve : Obs.Ledger.serve_info =
+    { tenant = "gold"; queue_delay_s = 1.25; latency_s = 7.5; cache = "hit" }
+  in
+  let r = { (sample_record ()) with serve = Some serve } in
+  let records, torn = Obs.Ledger.of_lines [ Obs.Ledger.line_of_record r ] in
+  Alcotest.(check int) "not torn" 0 torn;
+  match records with
+  | [ r' ] -> (
+    match r'.Obs.Ledger.serve with
+    | Some s ->
+      Alcotest.(check string) "tenant" "gold" s.tenant;
+      Alcotest.(check (float 1e-9)) "queue delay" 1.25 s.queue_delay_s;
+      Alcotest.(check (float 1e-9)) "latency" 7.5 s.latency_s;
+      Alcotest.(check string) "cache" "hit" s.cache
+    | None -> Alcotest.fail "serve info lost in round-trip")
+  | rs -> Alcotest.failf "expected 1 record, got %d" (List.length rs)
+
+(* a pre-1.1 ledger (schema "1.0", no "serve" field) must keep loading:
+   serving is an optional extension, not a migration *)
+let test_old_schema_without_serve () =
+  let line = Obs.Ledger.line_of_record (sample_record ()) in
+  let old_line =
+    match Obs.Json.of_string line with
+    | Obs.Json.Obj fields ->
+      Obs.Json.to_string
+        (Obs.Json.Obj
+           (("schema", Obs.Json.String "1.0")
+            :: List.remove_assoc "serve"
+                 (List.remove_assoc "schema" fields)))
+    | _ -> Alcotest.fail "record did not parse as an object"
+  in
+  Alcotest.(check bool) "no serve field emitted for None" false
+    (let n = String.length line in
+     let rec scan i =
+       i + 7 <= n && (String.sub line i 7 = "\"serve\"" || scan (i + 1))
+     in
+     scan 0);
+  let records, torn = Obs.Ledger.of_lines [ old_line ] in
+  Alcotest.(check int) "not torn" 0 torn;
+  match records with
+  | [ r ] ->
+    Alcotest.(check string) "old schema accepted" "1.0" r.Obs.Ledger.schema;
+    Alcotest.(check string) "payload intact" "netflix" r.Obs.Ledger.workflow;
+    Alcotest.(check bool) "serve defaults to None" true
+      (r.Obs.Ledger.serve = None)
+  | rs -> Alcotest.failf "expected 1 record, got %d" (List.length rs)
 
 (* unknown fields must be ignored, missing ones defaulted: an older
    reader keeps working when a newer minor version adds fields *)
@@ -264,6 +314,10 @@ let () =
   Alcotest.run "ledger"
     [ ( "ledger",
         [ Alcotest.test_case "record round-trip" `Quick test_round_trip;
+          Alcotest.test_case "serve info round-trip" `Quick
+            test_serve_round_trip;
+          Alcotest.test_case "pre-1.1 ledger loads" `Quick
+            test_old_schema_without_serve;
           Alcotest.test_case "file append/load" `Quick test_file_round_trip;
           Alcotest.test_case "newer minor tolerated" `Quick
             test_schema_skew_minor;

@@ -1,0 +1,435 @@
+(* The serving layer: plan-cache lifecycle (hit / miss / invalidated on
+   input size, calibration and breaker changes), cross-workflow shared
+   scans with epoch invalidation and flight expiry, start-time weighted
+   fair admission, per-tenant breaker isolation, and the byte-identity
+   promise — served outputs equal one-shot [run] outputs under every
+   jobs x fusion x columnar configuration. *)
+
+let lite_seed =
+  match Sys.getenv_opt "MUSKETEER_TEST_SEED" with
+  | Some s -> int_of_string s
+  | None -> 2026
+
+let cluster = Experiments.Common.ec2 16
+
+(* ---- fixtures (mirrors the serve bench's tiny key/value world) ---- *)
+
+let kv_schema =
+  Relation.Schema.make
+    [ { Relation.Schema.name = "k"; ty = Relation.Value.Tint };
+      { Relation.Schema.name = "v"; ty = Relation.Value.Tint } ]
+
+let kv_table seed =
+  Relation.Table.create kv_schema
+    (List.init 120 (fun i ->
+         [| Relation.Value.Int ((i + seed) mod 7);
+            Relation.Value.Int (i * (seed + 3)) |]))
+
+let fresh_hdfs () =
+  let hdfs = Engines.Hdfs.create () in
+  Engines.Hdfs.put hdfs "r1" ~modeled_mb:64. (kv_table 1);
+  Engines.Hdfs.put hdfs "r2" ~modeled_mb:48. (kv_table 2);
+  hdfs
+
+let agg_graph () =
+  let b = Ir.Builder.create () in
+  let r = Ir.Builder.input b "r1" in
+  let s = Ir.Builder.select b ~pred:Relation.Expr.(col "v" > int 4) r in
+  let m =
+    Ir.Builder.map b ~target:"centered"
+      ~expr:Relation.Expr.(col "v" - int 3)
+      s
+  in
+  let g =
+    Ir.Builder.group_by b ~name:"out" ~keys:[ "k" ]
+      ~aggs:
+        [ Relation.Aggregate.make (Relation.Aggregate.Sum "centered")
+            ~as_name:"v" ]
+      m
+  in
+  Ir.Builder.finish b ~outputs:[ g ]
+
+let light_graph () =
+  let b = Ir.Builder.create () in
+  let r = Ir.Builder.input b "r1" in
+  let s = Ir.Builder.select b ~pred:Relation.Expr.(col "v" > int 10) r in
+  let p = Ir.Builder.project b ~name:"out" ~columns:[ "k" ] s in
+  Ir.Builder.finish b ~outputs:[ p ]
+
+(* a long chain: the heavy tenant's expensive workflow *)
+let heavy_graph () =
+  let b = Ir.Builder.create () in
+  let r = ref (Ir.Builder.input b "r1") in
+  for i = 1 to 8 do
+    r :=
+      Ir.Builder.map b
+        ~target:(Printf.sprintf "m%d" i)
+        ~expr:Relation.Expr.(col "v" + int i)
+        !r
+  done;
+  let g =
+    Ir.Builder.group_by b ~name:"out" ~keys:[ "k" ]
+      ~aggs:
+        [ Relation.Aggregate.make (Relation.Aggregate.Sum "v") ~as_name:"v" ]
+      !r
+  in
+  Ir.Builder.finish b ~outputs:[ g ]
+
+let sorted_csv outputs =
+  List.sort compare
+    (List.map (fun (name, t) -> (name, Relation.Table.to_csv t)) outputs)
+
+let config ?(concurrency = 4) ?(weights = []) () =
+  { Serve.Service.concurrency; cache_capacity = 128; weights; ledger = None }
+
+let sub ?(tenant = "t") ?(workflow = "agg") ~at graph =
+  { Serve.Service.tenant; workflow; graph; arrival_s = at }
+
+let delta (a : Musketeer.Plan_cache.stats) (b : Musketeer.Plan_cache.stats) =
+  Musketeer.Plan_cache.
+    { hits = b.hits - a.hits;
+      misses = b.misses - a.misses;
+      invalidations = b.invalidations - a.invalidations }
+
+let check_stats what (want_h, want_m, want_i)
+    (d : Musketeer.Plan_cache.stats) =
+  Alcotest.(check (triple int int int))
+    what (want_h, want_m, want_i)
+    (d.hits, d.misses, d.invalidations)
+
+(* ---- plan cache via [Musketeer.plan ~cache] ---- *)
+
+let plan_once ~cache m ~hdfs g =
+  let before = Musketeer.Plan_cache.stats cache in
+  (match Musketeer.plan ~cache m ~workflow:"wf" ~hdfs g with
+   | Some _ -> ()
+   | None -> Alcotest.fail "graph should plan");
+  delta before (Musketeer.Plan_cache.stats cache)
+
+let test_cache_miss_then_hit () =
+  let hdfs = fresh_hdfs () in
+  let m = Experiments.Common.musketeer_for cluster in
+  let cache = Musketeer.Plan_cache.create () in
+  let g = agg_graph () in
+  check_stats "first plan misses" (0, 1, 0) (plan_once ~cache m ~hdfs g);
+  check_stats "second plan hits" (1, 0, 0) (plan_once ~cache m ~hdfs g);
+  (* a structurally equal graph built separately hits the same entry *)
+  check_stats "equal graph hits" (1, 0, 0)
+    (plan_once ~cache m ~hdfs (agg_graph ()));
+  Alcotest.(check int) "one entry" 1 (Musketeer.Plan_cache.size cache)
+
+let test_cache_invalidate_on_input_size () =
+  let hdfs = fresh_hdfs () in
+  let m = Experiments.Common.musketeer_for cluster in
+  let cache = Musketeer.Plan_cache.create () in
+  let g = agg_graph () in
+  ignore (plan_once ~cache m ~hdfs g);
+  (* same bytes, different modeled size: the fingerprint must move *)
+  Engines.Hdfs.put hdfs "r1" ~modeled_mb:256. (kv_table 1);
+  check_stats "resized input invalidates" (0, 0, 1)
+    (plan_once ~cache m ~hdfs g);
+  check_stats "then caches again" (1, 0, 0) (plan_once ~cache m ~hdfs g)
+
+let test_cache_invalidate_on_calibration () =
+  let hdfs = fresh_hdfs () in
+  let m = Experiments.Common.musketeer_for cluster in
+  let cache = Musketeer.Plan_cache.create () in
+  let g = agg_graph () in
+  Fun.protect ~finally:(fun () -> Musketeer.Calibrate.install []) @@ fun () ->
+  ignore (plan_once ~cache m ~hdfs g);
+  check_stats "warm before calibration" (1, 0, 0)
+    (plan_once ~cache m ~hdfs g);
+  Musketeer.Calibrate.install [ ("hadoop", 1.5) ];
+  check_stats "new factors invalidate" (0, 0, 1)
+    (plan_once ~cache m ~hdfs g)
+
+let test_cache_invalidate_on_breaker () =
+  let hdfs = fresh_hdfs () in
+  let m = Experiments.Common.musketeer_for cluster in
+  let cache = Musketeer.Plan_cache.create () in
+  let g = agg_graph () in
+  Engines.Breaker.enable ~threshold:1 ~window:4 ();
+  Fun.protect ~finally:(fun () -> Engines.Breaker.disable ()) @@ fun () ->
+  ignore (plan_once ~cache m ~hdfs g);
+  check_stats "warm before trip" (1, 0, 0) (plan_once ~cache m ~hdfs g);
+  Engines.Breaker.record_failure Engines.Backend.Spark;
+  Alcotest.(check bool)
+    "spark quarantined" true
+    (Engines.Breaker.quarantined Engines.Backend.Spark);
+  check_stats "quarantine invalidates" (0, 0, 1)
+    (plan_once ~cache m ~hdfs g)
+
+(* ---- cross-workflow scan share ---- *)
+
+let test_scan_share_pays_once () =
+  let sh = Engines.Scan_share.create () in
+  Alcotest.(check bool) "first claim pays" false
+    (Engines.Scan_share.claim sh ~relation:"r" ~mb:64.);
+  Alcotest.(check bool) "second claim rides free" true
+    (Engines.Scan_share.claim sh ~relation:"r" ~mb:64.);
+  Alcotest.(check int) "one paid read" 1
+    (Engines.Scan_share.paid_reads sh "r");
+  Alcotest.(check (float 1e-9)) "64 MB saved" 64.
+    (Engines.Scan_share.saved_mb sh)
+
+let test_scan_share_epoch_invalidation () =
+  let sh = Engines.Scan_share.create () in
+  ignore (Engines.Scan_share.claim sh ~relation:"r" ~mb:64.);
+  let e0 = Engines.Scan_share.epoch sh "r" in
+  Engines.Scan_share.note_write sh "r";
+  Alcotest.(check bool) "epoch bumped" true
+    (Engines.Scan_share.epoch sh "r" > e0);
+  Alcotest.(check bool) "stale entry pays again" false
+    (Engines.Scan_share.claim sh ~relation:"r" ~mb:64.);
+  Alcotest.(check int) "two paid reads" 2
+    (Engines.Scan_share.paid_reads sh "r")
+
+let test_scan_share_flight_expiry () =
+  let sh = Engines.Scan_share.create () in
+  let f = Engines.Scan_share.begin_flight sh in
+  Engines.Scan_share.with_flight sh f (fun () ->
+      Alcotest.(check bool) "payer pays in flight" false
+        (Engines.Scan_share.claim sh ~relation:"r" ~mb:64.);
+      Alcotest.(check bool) "co-flight rides free" true
+        (Engines.Scan_share.claim sh ~relation:"r" ~mb:64.));
+  Engines.Scan_share.end_flight sh f;
+  (* the payer landed, its entry expired: the next reader pays *)
+  Alcotest.(check bool) "post-flight claim pays" false
+    (Engines.Scan_share.claim sh ~relation:"r" ~mb:64.);
+  Alcotest.(check int) "two paid reads" 2
+    (Engines.Scan_share.paid_reads sh "r")
+
+(* ---- the service ---- *)
+
+let test_serve_cache_labels () =
+  let hdfs = fresh_hdfs () in
+  let m = Experiments.Common.musketeer_for cluster in
+  let g = agg_graph () in
+  let outcomes, _ =
+    Serve.Service.run ~config:(config ()) m ~hdfs
+      [ sub ~tenant:"a" ~at:0. g;
+        sub ~tenant:"b" ~at:0. g;
+        sub ~tenant:"a" ~at:5. g ]
+  in
+  Alcotest.(check (list string))
+    "miss then hits" [ "miss"; "hit"; "hit" ]
+    (List.map (fun (o : Serve.Service.outcome) -> o.cache) outcomes)
+
+let test_put_input_invalidates () =
+  let hdfs = fresh_hdfs () in
+  let m = Experiments.Common.musketeer_for cluster in
+  let svc = Serve.Service.create ~config:(config ()) m ~hdfs in
+  let g = agg_graph () in
+  let label at =
+    match Serve.Service.drive svc [ sub ~at g ] with
+    | [ o ] ->
+      Alcotest.(check (option string)) "no error" None o.error;
+      o.cache
+    | _ -> Alcotest.fail "one outcome expected"
+  in
+  Alcotest.(check string) "cold" "miss" (label 0.);
+  Alcotest.(check string) "warm" "hit" (label 10.);
+  Serve.Service.put_input svc "r1" ~modeled_mb:256. (kv_table 1);
+  Alcotest.(check string) "after overwrite" "invalidated" (label 20.);
+  Alcotest.(check string) "warm again" "hit" (label 30.)
+
+(* start-time fair queueing: with weights 2:1, equal-cost backlogs and
+   one admission slot, tenant "a" gets exactly two admissions per "b".
+   The expected sequence is the textbook SFQ trace — in particular it
+   interleaves; a min-*finish*-tag scheduler would tie on every step
+   and drain "a" completely first. *)
+let test_wfq_weighted_order () =
+  let hdfs = fresh_hdfs () in
+  let m = Experiments.Common.musketeer_for cluster in
+  let g = agg_graph () in
+  let subs =
+    List.concat_map
+      (fun tenant -> List.init 6 (fun _ -> sub ~tenant ~at:0. g))
+      [ "a"; "b" ]
+  in
+  let outcomes, _ =
+    Serve.Service.run
+      ~config:(config ~concurrency:1 ~weights:[ ("a", 2.); ("b", 1.) ] ())
+      m ~hdfs subs
+  in
+  let order =
+    List.map
+      (fun (o : Serve.Service.outcome) -> o.sub.Serve.Service.tenant)
+      outcomes
+  in
+  Alcotest.(check (list string))
+    "SFQ admission order"
+    [ "a"; "b"; "a"; "a"; "b"; "a"; "a"; "b"; "a"; "b"; "b"; "b" ]
+    order
+
+let test_breaker_per_tenant () =
+  Engines.Breaker.enable ~threshold:1 ~window:4 ();
+  Fun.protect ~finally:(fun () -> Engines.Breaker.disable ()) @@ fun () ->
+  Engines.Breaker.with_tenant "a" (fun () ->
+      Engines.Breaker.record_failure Engines.Backend.Spark);
+  Alcotest.(check bool)
+    "quarantined for tenant a" true
+    (Engines.Breaker.with_tenant "a" (fun () ->
+         Engines.Breaker.quarantined Engines.Backend.Spark));
+  Alcotest.(check bool)
+    "healthy for tenant b" false
+    (Engines.Breaker.with_tenant "b" (fun () ->
+         Engines.Breaker.quarantined Engines.Backend.Spark));
+  Alcotest.(check bool)
+    "healthy globally" false
+    (Engines.Breaker.quarantined Engines.Backend.Spark)
+
+(* ---- properties ---- *)
+
+(* Served outputs are byte-identical to a one-shot [run] of the same
+   graph, for generated workflows under jobs {1,4} x fusion on/off x
+   columnar on/off. *)
+let test_serve_identity_differential () =
+  Qcheck_lite.check ~count:6 ~seed:lite_seed
+    ~name:"served outputs = one-shot outputs"
+    Qcheck_lite.spec_arbitrary
+    (fun spec ->
+      let g = Qcheck_lite.graph_of_spec spec in
+      List.for_all
+        (fun jobs ->
+          List.for_all
+            (fun fusion ->
+              List.for_all
+                (fun columnar ->
+                  Relation.Pool.with_jobs jobs @@ fun () ->
+                  Relation.Column.with_enabled columnar @@ fun () ->
+                  Ir.Fusion.set_enabled (Some fusion);
+                  Fun.protect
+                    ~finally:(fun () -> Ir.Fusion.set_enabled None)
+                  @@ fun () ->
+                  let hdfs = Qcheck_lite.hdfs_of_spec spec in
+                  let base = Engines.Hdfs.snapshot hdfs in
+                  let reference =
+                    let m = Experiments.Common.musketeer_for cluster in
+                    match
+                      Musketeer.plan m ~workflow:"spec" ~hdfs:base g
+                    with
+                    | None -> Alcotest.fail "spec should plan"
+                    | Some (plan, g') -> (
+                      match
+                        Musketeer.execute_plan ~record_history:false m
+                          ~workflow:"spec" ~hdfs:base ~graph:g' plan
+                      with
+                      | Error e ->
+                        Alcotest.fail (Engines.Report.error_to_string e)
+                      | Ok r -> sorted_csv r.Musketeer.Executor.outputs)
+                  in
+                  let m = Experiments.Common.musketeer_for cluster in
+                  let outcomes, _ =
+                    Serve.Service.run ~config:(config ()) m ~hdfs
+                      [ sub ~tenant:"a" ~workflow:"spec" ~at:0. g;
+                        sub ~tenant:"b" ~workflow:"spec" ~at:0. g;
+                        sub ~tenant:"a" ~workflow:"spec" ~at:3. g ]
+                  in
+                  List.for_all
+                    (fun (o : Serve.Service.outcome) ->
+                      o.error = None && sorted_csv o.outputs = reference)
+                    outcomes)
+                [ true; false ])
+            [ true; false ])
+        [ 1; 4 ])
+
+(* Admission fairness: a light tenant's p99 queue delay in a mix with a
+   heavy tenant stays within a constant factor of its solo p99 (plus
+   one largest service time — it can always be stuck behind a job that
+   was already admitted). *)
+let test_fairness_property () =
+  let weights = [ ("light", 4.); ("heavy", 1.) ] in
+  List.iter
+    (fun seed ->
+      let light_mix =
+        [ { Serve.Client.workflow = "light"; graph = light_graph ();
+            weight = 1. } ]
+      in
+      let heavy_mix =
+        [ { Serve.Client.workflow = "heavy"; graph = heavy_graph ();
+            weight = 1. } ]
+      in
+      let light_subs =
+        Serve.Client.generate ~seed ~rate_per_s:0.3 ~count:8
+          ~tenants:[ ("light", 1.) ] ~mix:light_mix ()
+      in
+      let heavy_subs =
+        Serve.Client.generate ~seed:(seed + 101) ~rate_per_s:4. ~count:24
+          ~tenants:[ ("heavy", 1.) ] ~mix:heavy_mix ()
+      in
+      let serve subs =
+        let hdfs = fresh_hdfs () in
+        let m = Experiments.Common.musketeer_for cluster in
+        let outcomes, _ =
+          Serve.Service.run
+            ~config:(config ~concurrency:2 ~weights ())
+            m ~hdfs subs
+        in
+        List.iter
+          (fun (o : Serve.Service.outcome) ->
+            Alcotest.(check (option string)) "no serve error" None o.error)
+          outcomes;
+        outcomes
+      in
+      let light_p99 outcomes =
+        Serve.Service.percentile 0.99
+          (List.filter_map
+             (fun (o : Serve.Service.outcome) ->
+               if o.sub.Serve.Service.tenant = "light" then
+                 Some o.queue_delay_s
+               else None)
+             outcomes)
+      in
+      let solo = serve light_subs in
+      let mixed = serve (light_subs @ heavy_subs) in
+      Alcotest.(check int)
+        "all submissions served"
+        (List.length light_subs + List.length heavy_subs)
+        (List.length mixed);
+      let max_service =
+        List.fold_left
+          (fun acc (o : Serve.Service.outcome) ->
+            Float.max acc (o.finish_s -. o.admit_s))
+          0. mixed
+      in
+      let p_solo = light_p99 solo and p_mixed = light_p99 mixed in
+      let bound = (5. *. p_solo) +. (5. *. max_service) in
+      if p_mixed > bound then
+        Alcotest.failf
+          "seed %d: light p99 queue delay %.3fs in mix exceeds bound %.3fs \
+           (solo p99 %.3fs, max service %.3fs)"
+          seed p_mixed bound p_solo max_service)
+    [ lite_seed; lite_seed + 1; lite_seed + 2 ]
+
+let () =
+  Alcotest.run "serve"
+    [ ("plan_cache",
+       [ Alcotest.test_case "miss then hit" `Quick test_cache_miss_then_hit;
+         Alcotest.test_case "input resize invalidates" `Quick
+           test_cache_invalidate_on_input_size;
+         Alcotest.test_case "calibration invalidates" `Quick
+           test_cache_invalidate_on_calibration;
+         Alcotest.test_case "breaker trip invalidates" `Quick
+           test_cache_invalidate_on_breaker ]);
+      ("scan_share",
+       [ Alcotest.test_case "co-readers pay once" `Quick
+           test_scan_share_pays_once;
+         Alcotest.test_case "write bumps epoch" `Quick
+           test_scan_share_epoch_invalidation;
+         Alcotest.test_case "entries expire with their flight" `Quick
+           test_scan_share_flight_expiry ]);
+      ("service",
+       [ Alcotest.test_case "cache labels across submissions" `Quick
+           test_serve_cache_labels;
+         Alcotest.test_case "put_input invalidates cached plans" `Quick
+           test_put_input_invalidates;
+         Alcotest.test_case "weighted fair admission order" `Quick
+           test_wfq_weighted_order;
+         Alcotest.test_case "breaker isolates tenants" `Quick
+           test_breaker_per_tenant ]);
+      ("properties",
+       [ Alcotest.test_case "served = one-shot (jobs x fusion x columnar)"
+           `Slow test_serve_identity_differential;
+         Alcotest.test_case "light tenant p99 bounded in mix" `Slow
+           test_fairness_property ]) ]
