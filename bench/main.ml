@@ -1053,7 +1053,7 @@ let serve_bench () =
   in
   let config =
     { Serve.Service.concurrency = 4; cache_capacity = 128;
-      weights = tenants; ledger = None }
+      subresult_cache_mb = 0.; weights = tenants; ledger = None }
   in
   let sorted_csv outputs =
     List.sort compare
@@ -1263,6 +1263,327 @@ let serve_bench () =
       Out_channel.output_string oc json);
   Printf.printf "wrote BENCH_serve.json\n"
 
+(* == target: subplan — common-subplan sharing + sub-result cache ==
+
+   Three claims about the serving layer's multi-query optimization,
+   all enforced fatally (virtual time makes them deterministic):
+   (1) byte identity: with sharing on, every served output equals a
+       one-shot run of the same workflow under jobs {1,4} x fusion x
+       columnar — sharing may only move accounting, never rows;
+   (2) repeat traffic over a two-tenant common-prefix mix cuts the
+       total modeled makespan by >= 1.3x versus sharing off;
+   (3) the shared prefix executes once per input epoch: N sequential
+       repeats pay one materialization and attach N-1 times, and an
+       input overwrite forces exactly one repayment.
+
+   Writes BENCH_subplan.json. *)
+
+let subplan_bench () =
+  let open Relation in
+  let kv_schema =
+    Schema.make
+      [ { Schema.name = "k"; ty = Value.Tint };
+        { Schema.name = "v"; ty = Value.Tint } ]
+  in
+  let kv_table seed =
+    Table.create kv_schema
+      (List.init 120 (fun i ->
+           [| Value.Int ((i + seed) mod 7); Value.Int (i * (seed + 3)) |]))
+  in
+  let fresh_hdfs () =
+    let hdfs = Engines.Hdfs.create () in
+    Engines.Hdfs.put hdfs "r1" ~modeled_mb:512. (kv_table 1);
+    Engines.Hdfs.put hdfs "r2" ~modeled_mb:48. (kv_table 2);
+    hdfs
+  in
+  (* both workflows share a heavy featurize-and-aggregate prefix over
+     r1 (select + map chain + projection + GROUP BY, so the modeled
+     materialization is small); the suffixes differ, so only the
+     prefix is shareable *)
+  let prefix b =
+    let r = Ir.Builder.input b "r1" in
+    let s = Ir.Builder.select b ~pred:Expr.(col "v" > int 4) r in
+    let m = ref s in
+    for i = 1 to 6 do
+      m :=
+        Ir.Builder.map b
+          ~target:(Printf.sprintf "m%d" i)
+          ~expr:Expr.(col "v" + int i)
+          !m
+    done;
+    let p = Ir.Builder.project b ~columns:[ "k"; "m6" ] !m in
+    Ir.Builder.group_by b ~keys:[ "k" ]
+      ~aggs:[ Aggregate.make (Aggregate.Sum "m6") ~as_name:"v" ]
+      p
+  in
+  let agg_graph () =
+    let b = Ir.Builder.create () in
+    let p = prefix b in
+    let m =
+      Ir.Builder.map b ~name:"out" ~target:"w"
+        ~expr:Expr.(col "v" + int 1)
+        p
+    in
+    Ir.Builder.finish b ~outputs:[ m ]
+  in
+  let sorted_graph () =
+    let b = Ir.Builder.create () in
+    let p = prefix b in
+    let s = Ir.Builder.sort b ~name:"out" ~by:"v" ~descending:true p in
+    Ir.Builder.finish b ~outputs:[ s ]
+  in
+  let tenants = [ ("gold", 3.); ("bronze", 1.) ] in
+  let mix =
+    [ { Serve.Client.workflow = "agg"; graph = agg_graph (); weight = 1. };
+      { Serve.Client.workflow = "sorted"; graph = sorted_graph ();
+        weight = 1. } ]
+  in
+  let config ~cache_mb =
+    { Serve.Service.concurrency = 4; cache_capacity = 128;
+      subresult_cache_mb = cache_mb; weights = tenants; ledger = None }
+  in
+  let sorted_csv outputs =
+    List.sort compare
+      (List.map (fun (name, t) -> (name, Table.to_csv t)) outputs)
+  in
+  let cluster = Experiments.Common.ec2 16 in
+  let reference_outputs ~hdfs (e : Serve.Client.mix_entry) =
+    let h = Engines.Hdfs.snapshot hdfs in
+    let m = Experiments.Common.musketeer_for cluster in
+    match Musketeer.plan m ~workflow:e.workflow ~hdfs:h e.graph with
+    | None ->
+      Printf.eprintf "FATAL: %s does not plan\n" e.workflow;
+      exit 1
+    | Some (plan, g') -> (
+      match
+        Musketeer.execute_plan ~record_history:false m ~workflow:e.workflow
+          ~hdfs:h ~graph:g' plan
+      with
+      | Error err ->
+        Printf.eprintf "FATAL: one-shot %s failed: %s\n" e.workflow
+          (Engines.Report.error_to_string err);
+        exit 1
+      | Ok r -> sorted_csv r.Musketeer.Executor.outputs)
+  in
+
+  (* -- part 1: byte-identity matrix with sharing ON -- *)
+  let identity_configs = ref 0 in
+  List.iter
+    (fun jobs ->
+       List.iter
+         (fun fusion ->
+            List.iter
+              (fun columnar ->
+                 incr identity_configs;
+                 Pool.with_jobs jobs @@ fun () ->
+                 Column.with_enabled columnar @@ fun () ->
+                 Ir.Fusion.set_enabled (Some fusion);
+                 Fun.protect
+                   ~finally:(fun () -> Ir.Fusion.set_enabled None)
+                 @@ fun () ->
+                 let hdfs = fresh_hdfs () in
+                 let base = Engines.Hdfs.snapshot hdfs in
+                 let m = Experiments.Common.musketeer_for cluster in
+                 let subs =
+                   Serve.Client.generate ~seed:4242 ~rate_per_s:1.
+                     ~count:8 ~tenants ~mix ()
+                 in
+                 let outcomes, _ =
+                   Serve.Service.run ~config:(config ~cache_mb:256.) m
+                     ~hdfs subs
+                 in
+                 let reference =
+                   List.map
+                     (fun (e : Serve.Client.mix_entry) ->
+                        (e.workflow, reference_outputs ~hdfs:base e))
+                     mix
+                 in
+                 List.iter
+                   (fun (o : Serve.Service.outcome) ->
+                      (match o.error with
+                       | Some err ->
+                         Printf.eprintf
+                           "FATAL: shared serve %s failed (jobs=%d \
+                            fusion=%b columnar=%b): %s\n"
+                           o.sub.Serve.Service.workflow jobs fusion columnar
+                           err;
+                         exit 1
+                       | None -> ());
+                      let want =
+                        List.assoc o.sub.Serve.Service.workflow reference
+                      in
+                      if sorted_csv o.outputs <> want then begin
+                        Printf.eprintf
+                          "FATAL: shared-subplan %s output differs from \
+                           one-shot run (jobs=%d fusion=%b columnar=%b)\n"
+                          o.sub.Serve.Service.workflow jobs fusion columnar;
+                        exit 1
+                      end)
+                   outcomes)
+              [ true; false ])
+         [ true; false ])
+    [ 1; 4 ];
+  Printf.printf
+    "identity: 8 shared-subplan submissions x %d configs (jobs x fusion x \
+     columnar) byte-identical to one-shot runs\n%!"
+    !identity_configs;
+
+  (* -- part 2: repeat-traffic modeled-makespan cut -- *)
+  let load_count = 24 in
+  let run_load cache_mb =
+    let hdfs = fresh_hdfs () in
+    let m = Experiments.Common.musketeer_for cluster in
+    let subs =
+      Serve.Client.generate ~seed:4242 ~rate_per_s:1. ~count:load_count
+        ~tenants ~mix ()
+    in
+    let outcomes, svc =
+      Serve.Service.run ~config:(config ~cache_mb) m ~hdfs subs
+    in
+    List.iter
+      (fun (o : Serve.Service.outcome) ->
+         match o.error with
+         | Some err ->
+           Printf.eprintf "FATAL: submission failed (cache %.0f MB): %s\n"
+             cache_mb err;
+           exit 1
+         | None -> ())
+      outcomes;
+    (outcomes, svc)
+  in
+  let total_makespan outcomes =
+    List.fold_left
+      (fun acc (o : Serve.Service.outcome) -> acc +. o.makespan_s)
+      0. outcomes
+  in
+  let off_outcomes, _ = run_load 0. in
+  let on_outcomes, on_svc = run_load 256. in
+  let off_makespan = total_makespan off_outcomes
+  and on_makespan = total_makespan on_outcomes in
+  let speedup = off_makespan /. Float.max on_makespan 1e-9 in
+  let hits =
+    List.fold_left
+      (fun acc (o : Serve.Service.outcome) -> acc + o.subplan_hits)
+      0 on_outcomes
+  and paid =
+    List.fold_left
+      (fun acc (o : Serve.Service.outcome) -> acc + o.subplan_paid)
+      0 on_outcomes
+  in
+  let attached_mb = Engines.Subplan_share.attached_mb
+                      (Serve.Service.subplan_share on_svc) in
+  let cache_stats =
+    Serve.Subresult_cache.stats (Serve.Service.subresult_cache on_svc)
+  in
+  Printf.printf
+    "repeat traffic: %d submissions, modeled makespan %.1fs off -> %.1fs \
+     on (%.2fx), %d prefixes attached / %d materialized\n%!"
+    load_count off_makespan on_makespan speedup hits paid;
+  if speedup < 1.3 then begin
+    Printf.eprintf
+      "FATAL: subplan sharing cut modeled makespan only %.2fx (< 1.3x)\n"
+      speedup;
+    exit 1
+  end;
+  if hits = 0 then begin
+    Printf.eprintf "FATAL: no prefixes attached under repeat traffic\n";
+    exit 1
+  end;
+
+  (* -- part 3: the prefix executes once per input epoch -- *)
+  let hdfs3 = fresh_hdfs () in
+  let m3 = Experiments.Common.musketeer_for cluster in
+  let svc3 =
+    Serve.Service.create ~config:(config ~cache_mb:256.) m3 ~hdfs:hdfs3
+  in
+  let one at =
+    match
+      Serve.Service.drive svc3
+        [ { Serve.Service.tenant = "gold"; workflow = "agg";
+            graph = agg_graph (); arrival_s = at } ]
+    with
+    | [ o ] ->
+      (match o.error with
+       | Some err ->
+         Printf.eprintf "FATAL: epoch submission failed: %s\n" err;
+         exit 1
+       | None -> ());
+      (o.Serve.Service.subplan_hits, o.Serve.Service.subplan_paid)
+    | _ ->
+      Printf.eprintf "FATAL: expected one outcome\n";
+      exit 1
+  in
+  let h1, p1 = one 0. in
+  let h2, p2 = one 10000. in
+  let h3, p3 = one 20000. in
+  let epoch_paid = p1 + p2 + p3 and epoch_hits = h1 + h2 + h3 in
+  Serve.Service.put_input svc3 "r1" ~modeled_mb:64. (kv_table 1);
+  let h4, p4 = one 30000. in
+  Printf.printf
+    "epochs: 3 repeats paid %d materialization(s), attached %d; input \
+     overwrite repaid %d\n%!"
+    epoch_paid epoch_hits p4;
+  if epoch_paid <> 1 || epoch_hits <> 2 then begin
+    Printf.eprintf
+      "FATAL: prefix not executed once per epoch (paid %d, want 1; \
+       attached %d, want 2)\n"
+      epoch_paid epoch_hits;
+    exit 1
+  end;
+  if p4 <> 1 || h4 <> 0 then begin
+    Printf.eprintf
+      "FATAL: input overwrite must force exactly one repayment (paid %d, \
+       attached %d)\n"
+      p4 h4;
+    exit 1
+  end;
+
+  let json =
+    let b = Buffer.create 2048 in
+    Buffer.add_string b "{\n";
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"identity\": {\"configs\": %d, \"submissions_each\": 8, \
+          \"ok\": true},\n"
+         !identity_configs);
+    Buffer.add_string b "  \"repeat\": {\n";
+    Buffer.add_string b
+      (Printf.sprintf "    \"submissions\": %d,\n" load_count);
+    Buffer.add_string b
+      (Printf.sprintf "    \"off_makespan_s\": %.6f,\n" off_makespan);
+    Buffer.add_string b
+      (Printf.sprintf "    \"on_makespan_s\": %.6f,\n" on_makespan);
+    Buffer.add_string b
+      (Printf.sprintf "    \"speedup\": %.3f,\n" speedup);
+    Buffer.add_string b "    \"min_speedup\": 1.3,\n";
+    Buffer.add_string b
+      (Printf.sprintf "    \"subplan_hits\": %d,\n" hits);
+    Buffer.add_string b
+      (Printf.sprintf "    \"subplan_paid\": %d,\n" paid);
+    Buffer.add_string b
+      (Printf.sprintf "    \"attached_mb\": %.3f,\n" attached_mb);
+    Buffer.add_string b
+      (Printf.sprintf
+         "    \"subresult_cache\": {\"hits\": %d, \"misses\": %d, \
+          \"evictions\": %d, \"entries\": %d, \"bytes_mb\": %.3f}\n"
+         cache_stats.Serve.Subresult_cache.hits
+         cache_stats.Serve.Subresult_cache.misses
+         cache_stats.Serve.Subresult_cache.evictions
+         cache_stats.Serve.Subresult_cache.entries
+         cache_stats.Serve.Subresult_cache.bytes_mb);
+    Buffer.add_string b "  },\n";
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"epochs\": {\"repeats\": 3, \"paid_first_epoch\": %d, \
+          \"hits_first_epoch\": %d, \"paid_after_write\": %d}\n"
+         epoch_paid epoch_hits p4);
+    Buffer.add_string b "}\n";
+    Buffer.contents b
+  in
+  Out_channel.with_open_text "BENCH_subplan.json" (fun oc ->
+      Out_channel.output_string oc json);
+  Printf.printf "wrote BENCH_subplan.json\n"
+
 (* pull "--trace FILE" out of the argument list *)
 let rec extract_trace = function
   | [] -> (None, [])
@@ -1300,13 +1621,17 @@ let () =
          (BENCH_calibration.json)";
       print_endline
         "serve     multi-tenant serving: identity matrix, plan cache, \
-         shared scans (BENCH_serve.json)"
+         shared scans (BENCH_serve.json)";
+      print_endline
+        "subplan   common-subplan sharing + sub-result cache \
+         (BENCH_subplan.json)"
     | [ "bechamel" ] -> run_target "bechamel" bechamel
     | [ "kernels-par" ] -> run_target "kernels-par" kernels_par
     | [ "fusion" ] -> run_target "fusion" fusion_bench
     | [ "supervision" ] -> run_target "supervision" supervision_bench
     | [ "calibration" ] -> run_target "calibration" calibration_bench
     | [ "serve" ] -> run_target "serve" serve_bench
+    | [ "subplan" ] -> run_target "subplan" subplan_bench
     | [] ->
       List.iter
         (fun (name, _, f) ->
@@ -1329,6 +1654,7 @@ let () =
              else if raw = "calibration" then
                run_target "calibration" calibration_bench
              else if raw = "serve" then run_target "serve" serve_bench
+             else if raw = "subplan" then run_target "subplan" subplan_bench
              else Printf.eprintf "unknown target %s (try: list)\n" raw)
         names
   in

@@ -774,6 +774,16 @@ let cache_capacity_arg =
     & info [ "cache-capacity" ] ~docv:"N"
         ~doc:"Plan-cache entries before LRU eviction.")
 
+let subresult_cache_mb_arg =
+  Arg.(
+    value & opt float 256.
+    & info [ "subresult-cache-mb" ] ~docv:"MB"
+        ~doc:
+          "Budget (modeled MB) of the materialized sub-result cache: \
+           common DAG prefixes execute once and repeat traffic \
+           attaches to the cached materialization. 0 disables \
+           subplan sharing entirely.")
+
 let check_identity_arg =
   Arg.(
     value & flag
@@ -786,8 +796,8 @@ let check_identity_arg =
 
 let serve_cmd =
   let run mix_spec tenants_spec rate count seed nodes concurrency
-      cache_capacity check_identity trace jobs no_fusion breaker ledger
-      no_calibrate =
+      cache_capacity subresult_cache_mb check_identity trace jobs no_fusion
+      breaker ledger no_calibrate =
     Relation.Pool.set_jobs jobs;
     set_fusion no_fusion;
     set_breaker breaker;
@@ -824,8 +834,8 @@ let serve_cmd =
       Serve.Client.generate ~seed ~rate_per_s:rate ~count ~tenants ~mix ()
     in
     let config =
-      { Serve.Service.concurrency; cache_capacity; weights = tenants;
-        ledger }
+      { Serve.Service.concurrency; cache_capacity; subresult_cache_mb;
+        weights = tenants; ledger }
     in
     with_trace trace @@ fun () ->
     let cluster = Engines.Cluster.ec2 ~nodes in
@@ -923,8 +933,8 @@ let serve_cmd =
     Term.(
       const run $ mix_arg $ tenants_arg $ rate_arg $ count_arg $ seed_arg
       $ nodes_arg $ concurrency_arg $ cache_capacity_arg
-      $ check_identity_arg $ trace_arg $ jobs_arg $ no_fusion_arg
-      $ breaker_arg $ ledger_arg $ no_calibrate_arg)
+      $ subresult_cache_mb_arg $ check_identity_arg $ trace_arg $ jobs_arg
+      $ no_fusion_arg $ breaker_arg $ ledger_arg $ no_calibrate_arg)
 
 (* ---- report: read the ledger back ---- *)
 
@@ -1040,6 +1050,14 @@ let serve_cache_counts rows =
        | _ -> (h, m + 1, i))
     (0, 0, 0) rows
 
+(* total shared prefixes attached and their modeled MB (schema 1.2;
+   older serve records read back as zero) *)
+let serve_subplan_totals rows =
+  List.fold_left
+    (fun (hits, mb) (s : Obs.Ledger.serve_info) ->
+       (hits + s.subplan_hits, mb +. s.subplan_attached_mb))
+    (0, 0.) rows
+
 (* per-tenant table: (tenant, n, queue p50, queue p99, latency p99) *)
 let serve_tenant_table rows =
   let tbl : (string, Obs.Ledger.serve_info list ref) Hashtbl.t =
@@ -1119,6 +1137,11 @@ let report_json records =
               Obs.Json.Number
                 (if total = 0 then 0.
                  else float_of_int hits /. float_of_int total));
+             ("subplan_hits",
+              Obs.Json.Number
+                (float_of_int (fst (serve_subplan_totals rows))));
+             ("subplan_attached_mb",
+              Obs.Json.Number (snd (serve_subplan_totals rows)));
              ("tenants",
               Obs.Json.List
                 (List.map
@@ -1179,6 +1202,11 @@ let pp_report ppf records =
       (if total = 0 then 0.
        else 100. *. float_of_int hits /. float_of_int total)
       hits misses invalidations;
+    (let sp_hits, sp_mb = serve_subplan_totals rows in
+     if sp_hits > 0 then
+       Format.fprintf ppf
+         "  subplans: %d shared prefixes attached (%.0f MB skipped)@."
+         sp_hits sp_mb);
     Format.fprintf ppf "  %-12s %6s %10s %10s %12s@." "tenant" "n"
       "queue p50" "queue p99" "latency p99";
     List.iter

@@ -248,6 +248,22 @@ let job_cost ~profile ~graph ~est backend ids =
        let _, total = Engines.Perf.makespan rates volumes in
        Finite (factor *. total))
 
+(* Plan-time pricing of a common-subplan cut (docs/serving.md): an
+   attached or cached prefix is replaced by a synthetic INPUT, so the
+   partitioner automatically sees zero compute and one HDFS read of
+   [read_mb] for it. The [saved_mb] side aggregates the modeled
+   volumes an attacher skips — the cone's deduped input pulls, its
+   processing and its shuffle traffic. The serving layer materializes
+   a prefix only when saved exceeds read, so sharing never inflates
+   the modeled makespan. *)
+let subplan_cut ~graph ~est id =
+  let cone = Ir.Dag.cone graph id in
+  let read_mb = Estimator.output_mb est id in
+  let v = job_volumes ~graph ~est cone in
+  ( read_mb,
+    v.Engines.Perf.input_mb +. v.Engines.Perf.process_mb
+    +. v.Engines.Perf.comm_mb )
+
 let plan_cost ~profile ~graph ~est plan =
   List.fold_left
     (fun acc (backend, ids) ->

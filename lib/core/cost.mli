@@ -36,3 +36,13 @@ val job_volumes :
 val plan_cost :
   profile:Profile.t -> graph:Ir.Dag.t -> est:Estimator.t ->
   (Engines.Backend.t * int list) list -> verdict
+
+(** [subplan_cut ~graph ~est id] = [(read_mb, saved_mb)] — plan-time
+    pricing of sharing the subplan rooted at [id]: what attaching
+    costs (one HDFS read of the materialized prefix) vs what it saves
+    (the cone's deduped input pulls + processing + shuffle traffic).
+    The serving layer cuts only when saved exceeds read; the cut
+    itself is priced by the ordinary partitioner because the attached
+    prefix *is* an INPUT after [Subplan.cut]. *)
+val subplan_cut :
+  graph:Ir.Dag.t -> est:Estimator.t -> int -> float * float

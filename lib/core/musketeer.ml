@@ -17,6 +17,8 @@ module Mapper = Mapper
 module Explain = Explain
 module Calibrate = Calibrate
 module Plan_cache = Plan_cache
+module Subplan = Subplan
+module Rebuild = Rebuild
 module Obs = Obs
 
 type t = {

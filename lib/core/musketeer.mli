@@ -42,6 +42,13 @@ module Calibrate = Calibrate
 (** Plan cache for repeat traffic (serving mode). *)
 module Plan_cache = Plan_cache
 
+(** Common-subplan sharing: cut points, prefix extraction and the
+    attach rewrite (serving mode's multi-query optimization). *)
+module Subplan = Subplan
+
+(** Re-emitting IR nodes through a builder (graph rewrites). *)
+module Rebuild = Rebuild
+
 (** Observability: tracing, metrics and exporters (also available as
     the stand-alone [musketeer.obs] library). *)
 module Obs = Obs

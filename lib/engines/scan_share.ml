@@ -61,10 +61,21 @@ let with_flight t id f =
 
 (* [claim t ~relation ~mb] — true when a co-admitted workflow already
    paid for the current epoch of [relation] (the scan is free); false
-   when this claim pays, recording the current flight as payer. *)
+   when this claim pays, recording the current flight as payer.
+
+   A re-claim by the *paying flight itself* (several jobs of one
+   submission scanning the same INPUT, or a plan-cache hit replaying a
+   cached plan's scans) still rides free but is counted as
+   [scan.intra_flight], not [scan.cross_workflow]: the cross counters
+   and saved-MB gauge must only measure sharing *between* co-admitted
+   workflows, so repeat traffic with no overlap pins them at zero. *)
 let claim t ~relation ~mb =
   let current_epoch = epoch t relation in
   match Hashtbl.find_opt t.entries relation with
+  | Some e when e.epoch = current_epoch && e.payer = t.current_flight
+             && t.current_flight >= 0 ->
+    Obs.Metrics.incr Obs.Metrics.default "scan.intra_flight";
+    true
   | Some e when e.epoch = current_epoch ->
     t.saved_mb <- t.saved_mb +. mb;
     Obs.Metrics.incr Obs.Metrics.default "scan.cross_workflow";

@@ -16,8 +16,12 @@
     client overwrites an input.
 
     Counters in {!Obs.Metrics.default}: [scan.cross_workflow] (free
-    rides), [scan.cross_invalidated] (epoch-stale entries dropped), and
-    the [scan.cross_mb_saved] gauge. Main-domain only, like the pool. *)
+    rides from another workflow's payment), [scan.intra_flight] (free
+    rides within the paying flight itself — e.g. two jobs of one
+    submission scanning the same INPUT, or a plan-cache hit replaying
+    scans; these never touch the cross counters),
+    [scan.cross_invalidated] (epoch-stale entries dropped), and the
+    [scan.cross_mb_saved] gauge. Main-domain only, like the pool. *)
 
 type t
 

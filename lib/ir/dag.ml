@@ -334,8 +334,13 @@ let fnv_feed h s =
        Int64.mul (Int64.logxor h (Int64.of_int (Char.code c))) 0x100000001b3L)
     h s
 
-let rec structural_hash (g : Operator.graph) =
-  let hex h = Printf.sprintf "%016Lx" h in
+let hex h = Printf.sprintf "%016Lx" h
+
+(* Per-node subtree hashes: each node's hash folds in its operator
+   description, output relation and its inputs' hashes, so it covers
+   the node's entire input cone bottom-up ([validate] guarantees inputs
+   have lower ids, so one forward pass suffices). *)
+let rec subtree_hashes (g : Operator.graph) =
   let by_id = Hashtbl.create 32 in
   let node_hash (n : Operator.node) =
     let h = fnv_feed fnv_seed (Operator.describe n.Operator.kind) in
@@ -356,6 +361,10 @@ let rec structural_hash (g : Operator.graph) =
     (fun (n : Operator.node) ->
        Hashtbl.replace by_id n.Operator.id (node_hash n))
     g.Operator.nodes;
+  by_id
+
+and structural_hash (g : Operator.graph) =
+  let by_id = subtree_hashes g in
   let feed_sorted h items =
     List.fold_left
       (fun h s -> fnv_feed (fnv_feed h s) ";")
@@ -376,23 +385,34 @@ let rec structural_hash (g : Operator.graph) =
   let h = feed_sorted h g.Operator.loop_carried in
   hex h
 
-(* The hash is recomputed on every ledger append, history record and
-   plan-cache probe, so memoize per DAG value. Keyed on physical
+(* Hashes are recomputed on every ledger append, history record,
+   plan-cache probe and subplan match, so memoize per DAG value — both
+   the graph hash and the per-node subtree table. Keyed on physical
    identity: [Operator.graph] embeds UDF closures, which structural
-   equality/hashing must never touch. Bounded so long-lived services
-   cycling through many DAGs don't leak. *)
-let hash_memo : (t * string) list ref = ref []
+   equality/hashing must never touch. Because the key is physical,
+   "mutating" a node (always done by rebuilding the graph through
+   {!Builder}/Rebuild) yields a fresh graph value and hence a fresh
+   entry — child-dependent parent hashes are recomputed, never served
+   stale. Bounded so long-lived services cycling through many DAGs
+   don't leak. *)
+type hash_entry = {
+  he_graph : string;
+  he_nodes : (int, int64) Hashtbl.t;
+}
+
+let hash_memo : (t * hash_entry) list ref = ref []
 let hash_memo_capacity = 64
 let hash_memo_lock = Mutex.create ()
 
-let canonical_hash (g : t) =
+let hash_entry (g : t) =
   Mutex.lock hash_memo_lock;
   let cached = List.find_opt (fun (k, _) -> k == g) !hash_memo in
   Mutex.unlock hash_memo_lock;
   match cached with
-  | Some (_, h) -> h
+  | Some (_, e) -> e
   | None ->
-    let h = "fnv1a:" ^ structural_hash g in
+    let nodes = subtree_hashes g in
+    let e = { he_graph = structural_hash g; he_nodes = nodes } in
     Obs.Metrics.incr Obs.Metrics.default "ir.canonical_hash.computed";
     Mutex.lock hash_memo_lock;
     let kept =
@@ -400,6 +420,104 @@ let canonical_hash (g : t) =
         List.filteri (fun i _ -> i < hash_memo_capacity - 1) !hash_memo
       else !hash_memo
     in
-    hash_memo := (g, h) :: kept;
+    hash_memo := (g, e) :: kept;
     Mutex.unlock hash_memo_lock;
-    h
+    e
+
+let canonical_hash (g : t) = "fnv1a:" ^ (hash_entry g).he_graph
+
+let node_hash (g : t) id =
+  match Hashtbl.find_opt (hash_entry g).he_nodes id with
+  | Some h -> "fnv1a:" ^ hex h
+  | None -> invalid "no node with id %d" id
+
+(* -------- common-subplan matching -------- *)
+
+let cone (g : t) id =
+  let seen = Hashtbl.create 16 in
+  let rec visit id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.add seen id ();
+      List.iter visit (node g id).Operator.inputs
+    end
+  in
+  visit id;
+  List.filter_map
+    (fun (n : Operator.node) ->
+       if Hashtbl.mem seen n.id then Some n.id else None)
+    g.nodes
+
+(* A node is a sound subplan cut point when materializing its table and
+   substituting an INPUT read cannot change any output or interact with
+   name-addressed machinery:
+   - never an INPUT (that is just a scan — Scan_share's job) and never
+     a workflow output (cutting there would rename an output relation);
+   - it must have consumers (cutting a dead sink shares nothing);
+   - its cone must not contain WHILE (loop expansion writes
+     loop-carried relations into HDFS by name), UDF or BLACK_BOX
+     (their closures/side effects are invisible to the hash, so
+     hash-equal cones could compute different bytes);
+   - no cone relation may be WHILE-protected: inside a loop body the
+     loop-carried inputs are rebound every iteration, so a prefix
+     reading them is never the same computation twice;
+   - [barrier] lets callers exclude more nodes — the serving layer
+     passes the fusion plan's chain interiors, whose tables fusion
+     promises never to materialize. *)
+let sharable ?(barrier = fun _ -> false) (g : t) id =
+  let n = node g id in
+  match n.Operator.kind with
+  | Operator.Input _ -> false
+  | _ ->
+    (not (List.mem id g.outputs))
+    && consumers g id <> []
+    && (not (barrier id))
+    && List.for_all
+         (fun cid ->
+            let c = node g cid in
+            (match c.Operator.kind with
+             | Operator.While _ | Operator.Udf _ | Operator.Black_box _ ->
+               false
+             | Operator.Input { relation } ->
+               not (List.mem relation g.loop_carried)
+             | _ -> true)
+            && not (List.mem c.Operator.output g.loop_carried))
+         (cone g id)
+
+(* The matched frontier between two DAGs: pairs of nodes with equal
+   subtree hashes, both eligible cut points, keeping only pairs not
+   dominated by a deeper match (a matched node with a matched consumer
+   is subsumed by it). Because a subtree hash folds the whole input
+   cone bottom-up, hash equality is cone equality (modulo 64-bit FNV
+   collisions — the sharing layers re-key on it, they never skip the
+   byte-identity gates). *)
+let shared_prefixes ?(barrier_a = fun _ -> false)
+    ?(barrier_b = fun _ -> false) (a : t) (b : t) =
+  let in_b = Hashtbl.create 16 in
+  List.iter
+    (fun (n : Operator.node) ->
+       if sharable ~barrier:barrier_b b n.id then begin
+         let h = node_hash b n.id in
+         (* [nodes] is ascending, so the first registration is the
+            smallest matching id — deterministic for duplicated
+            subtrees *)
+         if not (Hashtbl.mem in_b h) then Hashtbl.add in_b h n.id
+       end)
+    b.nodes;
+  let matched = Hashtbl.create 16 in
+  List.iter
+    (fun (n : Operator.node) ->
+       if sharable ~barrier:barrier_a a n.id
+          && Hashtbl.mem in_b (node_hash a n.id)
+       then Hashtbl.add matched n.id ())
+    a.nodes;
+  List.filter_map
+    (fun (n : Operator.node) ->
+       if Hashtbl.mem matched n.id
+          && not
+               (List.exists (fun c -> Hashtbl.mem matched c)
+                  (consumers a n.id))
+       then
+         let h = node_hash a n.id in
+         Some (n.id, Hashtbl.find in_b h, h)
+       else None)
+    a.nodes

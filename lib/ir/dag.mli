@@ -82,5 +82,45 @@ val to_dot : ?name:string -> t -> string
     Memoized per DAG value (physical identity — UDF closures make
     structural equality unusable), so repeated calls on the same graph
     are O(1); the [ir.canonical_hash.computed] counter in
-    {!Obs.Metrics.default} counts actual computations. *)
+    {!Obs.Metrics.default} counts actual computations. Because the memo
+    key is physical, rebuilding a graph (the only way to "mutate" a
+    node — see [Rebuild]) yields a fresh value whose entry is computed
+    from scratch, so child-dependent parent hashes are never stale. *)
 val canonical_hash : t -> string
+
+(** [node_hash g id] — the subtree hash ("fnv1a:<16 hex>") of one
+    node: a bottom-up fold over the node's operator description, output
+    relation and its inputs' subtree hashes, so it identifies the
+    node's **entire input cone**. Two nodes (in the same or different
+    graphs) with equal subtree hashes compute the same relation from
+    the same-named inputs, modulo 64-bit collisions — consumers that
+    act on a match must keep their byte-identity gates. Shares the
+    {!canonical_hash} memo entry. Raises {!Invalid} on unknown ids. *)
+val node_hash : t -> int -> string
+
+(** [cone g id] — ids of the node's input cone ([id] plus all
+    transitive ancestors), in ascending id order (a topological
+    order). The cone is always convex. *)
+val cone : t -> int -> int list
+
+(** [sharable ?barrier g id] — is [id] a sound subplan cut point?
+    True when the node is not an INPUT, not a workflow output, has at
+    least one consumer, its cone contains no WHILE/UDF/BLACK_BOX
+    operator and touches no WHILE-protected (loop-carried) relation,
+    and [barrier id] is false for it. [barrier] (default: none) lets
+    callers exclude additional nodes, e.g. fusion-chain interiors
+    whose tables fusion promises never to materialize. *)
+val sharable : ?barrier:(int -> bool) -> t -> int -> bool
+
+(** [shared_prefixes a b] — the maximal shared prefixes of two DAGs:
+    pairs [(id_a, id_b, hash)] of {!sharable} nodes with equal subtree
+    hashes (hence equal input cones), restricted to the matched
+    frontier — a matched node whose consumer also matches is subsumed
+    by the deeper match and not reported. [barrier_a]/[barrier_b]
+    exclude nodes per graph (e.g. each graph's fusion interiors).
+    Deterministic: results are in ascending [id_a] order and duplicate
+    subtrees in [b] resolve to the smallest matching id. *)
+val shared_prefixes :
+  ?barrier_a:(int -> bool) ->
+  ?barrier_b:(int -> bool) ->
+  t -> t -> (int * int * string) list

@@ -4,9 +4,10 @@
    mid-append crashes; only a newer *major* schema version is refused. *)
 
 (* 1.1 added the optional "serve" object (serving-mode records);
-   1.0 readers ignore it, and 1.0 records read back with [serve = None]
-   — minor-version evolution per the module contract. *)
-let current_schema = "1.1"
+   1.2 added per-submission subplan sharing fields to it. 1.0 readers
+   ignore the object, 1.1 records read back with the subplan fields
+   zeroed — minor-version evolution per the module contract. *)
+let current_schema = "1.2"
 
 let supported_major = 1
 
@@ -17,6 +18,8 @@ type serve_info = {
   queue_delay_s : float;
   latency_s : float;
   cache : string;  (** plan-cache outcome: "hit" | "miss" | "invalidated" *)
+  subplan_hits : int;  (** shared prefixes attached (1.2+; 0 before) *)
+  subplan_attached_mb : float;
 }
 
 type record = {
@@ -118,7 +121,9 @@ let to_json r =
             [ ("tenant", Json.String s.tenant);
               ("queue_delay_s", Json.Number s.queue_delay_s);
               ("latency_s", Json.Number s.latency_s);
-              ("cache", Json.String s.cache) ]) ])
+              ("cache", Json.String s.cache);
+              ("subplan_hits", Json.Number (float_of_int s.subplan_hits));
+              ("subplan_attached_mb", Json.Number s.subplan_attached_mb) ]) ])
 
 let major_of schema =
   match String.index_opt schema '.' with
@@ -209,7 +214,10 @@ let of_json j =
            { tenant = Json.get_string o "tenant" ~default:"default";
              queue_delay_s = Json.get_float o "queue_delay_s" ~default:0.;
              latency_s = Json.get_float o "latency_s" ~default:0.;
-             cache = Json.get_string o "cache" ~default:"miss" }
+             cache = Json.get_string o "cache" ~default:"miss";
+             subplan_hits = Json.get_int o "subplan_hits" ~default:0;
+             subplan_attached_mb =
+               Json.get_float o "subplan_attached_mb" ~default:0. }
        | None -> None) }
 
 (* ---- file I/O ---- *)

@@ -22,14 +22,17 @@ val supported_major : int
 
 exception Schema_error of string
 
-(** Serving-mode extension (schema 1.1): how the submission fared in
-    the admission queue and the plan cache. Absent on one-shot runs
-    and on pre-1.1 records. *)
+(** Serving-mode extension (schema 1.1; subplan fields 1.2): how the
+    submission fared in the admission queue, the plan cache and the
+    subplan-sharing layers. Absent on one-shot runs and on pre-1.1
+    records; 1.1 records read back with the subplan fields zeroed. *)
 type serve_info = {
   tenant : string;
   queue_delay_s : float;      (** admission − arrival, virtual seconds *)
   latency_s : float;          (** completion − arrival, virtual seconds *)
   cache : string;             (** "hit" | "miss" | "invalidated" *)
+  subplan_hits : int;         (** shared prefixes attached *)
+  subplan_attached_mb : float;
 }
 
 type record = {

@@ -36,6 +36,9 @@ type outcome = {
   makespan_s : float;
   planning_s : float;  (** wall-clock seconds spent planning *)
   cache : string;      (** "hit" | "miss" | "invalidated" *)
+  subplan_hits : int;  (** prefixes attached (share or cache) *)
+  subplan_paid : int;  (** prefixes this submission materialized *)
+  subplan_attached_mb : float;
   outputs : (string * Relation.Table.t) list;
   error : string option;
 }
@@ -43,12 +46,14 @@ type outcome = {
 type config = {
   concurrency : int;
   cache_capacity : int;
+  subresult_cache_mb : float;
   weights : (string * float) list;  (** tenant → WFQ weight (default 1) *)
   ledger : string option;           (** append one record per completion *)
 }
 
 let default_config =
-  { concurrency = 4; cache_capacity = 128; weights = []; ledger = None }
+  { concurrency = 4; cache_capacity = 128; subresult_cache_mb = 0.;
+    weights = []; ledger = None }
 
 (* -------- weighted fair queueing (start-time fair queueing) --------
 
@@ -76,6 +81,8 @@ type t = {
   config : config;
   cache : Musketeer.Plan_cache.t;
   share : Engines.Scan_share.t;
+  subshare : Engines.Subplan_share.t;
+  subcache : Subresult_cache.t;
   tenants : (string, tenant_state) Hashtbl.t;
   mutable vwork : float;  (* WFQ virtual-work clock *)
   mutable now : float;    (* virtual wall clock, monotone across drives *)
@@ -90,6 +97,8 @@ let create ?(config = default_config) m ~hdfs =
     config;
     cache = Musketeer.Plan_cache.create ~capacity:config.cache_capacity ();
     share = Engines.Scan_share.create ();
+    subshare = Engines.Subplan_share.create ();
+    subcache = Subresult_cache.create ~capacity_mb:config.subresult_cache_mb;
     tenants = Hashtbl.create 8;
     vwork = 0.;
     now = 0.;
@@ -98,6 +107,10 @@ let create ?(config = default_config) m ~hdfs =
 let cache t = t.cache
 
 let share t = t.share
+
+let subplan_share t = t.subshare
+
+let subresult_cache t = t.subcache
 
 let tenant_state t name =
   match Hashtbl.find_opt t.tenants name with
@@ -113,18 +126,154 @@ let tenant_state t name =
     ts
 
 (* Overwrite an input relation out-of-band (a client re-uploading
-   data): bumps the scan-share epoch, so entries co-admitted workflows
-   paid against the old bytes stop matching, and changes the input-size
-   fingerprint the plan cache validates against. *)
+   data): bumps the scan- and subplan-share epochs, so entries
+   co-admitted workflows paid against the old bytes stop matching;
+   drops sub-result cache entries whose prefix read the relation; and
+   changes the input-size fingerprint the plan cache validates
+   against. *)
 let put_input t relation ?modeled_mb table =
   Engines.Hdfs.put t.hdfs relation ?modeled_mb table;
-  Engines.Scan_share.note_write t.share relation
+  Engines.Scan_share.note_write t.share relation;
+  Engines.Subplan_share.note_write t.subshare relation;
+  Subresult_cache.invalidate t.subcache ~relation
 
 let cost_of sub = float_of_int (max 1 (Ir.Dag.operator_count sub.graph))
 
+(* -------- common-subplan sharing -------- *)
+
+type subplan_prep = {
+  sp_hits : int;
+  sp_paid : int;
+  sp_attached_mb : float;
+  sp_prefix_makespan_s : float;  (* simulated makespan of paid prefixes *)
+  sp_planning_s : float;         (* wall planning spent on paid prefixes *)
+}
+
+let no_subplans =
+  { sp_hits = 0; sp_paid = 0; sp_attached_mb = 0.;
+    sp_prefix_makespan_s = 0.; sp_planning_s = 0. }
+
+(* Multi-query optimization (docs/serving.md): before planning the
+   submission, probe every eligible cut point of its DAG — topmost
+   first — against the co-admission share and the across-time
+   sub-result cache. An attached prefix is pre-put into this
+   submission's HDFS snapshot scope under its synthetic
+   "__subplan:<hash>" relation and the DAG rewritten (Subplan.cut) so
+   the ordinary estimator/partitioner price it at one HDFS read + zero
+   compute. When nothing matches but the modeled recompute exceeds the
+   modeled read (Cost.subplan_cut), this submission becomes the payer:
+   the prefix cone runs as a stand-alone workflow (through the same
+   plan cache, under this submission's flights) and the
+   materialization is published to both sharing layers before the
+   rewritten suffix executes. Any payer failure falls back to leaving
+   the cone in place — sharing can only be skipped, never wrong.
+
+   Must run inside the submission's snapshot/flight scopes. *)
+let prepare_subplans t sub =
+  if t.config.subresult_cache_mb <= 0. then (sub.graph, no_subplans)
+  else begin
+    let g = sub.graph in
+    match Musketeer.Subplan.candidates g with
+    | [] -> (g, no_subplans)
+    | cands ->
+      let est =
+        lazy (Musketeer.estimator t.m ~workflow:sub.workflow ~hdfs:t.hdfs g)
+      in
+      let covered = Hashtbl.create 8 in
+      let cuts = ref [] in
+      let prep = ref no_subplans in
+      let attach ~hit (c : Musketeer.Subplan.candidate) table mb =
+        let rel = Musketeer.Subplan.relation ~hash:c.Musketeer.Subplan.sc_hash in
+        Engines.Hdfs.put t.hdfs rel ~modeled_mb:mb table;
+        cuts := (c.Musketeer.Subplan.sc_id, rel) :: !cuts;
+        List.iter
+          (fun id -> Hashtbl.replace covered id ())
+          (Ir.Dag.cone g c.Musketeer.Subplan.sc_id);
+        let p = !prep in
+        prep :=
+          if hit then
+            { p with sp_hits = p.sp_hits + 1;
+                     sp_attached_mb = p.sp_attached_mb +. mb }
+          else { p with sp_paid = p.sp_paid + 1 }
+      in
+      let pay (c : Musketeer.Subplan.candidate) =
+        let prefix = Musketeer.Subplan.extract g c.Musketeer.Subplan.sc_id in
+        (* canonical workflow name: co-hashing submissions share one
+           plan-cache entry for the prefix regardless of tenant *)
+        let wf = "subplan:" ^ c.Musketeer.Subplan.sc_hash in
+        let t0 = Unix.gettimeofday () in
+        let planned =
+          Musketeer.plan ~cache:t.cache t.m ~workflow:wf ~hdfs:t.hdfs prefix
+        in
+        let p = !prep in
+        prep :=
+          { p with
+            sp_planning_s = p.sp_planning_s +. Unix.gettimeofday () -. t0 };
+        match planned with
+        | None -> ()
+        | Some (pplan, pg) -> (
+          match
+            Musketeer.execute_plan ~record_history:false ~sharing:t.share t.m
+              ~workflow:wf ~hdfs:t.hdfs ~graph:pg pplan
+          with
+          | Error _ -> ()  (* suffix will recompute the cone in place *)
+          | Ok r ->
+            let out_rel =
+              (Ir.Dag.node g c.Musketeer.Subplan.sc_id).Ir.Operator.output
+            in
+            (match List.assoc_opt out_rel r.Musketeer.Executor.outputs with
+             | Some table when Engines.Hdfs.mem t.hdfs out_rel ->
+               (* the prefix run materialized its output to HDFS, so
+                  the modeled size the estimator propagated is there *)
+               let mb = Engines.Hdfs.modeled_mb t.hdfs out_rel in
+               Engines.Subplan_share.publish t.subshare
+                 ~key:c.Musketeer.Subplan.sc_key
+                 ~inputs:c.Musketeer.Subplan.sc_inputs ~mb table;
+               Subresult_cache.insert t.subcache
+                 ~key:c.Musketeer.Subplan.sc_key
+                 ~inputs:
+                   (List.map
+                      (fun rel ->
+                         (rel, Engines.Subplan_share.epoch t.subshare rel))
+                      c.Musketeer.Subplan.sc_inputs)
+                 ~mb table;
+               let p = !prep in
+               prep :=
+                 { p with
+                   sp_prefix_makespan_s =
+                     p.sp_prefix_makespan_s
+                     +. r.Musketeer.Executor.makespan_s };
+               attach ~hit:false c table mb
+             | Some _ | None -> ()))
+      in
+      List.iter
+        (fun (c : Musketeer.Subplan.candidate) ->
+           if not (Hashtbl.mem covered c.Musketeer.Subplan.sc_id) then
+             match
+               Engines.Subplan_share.claim t.subshare
+                 ~key:c.Musketeer.Subplan.sc_key
+             with
+             | Some (table, mb) -> attach ~hit:true c table mb
+             | None -> (
+               match
+                 Subresult_cache.find t.subcache
+                   ~key:c.Musketeer.Subplan.sc_key
+                   ~epoch:(Engines.Subplan_share.epoch t.subshare)
+               with
+               | Some (table, mb) -> attach ~hit:true c table mb
+               | None ->
+                 let read_mb, saved_mb =
+                   Musketeer.Cost.subplan_cut ~graph:g ~est:(Lazy.force est)
+                     c.Musketeer.Subplan.sc_id
+                 in
+                 if saved_mb > read_mb then pay c))
+        cands;
+      ((if !cuts = [] then g else Musketeer.Subplan.cut g !cuts), !prep)
+  end
+
 (* one submission, executed at its (virtual) admission instant;
-   returns the outcome plus the scan-share flight to expire at its
-   virtual finish *)
+   returns the outcome plus the expiry thunk ending its scan- and
+   subplan-share flights at its virtual finish *)
 let execute t sub ~admit_s =
   Obs.Trace.with_span
     ~attrs:[ ("tenant", Obs.Trace.String sub.tenant);
@@ -133,81 +282,97 @@ let execute t sub ~admit_s =
   @@ fun () ->
   Engines.Breaker.with_tenant sub.tenant @@ fun () ->
   let since = Obs.Ledger.mark Obs.Metrics.default in
-  let s0 = Musketeer.Plan_cache.stats t.cache in
-  let t0 = Unix.gettimeofday () in
-  let planned =
-    Musketeer.plan ~cache:t.cache t.m ~workflow:sub.workflow ~hdfs:t.hdfs
-      sub.graph
+  (* sharing scopes open before planning: the subplan rewrite must see
+     co-admitted materializations, and a payer executes its prefix
+     under this submission's flights. Each submission still runs
+     against the service's base HDFS state — snapshot/restore isolates
+     outputs, intermediates and attached prefixes alike. *)
+  let pre = Engines.Hdfs.snapshot t.hdfs in
+  let scan_flight = Engines.Scan_share.begin_flight t.share in
+  let sub_flight = Engines.Subplan_share.begin_flight t.subshare in
+  let expire () =
+    Engines.Scan_share.end_flight t.share scan_flight;
+    Engines.Subplan_share.end_flight t.subshare sub_flight
   in
-  let planning_s = Unix.gettimeofday () -. t0 in
-  let s1 = Musketeer.Plan_cache.stats t.cache in
-  let cache =
-    let open Musketeer.Plan_cache in
-    if s1.hits > s0.hits then "hit"
-    else if s1.invalidations > s0.invalidations then "invalidated"
-    else "miss"
+  let out =
+    Fun.protect
+      ~finally:(fun () -> Engines.Hdfs.restore t.hdfs ~from:pre)
+      (fun () ->
+         Engines.Scan_share.with_flight t.share scan_flight @@ fun () ->
+         Engines.Subplan_share.with_flight t.subshare sub_flight @@ fun () ->
+         let graph, sp = prepare_subplans t sub in
+         let s0 = Musketeer.Plan_cache.stats t.cache in
+         let t0 = Unix.gettimeofday () in
+         let planned =
+           Musketeer.plan ~cache:t.cache t.m ~workflow:sub.workflow
+             ~hdfs:t.hdfs graph
+         in
+         let planning_s =
+           Unix.gettimeofday () -. t0 +. sp.sp_planning_s
+         in
+         let s1 = Musketeer.Plan_cache.stats t.cache in
+         let cache =
+           let open Musketeer.Plan_cache in
+           if s1.hits > s0.hits then "hit"
+           else if s1.invalidations > s0.invalidations then "invalidated"
+           else "miss"
+         in
+         let finish ~makespan_s ~outputs ~partition ~error =
+           let makespan_s = makespan_s +. sp.sp_prefix_makespan_s in
+           let queue_delay_s = admit_s -. sub.arrival_s in
+           let service_s = makespan_s +. planning_s in
+           let finish_s = admit_s +. service_s in
+           let latency_s = finish_s -. sub.arrival_s in
+           Obs.Metrics.observe Obs.Metrics.default
+             ("serve.queue_delay_s." ^ sub.tenant) queue_delay_s;
+           Obs.Metrics.observe Obs.Metrics.default "serve.latency_s"
+             latency_s;
+           Obs.Metrics.incr Obs.Metrics.default "serve.completed";
+           (match error with
+            | Some _ -> Obs.Metrics.incr Obs.Metrics.default "serve.errors"
+            | None -> ());
+           (match t.config.ledger with
+            | None -> ()
+            | Some filename ->
+              let record =
+                Obs.Ledger.snapshot ~since
+                  ~serve:
+                    { Obs.Ledger.tenant = sub.tenant; queue_delay_s;
+                      latency_s; cache; subplan_hits = sp.sp_hits;
+                      subplan_attached_mb = sp.sp_attached_mb }
+                  ~workflow:sub.workflow
+                  ~ir_hash:(Ir.Dag.canonical_hash sub.graph) ~partition
+                  ~makespan_s ()
+              in
+              Obs.Ledger.append ~filename record);
+           { sub; admit_s; finish_s; queue_delay_s; latency_s; makespan_s;
+             planning_s; cache; subplan_hits = sp.sp_hits;
+             subplan_paid = sp.sp_paid;
+             subplan_attached_mb = sp.sp_attached_mb; outputs; error }
+         in
+         match planned with
+         | None ->
+           finish ~makespan_s:0. ~outputs:[] ~partition:[]
+             ~error:
+               (Some "no backend combination can express this workflow")
+         | Some (plan, graph) ->
+           let partition =
+             List.map
+               (fun (b, ids) -> (Engines.Backend.name b, ids))
+               plan.Musketeer.Partitioner.jobs
+           in
+           match
+             Musketeer.execute_plan ~record_history:false ~sharing:t.share
+               t.m ~workflow:sub.workflow ~hdfs:t.hdfs ~graph plan
+           with
+           | Ok r ->
+             finish ~makespan_s:r.Musketeer.Executor.makespan_s
+               ~outputs:r.Musketeer.Executor.outputs ~partition ~error:None
+           | Error e ->
+             finish ~makespan_s:0. ~outputs:[] ~partition
+               ~error:(Some (Engines.Report.error_to_string e)))
   in
-  let finish ~makespan_s ~outputs ~partition ~error =
-    let queue_delay_s = admit_s -. sub.arrival_s in
-    let service_s = makespan_s +. planning_s in
-    let finish_s = admit_s +. service_s in
-    let latency_s = finish_s -. sub.arrival_s in
-    Obs.Metrics.observe Obs.Metrics.default
-      ("serve.queue_delay_s." ^ sub.tenant) queue_delay_s;
-    Obs.Metrics.observe Obs.Metrics.default "serve.latency_s" latency_s;
-    Obs.Metrics.incr Obs.Metrics.default "serve.completed";
-    (match error with
-     | Some _ -> Obs.Metrics.incr Obs.Metrics.default "serve.errors"
-     | None -> ());
-    (match t.config.ledger with
-     | None -> ()
-     | Some filename ->
-       let record =
-         Obs.Ledger.snapshot ~since
-           ~serve:
-             { Obs.Ledger.tenant = sub.tenant; queue_delay_s; latency_s;
-               cache }
-           ~workflow:sub.workflow
-           ~ir_hash:(Ir.Dag.canonical_hash sub.graph) ~partition ~makespan_s
-           ()
-       in
-       Obs.Ledger.append ~filename record);
-    { sub; admit_s; finish_s; queue_delay_s; latency_s; makespan_s;
-      planning_s; cache; outputs; error }
-  in
-  match planned with
-  | None ->
-    ( finish ~makespan_s:0. ~outputs:[] ~partition:[]
-        ~error:(Some "no backend combination can express this workflow"),
-      None )
-  | Some (plan, graph) ->
-    let partition =
-      List.map
-        (fun (b, ids) -> (Engines.Backend.name b, ids))
-        plan.Musketeer.Partitioner.jobs
-    in
-    (* each submission runs against the service's base HDFS state; its
-       outputs and intermediates are isolated, not published *)
-    let pre = Engines.Hdfs.snapshot t.hdfs in
-    let flight = Engines.Scan_share.begin_flight t.share in
-    let result =
-      Fun.protect
-        ~finally:(fun () -> Engines.Hdfs.restore t.hdfs ~from:pre)
-        (fun () ->
-           Engines.Scan_share.with_flight t.share flight @@ fun () ->
-           Musketeer.execute_plan ~record_history:false ~sharing:t.share t.m
-             ~workflow:sub.workflow ~hdfs:t.hdfs ~graph plan)
-    in
-    let out =
-      match result with
-      | Ok r ->
-        finish ~makespan_s:r.Musketeer.Executor.makespan_s
-          ~outputs:r.Musketeer.Executor.outputs ~partition ~error:None
-      | Error e ->
-        finish ~makespan_s:0. ~outputs:[] ~partition
-          ~error:(Some (Engines.Report.error_to_string e))
-    in
-    (out, Some flight)
+  (out, expire)
 
 (* Discrete-event loop: admit while slots are free, else advance the
    virtual clock to the next arrival or finish. Can be called
@@ -223,16 +388,13 @@ let drive t subs =
   (match !pending with
    | s :: _ -> t.now <- Float.max t.now s.arrival_s
    | [] -> ());
-  let inflight = ref [] in (* (finish_s, flight option) *)
+  let inflight = ref [] in (* (finish_s, flight-expiry thunk) *)
   let outcomes = ref [] in
   let expire () =
     let finished, still =
       List.partition (fun (f, _) -> f <= t.now +. 1e-9) !inflight
     in
-    List.iter
-      (fun (_, flight) ->
-         Option.iter (Engines.Scan_share.end_flight t.share) flight)
-      finished;
+    List.iter (fun (_, expire_flights) -> expire_flights ()) finished;
     inflight := still
   in
   let arrivals () =
@@ -273,8 +435,8 @@ let drive t subs =
         Log.debug (fun m ->
             m "admit %s/%s at %.2fs (queued %.2fs)" sub.tenant sub.workflow
               t.now (t.now -. sub.arrival_s));
-        let out, flight = execute t sub ~admit_s:t.now in
-        inflight := (out.finish_s, flight) :: !inflight;
+        let out, expire_flights = execute t sub ~admit_s:t.now in
+        inflight := (out.finish_s, expire_flights) :: !inflight;
         outcomes := out :: !outcomes
     done
   in
@@ -335,6 +497,10 @@ type summary = {
   plan_warm_s : float;         (** mean wall planning time on hits *)
   scan_saved_mb : float;
   scan_paid : (string * int) list;  (** paid HDFS fetches per relation *)
+  subplan_hits : int;               (** prefixes attached across the run *)
+  subplan_paid : int;               (** prefixes materialized *)
+  subplan_attached_mb : float;
+  subresult : Subresult_cache.stats;
   tenants : tenant_summary list;
 }
 
@@ -410,6 +576,17 @@ let summarize (t : t) outcomes =
            outcomes);
     scan_saved_mb = Engines.Scan_share.saved_mb t.share;
     scan_paid = Engines.Scan_share.paid_all t.share;
+    subplan_hits =
+      List.fold_left (fun acc (o : outcome) -> acc + o.subplan_hits) 0
+        outcomes;
+    subplan_paid =
+      List.fold_left (fun acc (o : outcome) -> acc + o.subplan_paid) 0
+        outcomes;
+    subplan_attached_mb =
+      List.fold_left
+        (fun acc (o : outcome) -> acc +. o.subplan_attached_mb)
+        0. outcomes;
+    subresult = Subresult_cache.stats t.subcache;
     tenants;
   }
 
@@ -434,6 +611,13 @@ let pp_summary ppf s =
   if s.scan_saved_mb > 0. then
     Format.fprintf ppf "  shared scans  %.0f MB of reads shared@."
       s.scan_saved_mb;
+  if s.subplan_hits > 0 || s.subplan_paid > 0 then
+    Format.fprintf ppf
+      "  subplans      %d attached (%.0f MB), %d materialized; cache %d \
+       entries %.0f MB@."
+      s.subplan_hits s.subplan_attached_mb s.subplan_paid
+      s.subresult.Subresult_cache.entries
+      s.subresult.Subresult_cache.bytes_mb;
   List.iter
     (fun ts ->
        Format.fprintf ppf

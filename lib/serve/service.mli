@@ -17,7 +17,15 @@
       {!Engines.Breaker.with_tenant});
     - {b cross-workflow shared scans} ({!Engines.Scan_share}):
       co-admitted workflows naming the same INPUT relation pay one
-      modeled HDFS read, with epoch invalidation on overwrite.
+      modeled HDFS read, with epoch invalidation on overwrite;
+    - {b common-subplan sharing} ({!Engines.Subplan_share} +
+      {!Subresult_cache}, gated on [subresult_cache_mb > 0]): DAG
+      prefixes with equal subtree hashes execute once — co-admitted
+      workflows attach to the payer's materialized output, and a
+      bounded LRU-by-bytes sub-result cache carries materializations
+      across time; attached prefixes are rewritten to synthetic INPUTs
+      ({!Musketeer.Subplan.cut}) so the planner prices them at one
+      HDFS read + zero compute.
 
     Time is simulated (discrete-event over virtual seconds), matching
     the simulated cluster: service time = simulated makespan + the
@@ -39,9 +47,12 @@ type outcome = {
   finish_s : float;
   queue_delay_s : float;  (** admit − arrival *)
   latency_s : float;      (** finish − arrival *)
-  makespan_s : float;     (** simulated execution makespan *)
+  makespan_s : float;     (** simulated makespan, paid prefixes included *)
   planning_s : float;     (** wall-clock seconds spent planning *)
   cache : string;         (** "hit" | "miss" | "invalidated" *)
+  subplan_hits : int;     (** prefixes attached (share or cache) *)
+  subplan_paid : int;     (** prefixes this submission materialized *)
+  subplan_attached_mb : float;
   outputs : (string * Relation.Table.t) list;
   error : string option;
 }
@@ -49,6 +60,9 @@ type outcome = {
 type config = {
   concurrency : int;                (** admission slots (default 4) *)
   cache_capacity : int;             (** plan-cache entries (default 128) *)
+  subresult_cache_mb : float;
+      (** sub-result cache budget in modeled MB; [0.] (the default)
+          disables subplan sharing entirely *)
   weights : (string * float) list;  (** tenant → WFQ weight (default 1) *)
   ledger : string option;           (** JSONL run ledger to append to *)
 }
@@ -62,6 +76,10 @@ val create : ?config:config -> Musketeer.t -> hdfs:Engines.Hdfs.t -> t
 val cache : t -> Musketeer.Plan_cache.t
 
 val share : t -> Engines.Scan_share.t
+
+val subplan_share : t -> Engines.Subplan_share.t
+
+val subresult_cache : t -> Subresult_cache.t
 
 (** Overwrite an input relation out-of-band: epoch-invalidates shared
     scans and (via the size fingerprint) cached plans reading it. *)
@@ -105,6 +123,10 @@ type summary = {
   plan_warm_s : float;  (** mean wall planning seconds on hits *)
   scan_saved_mb : float;
   scan_paid : (string * int) list;
+  subplan_hits : int;     (** prefixes attached across the run *)
+  subplan_paid : int;     (** prefixes materialized *)
+  subplan_attached_mb : float;
+  subresult : Subresult_cache.stats;
   tenants : tenant_summary list;  (** sorted by tenant name *)
 }
 

@@ -83,7 +83,8 @@ let test_file_round_trip () =
 (* the serving-mode extension (schema 1.1) round-trips *)
 let test_serve_round_trip () =
   let serve : Obs.Ledger.serve_info =
-    { tenant = "gold"; queue_delay_s = 1.25; latency_s = 7.5; cache = "hit" }
+    { tenant = "gold"; queue_delay_s = 1.25; latency_s = 7.5; cache = "hit";
+      subplan_hits = 2; subplan_attached_mb = 37.5 }
   in
   let r = { (sample_record ()) with serve = Some serve } in
   let records, torn = Obs.Ledger.of_lines [ Obs.Ledger.line_of_record r ] in
@@ -97,6 +98,49 @@ let test_serve_round_trip () =
       Alcotest.(check (float 1e-9)) "latency" 7.5 s.latency_s;
       Alcotest.(check string) "cache" "hit" s.cache
     | None -> Alcotest.fail "serve info lost in round-trip")
+  | rs -> Alcotest.failf "expected 1 record, got %d" (List.length rs)
+
+(* a 1.1 ledger (serve object without the 1.2 subplan fields) must keep
+   loading, with the subplan counters defaulting to zero *)
+let test_old_1_1_serve_without_subplan_fields () =
+  let serve : Obs.Ledger.serve_info =
+    { tenant = "gold"; queue_delay_s = 1.25; latency_s = 7.5; cache = "hit";
+      subplan_hits = 2; subplan_attached_mb = 37.5 }
+  in
+  let r = { (sample_record ()) with serve = Some serve } in
+  let line = Obs.Ledger.line_of_record r in
+  let old_line =
+    match Obs.Json.of_string line with
+    | Obs.Json.Obj fields ->
+      let serve_obj =
+        match List.assoc "serve" fields with
+        | Obs.Json.Obj sfields ->
+          Obs.Json.Obj
+            (List.remove_assoc "subplan_hits"
+               (List.remove_assoc "subplan_attached_mb" sfields))
+        | _ -> Alcotest.fail "serve did not serialize as an object"
+      in
+      Obs.Json.to_string
+        (Obs.Json.Obj
+           (("schema", Obs.Json.String "1.1")
+            :: ("serve", serve_obj)
+            :: List.remove_assoc "serve"
+                 (List.remove_assoc "schema" fields)))
+    | _ -> Alcotest.fail "record did not parse as an object"
+  in
+  let records, torn = Obs.Ledger.of_lines [ old_line ] in
+  Alcotest.(check int) "not torn" 0 torn;
+  match records with
+  | [ r' ] -> (
+    Alcotest.(check string) "1.1 accepted" "1.1" r'.Obs.Ledger.schema;
+    match r'.Obs.Ledger.serve with
+    | Some s ->
+      Alcotest.(check string) "tenant intact" "gold" s.tenant;
+      Alcotest.(check string) "cache intact" "hit" s.cache;
+      Alcotest.(check int) "subplan hits default to 0" 0 s.subplan_hits;
+      Alcotest.(check (float 1e-9)) "attached MB defaults to 0" 0.
+        s.subplan_attached_mb
+    | None -> Alcotest.fail "serve info lost on 1.1 input")
   | rs -> Alcotest.failf "expected 1 record, got %d" (List.length rs)
 
 (* a pre-1.1 ledger (schema "1.0", no "serve" field) must keep loading:
@@ -316,6 +360,8 @@ let () =
         [ Alcotest.test_case "record round-trip" `Quick test_round_trip;
           Alcotest.test_case "serve info round-trip" `Quick
             test_serve_round_trip;
+          Alcotest.test_case "1.1 serve info loads without subplan fields"
+            `Quick test_old_1_1_serve_without_subplan_fields;
           Alcotest.test_case "pre-1.1 ledger loads" `Quick
             test_old_schema_without_serve;
           Alcotest.test_case "file append/load" `Quick test_file_round_trip;

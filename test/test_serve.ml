@@ -79,8 +79,9 @@ let sorted_csv outputs =
   List.sort compare
     (List.map (fun (name, t) -> (name, Relation.Table.to_csv t)) outputs)
 
-let config ?(concurrency = 4) ?(weights = []) () =
-  { Serve.Service.concurrency; cache_capacity = 128; weights; ledger = None }
+let config ?(concurrency = 4) ?(weights = []) ?(subresult_cache_mb = 0.) () =
+  { Serve.Service.concurrency; cache_capacity = 128; subresult_cache_mb;
+    weights; ledger = None }
 
 let sub ?(tenant = "t") ?(workflow = "agg") ~at graph =
   { Serve.Service.tenant; workflow; graph; arrival_s = at }
@@ -198,6 +199,66 @@ let test_scan_share_flight_expiry () =
     (Engines.Scan_share.claim sh ~relation:"r" ~mb:64.);
   Alcotest.(check int) "two paid reads" 2
     (Engines.Scan_share.paid_reads sh "r")
+
+(* A flight re-claiming its own paid scan (several jobs of one
+   submission, or a cached plan replaying its scans) rides free but
+   must not inflate the cross-workflow counters — those measure
+   sharing *between* co-admitted workflows only. *)
+let test_scan_share_intra_flight_counters () =
+  let metric name = Obs.Metrics.counter Obs.Metrics.default name in
+  let cross0 = metric "scan.cross_workflow"
+  and intra0 = metric "scan.intra_flight" in
+  let sh = Engines.Scan_share.create () in
+  let f = Engines.Scan_share.begin_flight sh in
+  Engines.Scan_share.with_flight sh f (fun () ->
+      Alcotest.(check bool) "payer pays" false
+        (Engines.Scan_share.claim sh ~relation:"r" ~mb:64.);
+      Alcotest.(check bool) "same flight rides free" true
+        (Engines.Scan_share.claim sh ~relation:"r" ~mb:64.));
+  Alcotest.(check int) "intra-flight counted" (intra0 + 1)
+    (metric "scan.intra_flight");
+  Alcotest.(check int) "cross counter untouched" cross0
+    (metric "scan.cross_workflow");
+  Alcotest.(check (float 1e-9)) "no phantom savings" 0.
+    (Engines.Scan_share.saved_mb sh);
+  (* a genuinely co-admitted flight still counts as cross-workflow *)
+  let f2 = Engines.Scan_share.begin_flight sh in
+  Engines.Scan_share.with_flight sh f2 (fun () ->
+      Alcotest.(check bool) "co-admitted flight rides free" true
+        (Engines.Scan_share.claim sh ~relation:"r" ~mb:64.));
+  Alcotest.(check int) "cross counted exactly once" (cross0 + 1)
+    (metric "scan.cross_workflow");
+  Alcotest.(check (float 1e-9)) "cross savings recorded" 64.
+    (Engines.Scan_share.saved_mb sh)
+
+(* Regression: sequential repeat traffic (no co-admission overlap)
+   must pin the cross-workflow scan counters at zero — plan-cache hits
+   replaying a cached plan's scans used to double-bump them. *)
+let test_scan_cross_counters_repeat_traffic () =
+  let metric name = Obs.Metrics.counter Obs.Metrics.default name in
+  let gauge name =
+    Option.value ~default:0. (Obs.Metrics.gauge Obs.Metrics.default name)
+  in
+  let hdfs = fresh_hdfs () in
+  let m = Experiments.Common.musketeer_for cluster in
+  let svc = Serve.Service.create ~config:(config ()) m ~hdfs in
+  let g = agg_graph () in
+  let cross0 = metric "scan.cross_workflow"
+  and saved0 = gauge "scan.cross_mb_saved" in
+  List.iter
+    (fun at ->
+      match Serve.Service.drive svc [ sub ~at g ] with
+      | [ o ] ->
+        Alcotest.(check (option string)) "no error" None o.error;
+        if at > 0. then Alcotest.(check string) "warm" "hit" o.cache
+      | _ -> Alcotest.fail "one outcome expected")
+    [ 0.; 10000.; 20000. ];
+  Alcotest.(check int)
+    "no cross-workflow claims under sequential repeat traffic" cross0
+    (metric "scan.cross_workflow");
+  Alcotest.(check (float 1e-9))
+    "no cross-workflow savings claimed" saved0
+    (gauge "scan.cross_mb_saved")
 
 (* ---- the service ---- *)
 
@@ -418,7 +479,11 @@ let () =
          Alcotest.test_case "write bumps epoch" `Quick
            test_scan_share_epoch_invalidation;
          Alcotest.test_case "entries expire with their flight" `Quick
-           test_scan_share_flight_expiry ]);
+           test_scan_share_flight_expiry;
+         Alcotest.test_case "intra-flight claims don't count as cross"
+           `Quick test_scan_share_intra_flight_counters;
+         Alcotest.test_case "repeat traffic pins cross counters" `Quick
+           test_scan_cross_counters_repeat_traffic ]);
       ("service",
        [ Alcotest.test_case "cache labels across submissions" `Quick
            test_serve_cache_labels;
