@@ -1052,8 +1052,9 @@ let serve_bench () =
         weight = 1. } ]
   in
   let config =
-    { Serve.Service.concurrency = 4; cache_capacity = 128;
-      subresult_cache_mb = 0.; weights = tenants; ledger = None }
+    { Serve.Service.default_config with
+      Serve.Service.concurrency = 4; cache_capacity = 128;
+      weights = tenants }
   in
   let sorted_csv outputs =
     List.sort compare
@@ -1178,7 +1179,8 @@ let serve_bench () =
   let burst =
     List.init burst_n (fun i ->
         { Serve.Service.tenant = (if i mod 2 = 0 then "gold" else "bronze");
-          workflow = "agg"; graph = agg_graph (); arrival_s = 0. })
+          workflow = "agg"; graph = agg_graph (); arrival_s = 0.;
+          slo_s = None })
   in
   let burst_outcomes, svc3 = Serve.Service.run ~config m3 ~hdfs:hdfs3 burst in
   List.iter
@@ -1339,8 +1341,9 @@ let subplan_bench () =
         weight = 1. } ]
   in
   let config ~cache_mb =
-    { Serve.Service.concurrency = 4; cache_capacity = 128;
-      subresult_cache_mb = cache_mb; weights = tenants; ledger = None }
+    { Serve.Service.default_config with
+      Serve.Service.concurrency = 4; cache_capacity = 128;
+      subresult_cache_mb = cache_mb; weights = tenants }
   in
   let sorted_csv outputs =
     List.sort compare
@@ -1500,7 +1503,7 @@ let subplan_bench () =
     match
       Serve.Service.drive svc3
         [ { Serve.Service.tenant = "gold"; workflow = "agg";
-            graph = agg_graph (); arrival_s = at } ]
+            graph = agg_graph (); arrival_s = at; slo_s = None } ]
     with
     | [ o ] ->
       (match o.error with
@@ -1584,6 +1587,401 @@ let subplan_bench () =
       Out_channel.output_string oc json);
   Printf.printf "wrote BENCH_subplan.json\n"
 
+(* == target: overload — shedding, SLOs, chaos and crash-restart ==
+
+   Four claims about the overload-hardened serving layer, all enforced
+   fatally (virtual time makes them deterministic):
+   (1) shedding: at 2x load, bounded queues + the pressure ladder keep
+       p99 queue delay <= 5x the 1x baseline AND in-SLO goodput >= the
+       unshed 2x run;
+   (2) chaos identity: under fault injection + shedding + SLOs, every
+       COMPLETED submission stays byte-identical to a one-shot run
+       across jobs {1,4} x fusion x columnar, and no scan/subplan
+       flight is left open;
+   (3) crash-restart: a fresh service restored from the run ledger
+       brings plan-cache hit rate and p99 latency back within 10% of
+       steady state within 50 submissions;
+   (4) the ledger written under overload round-trips (schema 1.3).
+
+   Writes BENCH_overload.json. *)
+
+let overload_bench () =
+  let open Relation in
+  let kv_schema =
+    Schema.make
+      [ { Schema.name = "k"; ty = Value.Tint };
+        { Schema.name = "v"; ty = Value.Tint } ]
+  in
+  let kv_table seed =
+    Table.create kv_schema
+      (List.init 120 (fun i ->
+           [| Value.Int ((i + seed) mod 7); Value.Int (i * (seed + 3)) |]))
+  in
+  let fresh_hdfs () =
+    let hdfs = Engines.Hdfs.create () in
+    Engines.Hdfs.put hdfs "r1" ~modeled_mb:64. (kv_table 1);
+    Engines.Hdfs.put hdfs "r2" ~modeled_mb:48. (kv_table 2);
+    hdfs
+  in
+  let agg_graph () =
+    let b = Ir.Builder.create () in
+    let r = Ir.Builder.input b "r1" in
+    let s = Ir.Builder.select b ~pred:Expr.(col "v" > int 4) r in
+    let m =
+      Ir.Builder.map b ~target:"centered" ~expr:Expr.(col "v" - int 3) s
+    in
+    let g =
+      Ir.Builder.group_by b ~name:"out" ~keys:[ "k" ]
+        ~aggs:[ Aggregate.make (Aggregate.Sum "centered") ~as_name:"v" ]
+        m
+    in
+    Ir.Builder.finish b ~outputs:[ g ]
+  in
+  let scanmate_graph () =
+    let b = Ir.Builder.create () in
+    let b1 =
+      Ir.Builder.project b ~columns:[ "k" ]
+        (Ir.Builder.select b
+           ~pred:Expr.(col "v" <= int 40)
+           (Ir.Builder.input b "r1"))
+    in
+    let b2 =
+      Ir.Builder.project b ~columns:[ "k" ] (Ir.Builder.input b "r2")
+    in
+    let u = Ir.Builder.union b b1 b2 in
+    let d = Ir.Builder.distinct b ~name:"out" u in
+    Ir.Builder.finish b ~outputs:[ d ]
+  in
+  let tenants = [ ("gold", 3.); ("bronze", 1.) ] in
+  let mix =
+    [ { Serve.Client.workflow = "agg"; graph = agg_graph (); weight = 1. };
+      { Serve.Client.workflow = "scanmate"; graph = scanmate_graph ();
+        weight = 1. } ]
+  in
+  let cluster = Experiments.Common.ec2 16 in
+  let slo = 10. in
+  let base_config =
+    { Serve.Service.default_config with
+      Serve.Service.concurrency = 2; cache_capacity = 128;
+      weights = tenants; default_slo_s = Some slo }
+  in
+  let shed_config =
+    { base_config with
+      Serve.Service.tenant_queue_cap = 3; global_queue_cap = 6;
+      shed_policy = Serve.Service.Shed_lowest_weight;
+      pressure_threshold_s = 5. }
+  in
+  let run_load config ~rate ~count =
+    let hdfs = fresh_hdfs () in
+    let m = Experiments.Common.musketeer_for cluster in
+    let subs =
+      Serve.Client.generate ~seed:4242 ~rate_per_s:rate ~count ~tenants
+        ~mix ()
+    in
+    let outcomes, svc = Serve.Service.run ~config m ~hdfs subs in
+    (Serve.Service.summarize svc outcomes, outcomes, svc)
+  in
+  let served_queue_p99 outcomes =
+    Serve.Service.percentile 0.99
+      (List.filter_map
+         (fun (o : Serve.Service.outcome) ->
+            match o.status with
+            | Serve.Service.Served -> Some o.queue_delay_s
+            | _ -> None)
+         outcomes)
+  in
+
+  (* -- part 1: load shedding keeps queue delay and goodput -- *)
+  let base_rate = 0.8 and over_factor = 2. and load_count = 48 in
+  let s_base, o_base, _ = run_load base_config ~rate:base_rate
+      ~count:load_count in
+  let over_rate = base_rate *. over_factor in
+  let s_unshed, o_unshed, _ = run_load base_config ~rate:over_rate
+      ~count:load_count in
+  let s_shed, o_shed, svc_shed = run_load shed_config ~rate:over_rate
+      ~count:load_count in
+  let p99_base = served_queue_p99 o_base in
+  let p99_unshed = served_queue_p99 o_unshed in
+  let p99_shed = served_queue_p99 o_shed in
+  Printf.printf
+    "shedding: queue p99 %.2fs at 1x -> %.2fs unshed / %.2fs shed at \
+     %.0fx; goodput %.3f unshed -> %.3f shed (%d shed, %d expired)\n%!"
+    p99_base p99_unshed p99_shed over_factor
+    s_unshed.Serve.Service.goodput_wps s_shed.Serve.Service.goodput_wps
+    s_shed.Serve.Service.shed s_shed.Serve.Service.expired;
+  if s_base.Serve.Service.errors > 0 || s_unshed.Serve.Service.errors > 0
+     || s_shed.Serve.Service.errors > 0 then begin
+    Printf.eprintf "FATAL: serve errors in a fault-free overload run\n";
+    exit 1
+  end;
+  if s_shed.Serve.Service.shed = 0 then begin
+    Printf.eprintf
+      "FATAL: the bounded 2x run shed nothing — it is not overloaded\n";
+    exit 1
+  end;
+  if p99_shed > 5. *. Float.max p99_base 1e-9 then begin
+    Printf.eprintf
+      "FATAL: shed queue p99 %.2fs > 5x the 1x baseline %.2fs\n"
+      p99_shed p99_base;
+    exit 1
+  end;
+  if s_shed.Serve.Service.goodput_wps
+     < s_unshed.Serve.Service.goodput_wps -. 1e-9 then begin
+    Printf.eprintf
+      "FATAL: shed goodput %.3f < unshed goodput %.3f at %.0fx load\n"
+      s_shed.Serve.Service.goodput_wps s_unshed.Serve.Service.goodput_wps
+      over_factor;
+    exit 1
+  end;
+  if Serve.Service.open_flights svc_shed <> 0 then begin
+    Printf.eprintf "FATAL: shed run leaked scan/subplan flights\n";
+    exit 1
+  end;
+
+  (* -- part 2: chaos identity matrix -- *)
+  let inject_plan =
+    match Engines.Faults.parse_plan ~seed:4242 "worker@0.5;straggler*4:p=0.3"
+    with
+    | Ok p -> p
+    | Error msg ->
+      Printf.eprintf "FATAL: bad fault spec: %s\n" msg;
+      exit 1
+  in
+  let chaos_config =
+    { shed_config with
+      Serve.Service.inject = Some inject_plan;
+      recovery =
+        { Musketeer.Recovery.default with Musketeer.Recovery.max_retries = 2 } }
+  in
+  let sorted_csv outputs =
+    List.sort compare
+      (List.map (fun (name, t) -> (name, Table.to_csv t)) outputs)
+  in
+  let reference_outputs ~hdfs (e : Serve.Client.mix_entry) =
+    let h = Engines.Hdfs.snapshot hdfs in
+    let m = Experiments.Common.musketeer_for cluster in
+    match Musketeer.plan m ~workflow:e.workflow ~hdfs:h e.graph with
+    | None ->
+      Printf.eprintf "FATAL: %s does not plan\n" e.workflow;
+      exit 1
+    | Some (plan, g') -> (
+      match
+        Musketeer.execute_plan ~record_history:false m ~workflow:e.workflow
+          ~hdfs:h ~graph:g' plan
+      with
+      | Error err ->
+        Printf.eprintf "FATAL: one-shot %s failed: %s\n" e.workflow
+          (Engines.Report.error_to_string err);
+        exit 1
+      | Ok r -> sorted_csv r.Musketeer.Executor.outputs)
+  in
+  let identity_configs = ref 0 in
+  let identity_completed = ref 0 in
+  let identity_dropped = ref 0 in
+  List.iter
+    (fun jobs ->
+       List.iter
+         (fun fusion ->
+            List.iter
+              (fun columnar ->
+                 incr identity_configs;
+                 Pool.with_jobs jobs @@ fun () ->
+                 Column.with_enabled columnar @@ fun () ->
+                 Ir.Fusion.set_enabled (Some fusion);
+                 Fun.protect
+                   ~finally:(fun () -> Ir.Fusion.set_enabled None)
+                 @@ fun () ->
+                 let hdfs = fresh_hdfs () in
+                 let base = Engines.Hdfs.snapshot hdfs in
+                 let m = Experiments.Common.musketeer_for cluster in
+                 let subs =
+                   Serve.Client.generate ~seed:4242 ~rate_per_s:over_rate
+                     ~count:12 ~tenants ~mix ()
+                 in
+                 let outcomes, svc =
+                   Serve.Service.run ~config:chaos_config m ~hdfs subs
+                 in
+                 let reference =
+                   List.map
+                     (fun (e : Serve.Client.mix_entry) ->
+                        (e.workflow, reference_outputs ~hdfs:base e))
+                     mix
+                 in
+                 List.iter
+                   (fun (o : Serve.Service.outcome) ->
+                      match o.status, o.error with
+                      | Serve.Service.(Shed _ | Expired), _ | _, Some _ ->
+                        incr identity_dropped
+                      | Serve.Service.Served, None ->
+                        incr identity_completed;
+                        let want =
+                          List.assoc o.sub.Serve.Service.workflow reference
+                        in
+                        if sorted_csv o.outputs <> want then begin
+                          Printf.eprintf
+                            "FATAL: completed %s output differs from \
+                             one-shot run under chaos (jobs=%d fusion=%b \
+                             columnar=%b)\n"
+                            o.sub.Serve.Service.workflow jobs fusion
+                            columnar;
+                          exit 1
+                        end)
+                   outcomes;
+                 if Serve.Service.open_flights svc <> 0 then begin
+                   Printf.eprintf
+                     "FATAL: chaos run leaked flights (jobs=%d fusion=%b \
+                      columnar=%b)\n"
+                     jobs fusion columnar;
+                   exit 1
+                 end)
+              [ true; false ])
+         [ true; false ])
+    [ 1; 4 ];
+  if !identity_completed = 0 then begin
+    Printf.eprintf "FATAL: chaos matrix completed nothing\n";
+    exit 1
+  end;
+  Printf.printf
+    "chaos identity: %d completed submissions byte-identical across %d \
+     configs (jobs x fusion x columnar; %d shed/expired/errored)\n%!"
+    !identity_completed !identity_configs !identity_dropped;
+
+  (* -- part 3: crash-restart recovery from the ledger -- *)
+  let ledger_file = Filename.temp_file "musketeer_overload" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove ledger_file with _ -> ())
+  @@ fun () ->
+  let steady_config =
+    { base_config with Serve.Service.ledger = Some ledger_file }
+  in
+  let hdfs = fresh_hdfs () in
+  let m1 = Experiments.Common.musketeer_for cluster in
+  let steady_count = 60 and restart_count = 50 in
+  let arrivals count =
+    Serve.Client.generate ~seed:4242 ~rate_per_s:base_rate ~count ~tenants
+      ~mix ()
+  in
+  let svc1 = Serve.Service.create ~config:steady_config m1 ~hdfs in
+  let o1 = Serve.Service.drive svc1 (arrivals steady_count) in
+  let s1 = Serve.Service.summarize svc1 o1 in
+  (* simulated crash: warm state dies, the ledger file and HDFS survive *)
+  Engines.Breaker.reset ();
+  let records =
+    match Obs.Ledger.load ~filename:ledger_file () with
+    | r -> r
+    | exception Obs.Ledger.Schema_error msg ->
+      Printf.eprintf "FATAL: overload ledger does not round-trip: %s\n" msg;
+      exit 1
+  in
+  if List.length records < steady_count then begin
+    Printf.eprintf "FATAL: ledger has %d records, expected >= %d\n"
+      (List.length records) steady_count;
+    exit 1
+  end;
+  let m2 = Experiments.Common.musketeer_for cluster in
+  let svc2 = Serve.Service.create ~config:steady_config m2 ~hdfs in
+  let stats =
+    Serve.Service.restore svc2
+      ~mix:
+        (List.map
+           (fun (e : Serve.Client.mix_entry) -> (e.workflow, e.graph))
+           mix)
+      records
+  in
+  Format.printf "%a@." Serve.Service.pp_restore_stats stats;
+  (* same arrival process replayed against the restored service: warm
+     state is the only thing that can differ from steady state *)
+  let o2 = Serve.Service.drive svc2 (arrivals restart_count) in
+  let s2 = Serve.Service.summarize svc2 o2 in
+  let hit1 = s1.Serve.Service.cache_hit_rate in
+  let hit2 = s2.Serve.Service.cache_hit_rate in
+  let p99_1 = s1.Serve.Service.latency_p99_s in
+  let p99_2 = s2.Serve.Service.latency_p99_s in
+  Printf.printf
+    "restart: cache hit rate %.1f%% -> %.1f%%, latency p99 %.2fs -> \
+     %.2fs within %d submissions\n%!"
+    (100. *. hit1) (100. *. hit2) p99_1 p99_2 restart_count;
+  if stats.Serve.Service.r_warmed < List.length mix then begin
+    Printf.eprintf "FATAL: restore warmed %d plans, expected %d\n"
+      stats.Serve.Service.r_warmed (List.length mix);
+    exit 1
+  end;
+  if Float.abs (hit2 -. hit1) > 0.10 *. Float.max hit1 1e-9 then begin
+    Printf.eprintf
+      "FATAL: restored hit rate %.1f%% not within 10%% of steady-state \
+       %.1f%%\n"
+      (100. *. hit2) (100. *. hit1);
+    exit 1
+  end;
+  if Float.abs (p99_2 -. p99_1) > 0.10 *. Float.max p99_1 1e-9 then begin
+    Printf.eprintf
+      "FATAL: restored latency p99 %.2fs not within 10%% of steady-state \
+       %.2fs\n"
+      p99_2 p99_1;
+    exit 1
+  end;
+
+  let json =
+    let b = Buffer.create 2048 in
+    Buffer.add_string b "{\n";
+    Buffer.add_string b "  \"shedding\": {\n";
+    Buffer.add_string b
+      (Printf.sprintf "    \"base_rate_per_s\": %.3f,\n" base_rate);
+    Buffer.add_string b
+      (Printf.sprintf "    \"over_factor\": %.1f,\n" over_factor);
+    Buffer.add_string b
+      (Printf.sprintf "    \"queue_p99_base_s\": %.6f,\n" p99_base);
+    Buffer.add_string b
+      (Printf.sprintf "    \"queue_p99_unshed_s\": %.6f,\n" p99_unshed);
+    Buffer.add_string b
+      (Printf.sprintf "    \"queue_p99_shed_s\": %.6f,\n" p99_shed);
+    Buffer.add_string b "    \"max_p99_ratio\": 5.0,\n";
+    Buffer.add_string b
+      (Printf.sprintf "    \"goodput_unshed_wps\": %.6f,\n"
+         s_unshed.Serve.Service.goodput_wps);
+    Buffer.add_string b
+      (Printf.sprintf "    \"goodput_shed_wps\": %.6f,\n"
+         s_shed.Serve.Service.goodput_wps);
+    Buffer.add_string b
+      (Printf.sprintf "    \"shed\": %d,\n" s_shed.Serve.Service.shed);
+    Buffer.add_string b
+      (Printf.sprintf "    \"expired\": %d\n" s_shed.Serve.Service.expired);
+    Buffer.add_string b "  },\n";
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"chaos\": {\"configs\": %d, \"completed\": %d, \"dropped\": \
+          %d, \"spec\": \"worker@0.5;straggler*4:p=0.3\", \"ok\": true},\n"
+         !identity_configs !identity_completed !identity_dropped);
+    Buffer.add_string b "  \"restart\": {\n";
+    Buffer.add_string b
+      (Printf.sprintf "    \"steady_submissions\": %d,\n" steady_count);
+    Buffer.add_string b
+      (Printf.sprintf "    \"restart_submissions\": %d,\n" restart_count);
+    Buffer.add_string b
+      (Printf.sprintf "    \"ledger_records\": %d,\n"
+         (List.length records));
+    Buffer.add_string b
+      (Printf.sprintf "    \"plans_rewarmed\": %d,\n"
+         stats.Serve.Service.r_warmed);
+    Buffer.add_string b
+      (Printf.sprintf "    \"breakers_reopened\": %d,\n"
+         stats.Serve.Service.r_breakers);
+    Buffer.add_string b
+      (Printf.sprintf "    \"hit_rate_steady\": %.6f,\n" hit1);
+    Buffer.add_string b
+      (Printf.sprintf "    \"hit_rate_restored\": %.6f,\n" hit2);
+    Buffer.add_string b
+      (Printf.sprintf "    \"latency_p99_steady_s\": %.6f,\n" p99_1);
+    Buffer.add_string b
+      (Printf.sprintf "    \"latency_p99_restored_s\": %.6f,\n" p99_2);
+    Buffer.add_string b "    \"max_rel_error\": 0.10\n";
+    Buffer.add_string b "  }\n";
+    Buffer.add_string b "}\n";
+    Buffer.contents b
+  in
+  Out_channel.with_open_text "BENCH_overload.json" (fun oc ->
+      Out_channel.output_string oc json);
+  Printf.printf "wrote BENCH_overload.json\n"
+
 (* pull "--trace FILE" out of the argument list *)
 let rec extract_trace = function
   | [] -> (None, [])
@@ -1624,7 +2022,10 @@ let () =
          shared scans (BENCH_serve.json)";
       print_endline
         "subplan   common-subplan sharing + sub-result cache \
-         (BENCH_subplan.json)"
+         (BENCH_subplan.json)";
+      print_endline
+        "overload  shedding, SLOs, chaos identity, crash-restart \
+         (BENCH_overload.json)"
     | [ "bechamel" ] -> run_target "bechamel" bechamel
     | [ "kernels-par" ] -> run_target "kernels-par" kernels_par
     | [ "fusion" ] -> run_target "fusion" fusion_bench
@@ -1632,6 +2033,7 @@ let () =
     | [ "calibration" ] -> run_target "calibration" calibration_bench
     | [ "serve" ] -> run_target "serve" serve_bench
     | [ "subplan" ] -> run_target "subplan" subplan_bench
+    | [ "overload" ] -> run_target "overload" overload_bench
     | [] ->
       List.iter
         (fun (name, _, f) ->
@@ -1655,6 +2057,8 @@ let () =
                run_target "calibration" calibration_bench
              else if raw = "serve" then run_target "serve" serve_bench
              else if raw = "subplan" then run_target "subplan" subplan_bench
+             else if raw = "overload" then
+               run_target "overload" overload_bench
              else Printf.eprintf "unknown target %s (try: list)\n" raw)
         names
   in

@@ -791,13 +791,144 @@ let check_identity_arg =
         ~doc:
           "After serving, re-run each distinct workflow one-shot \
            against a snapshot of the initial HDFS and exit non-zero \
-           unless every served submission produced byte-identical \
-           outputs — the CI smoke gate for the serving layer.")
+           unless every completed submission produced byte-identical \
+           outputs, and unless zero scan/subplan flights are left \
+           open — the CI smoke gate for the serving layer. Shed, \
+           SLO-expired and errored submissions are reported but never \
+           compared (they completed nothing).")
+
+(* ---- serve-only overload-hardening knobs ---- *)
+
+let slo_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "slo" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-request deadline in virtual seconds from arrival: a \
+           submission still queued past its deadline is cancelled \
+           (SLO-expired) before admission. An execution that has \
+           already started always runs to its byte-identical \
+           completion — deadlines never truncate results. Feeds the \
+           slo-met and goodput summary lines.")
+
+let queue_cap_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "queue-cap" ] ~docv:"N"
+        ~doc:
+          "Bound each tenant's admission queue at N queued \
+           submissions; an arrival pushing a queue past its bound \
+           triggers --shed-policy. 0 (the default) leaves per-tenant \
+           queues unbounded.")
+
+let global_queue_cap_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "global-queue-cap" ] ~docv:"N"
+        ~doc:
+          "Bound the total queued submissions across all tenants; \
+           overflow triggers --shed-policy. 0 (the default) = \
+           unbounded.")
+
+let shed_policy_arg =
+  Arg.(
+    value & opt string "reject-newest"
+    & info [ "shed-policy" ] ~docv:"POLICY"
+        ~doc:
+          "Victim selection when a queue bound or the pressure signal \
+           trips: $(b,reject-newest) drops the arriving submission, \
+           $(b,shed-lowest-weight) drops the newest queued item of the \
+           lowest-weight backlogged tenant, $(b,oldest-first) drops \
+           the globally oldest queued item. See docs/serving.md.")
+
+let pressure_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "pressure-threshold" ] ~docv:"SECONDS"
+        ~doc:
+          "Queue-delay EWMA that counts as pressure 1.0 and arms the \
+           graceful-degradation ladder: 1x disables speculation, 1.5x \
+           stops new sub-result materializations, 2x closes the \
+           co-admission window (no shared scans/subplans), 3x sheds \
+           arrivals outright. 0 (the default) disables the signal; \
+           none of the rungs can change the bytes of a completed \
+           submission.")
+
+let retry_budget_arg =
+  Arg.(
+    value & opt float (-1.)
+    & info [ "retry-budget" ] ~docv:"TOKENS"
+        ~doc:
+          "Per-tenant retry token bucket: each engine-level retry \
+           costs one token, refilled at one token per virtual second; \
+           an empty bucket caps the effective retry count at 0 \
+           (fallback re-planning still applies). Negative (the \
+           default) = unlimited.")
+
+let restart_after_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "restart-after" ] ~docv:"N"
+        ~doc:
+          "Crash-recovery drill (requires --ledger): serve the first \
+           N submissions, tear the service down (plan cache, breaker \
+           states, scan/subplan epochs and calibration all lost), \
+           then restore a fresh service from the ledger and serve the \
+           remainder. The summary covers both halves.")
 
 let serve_cmd =
   let run mix_spec tenants_spec rate count seed nodes concurrency
       cache_capacity subresult_cache_mb check_identity trace jobs no_fusion
-      breaker ledger no_calibrate =
+      breaker ledger no_calibrate inject retries deadline_factor deadline
+      no_speculation replan_threshold slo queue_cap global_queue_cap
+      shed_policy_s pressure_threshold retry_budget restart_after =
+    (* a workflow-level deadline budget cannot be distributed over an
+       open-ended stream of submissions — refuse it loudly rather than
+       silently applying it per submission *)
+    if deadline <> None then begin
+      Format.eprintf
+        "serve cannot honor a workflow-level --deadline; use --slo \
+         SECONDS for per-request deadlines@.";
+      exit 1
+    end;
+    let shed_policy =
+      match Serve.Service.shed_policy_of_string shed_policy_s with
+      | Some p -> p
+      | None ->
+        Format.eprintf
+          "unknown --shed-policy %S (expected reject-newest, \
+           shed-lowest-weight or oldest-first)@."
+          shed_policy_s;
+        exit 1
+    in
+    let inject_plan =
+      match inject with
+      | None -> None
+      | Some spec -> (
+        match Engines.Faults.parse_plan ~seed spec with
+        | Error msg ->
+          Format.eprintf "bad --inject spec: %s@." msg;
+          exit 1
+        | Ok plan ->
+          Format.eprintf "injecting: %a@." Engines.Faults.pp_plan plan;
+          Some plan)
+    in
+    (* recovery is armed only under injection: a fault-free serve run
+       keeps the seed behavior (failures fail) and the identity
+       baseline stays comparable *)
+    let recovery =
+      if inject_plan = None then Musketeer.Recovery.none
+      else
+        { Musketeer.Recovery.default with
+          Musketeer.Recovery.max_retries = max 0 retries }
+    in
+    let supervision =
+      supervision_of deadline_factor None no_speculation replan_threshold
+    in
+    if restart_after <> None && ledger = None then begin
+      Format.eprintf "--restart-after requires --ledger@.";
+      exit 1
+    end;
     Relation.Pool.set_jobs jobs;
     set_fusion no_fusion;
     set_breaker breaker;
@@ -834,13 +965,61 @@ let serve_cmd =
       Serve.Client.generate ~seed ~rate_per_s:rate ~count ~tenants ~mix ()
     in
     let config =
-      { Serve.Service.concurrency; cache_capacity; subresult_cache_mb;
-        weights = tenants; ledger }
+      { Serve.Service.default_config with
+        Serve.Service.concurrency; cache_capacity; subresult_cache_mb;
+        weights = tenants; ledger;
+        tenant_queue_cap = max 0 queue_cap;
+        global_queue_cap = max 0 global_queue_cap;
+        shed_policy;
+        pressure_threshold_s = Float.max 0. pressure_threshold;
+        default_slo_s = slo;
+        retry_budget;
+        recovery; supervision; inject = inject_plan }
     in
     with_trace trace @@ fun () ->
     let cluster = Engines.Cluster.ec2 ~nodes in
     let m = Experiments.Common.musketeer_for cluster in
-    let outcomes, svc = Serve.Service.run ~config m ~hdfs submissions in
+    let outcomes, svc =
+      match restart_after with
+      | None -> Serve.Service.run ~config m ~hdfs submissions
+      | Some n ->
+        let rec split_at n = function
+          | l when n <= 0 -> ([], l)
+          | [] -> ([], [])
+          | x :: tl ->
+            let a, b = split_at (n - 1) tl in
+            (x :: a, b)
+        in
+        let before, after = split_at n submissions in
+        let svc1 = Serve.Service.create ~config m ~hdfs in
+        let outcomes1 = Serve.Service.drive svc1 before in
+        (* simulated crash: every piece of warm state dies with the
+           process — only the ledger file and HDFS survive *)
+        Engines.Breaker.reset ();
+        let m' = Experiments.Common.musketeer_for cluster in
+        let svc2 = Serve.Service.create ~config m' ~hdfs in
+        let records =
+          match ledger with
+          | None -> []
+          | Some filename -> (
+            match Obs.Ledger.load ~filename () with
+            | records -> records
+            | exception Obs.Ledger.Schema_error msg ->
+              Format.eprintf "ledger %s: %s@." filename msg;
+              exit 1)
+        in
+        let stats =
+          Serve.Service.restore svc2
+            ~mix:
+              (List.map
+                 (fun (e : Serve.Client.mix_entry) -> (e.workflow, e.graph))
+                 mix)
+            records
+        in
+        Format.printf "%a@." Serve.Service.pp_restore_stats stats;
+        let outcomes2 = Serve.Service.drive svc2 after in
+        (outcomes1 @ outcomes2, svc2)
+    in
     List.iter
       (fun (o : Serve.Service.outcome) ->
          match o.error with
@@ -891,11 +1070,17 @@ let serve_cmd =
            end)
         mix;
       let mismatches = ref 0 in
+      let compared = ref 0 in
+      let skipped = ref 0 in
       List.iter
         (fun (o : Serve.Service.outcome) ->
-           match o.error with
-           | Some _ -> incr mismatches
-           | None ->
+           (* shed / expired / errored submissions completed nothing —
+              there are no bytes to compare *)
+           match o.status, o.error with
+           | Serve.Service.(Shed _ | Expired), _ | _, Some _ ->
+             incr skipped
+           | Serve.Service.Served, None ->
+             incr compared;
              let got = sorted_csv o.outputs in
              let want = Hashtbl.find reference o.sub.Serve.Service.workflow in
              if got <> want then begin
@@ -907,17 +1092,24 @@ let serve_cmd =
                  o.sub.Serve.Service.arrival_s
              end)
         outcomes;
-      if !mismatches > 0 then begin
+      let leaked = Serve.Service.open_flights svc in
+      if leaked > 0 then
         Format.eprintf
-          "@.identity check FAILED: %d of %d served submissions@."
-          !mismatches (List.length outcomes);
+          "@.flight leak: %d scan/subplan flights left open after the \
+           drive@."
+          leaked;
+      if !mismatches > 0 || leaked > 0 then begin
+        Format.eprintf "@.identity check FAILED: %d of %d completed \
+                        submissions mismatched, %d leaked flights@."
+          !mismatches !compared leaked;
         exit 1
       end
       else
         Format.printf
-          "@.identity ok: %d served submissions byte-identical to \
-           one-shot runs@."
-          (List.length outcomes)
+          "@.identity ok: %d completed submissions byte-identical to \
+           one-shot runs (%d shed/expired/errored skipped), 0 leaked \
+           flights@."
+          !compared !skipped
     end
   in
   Cmd.v
@@ -926,15 +1118,26 @@ let serve_cmd =
          "Run the persistent serving layer against a synthetic \
           multi-tenant load: plan cache, weighted fair admission and \
           cross-workflow shared scans amortize work across \
-          submissions. Prints throughput, latency percentiles, cache \
-          hit rate and per-tenant queue delays; --check-identity \
-          verifies served outputs byte-match one-shot runs. See \
-          docs/serving.md.")
+          submissions, and the overload hardening (bounded queues with \
+          --queue-cap/--global-queue-cap and --shed-policy, per-request \
+          --slo deadlines, a --pressure-threshold degradation ladder, \
+          a --retry-budget token bucket, --inject chaos and a \
+          --restart-after crash-recovery drill) keeps it predictable \
+          under stress. Prints throughput, goodput, latency \
+          percentiles, shed/expired counts, cache hit rate and \
+          per-tenant queue delays; --check-identity verifies completed \
+          outputs byte-match one-shot runs and that no shared-scan or \
+          subplan flight leaks. See docs/serving.md and \
+          docs/fault-tolerance.md.")
     Term.(
       const run $ mix_arg $ tenants_arg $ rate_arg $ count_arg $ seed_arg
       $ nodes_arg $ concurrency_arg $ cache_capacity_arg
       $ subresult_cache_mb_arg $ check_identity_arg $ trace_arg $ jobs_arg
-      $ no_fusion_arg $ breaker_arg $ ledger_arg $ no_calibrate_arg)
+      $ no_fusion_arg $ breaker_arg $ ledger_arg $ no_calibrate_arg
+      $ inject_arg $ retries_arg $ deadline_factor_arg $ deadline_arg
+      $ no_speculation_arg $ replan_threshold_arg $ slo_arg $ queue_cap_arg
+      $ global_queue_cap_arg $ shed_policy_arg $ pressure_arg
+      $ retry_budget_arg $ restart_after_arg)
 
 (* ---- report: read the ledger back ---- *)
 

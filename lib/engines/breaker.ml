@@ -20,6 +20,8 @@ type entry = {
   mutable open_until : int;      (** logical tick, meaningful when Open *)
   mutable cooldown_cur : int;    (** doubles on each failed probe *)
   mutable trips : int;
+  mutable probing : bool;        (** a probe slot is claimed (Half_open) *)
+  mutable probe_until : int;     (** tick at which a lost probe releases *)
 }
 
 type t = {
@@ -96,7 +98,8 @@ let entry t backend =
   | None ->
     let e =
       { st = Closed; outcomes = []; open_until = 0;
-        cooldown_cur = t.config.cooldown; trips = 0 }
+        cooldown_cur = t.config.cooldown; trips = 0;
+        probing = false; probe_until = 0 }
     in
     Hashtbl.replace t.entries backend e;
     e
@@ -123,16 +126,38 @@ let set_open_gauge t backend v =
 let refresh t backend e =
   if e.st = Open && t.clock >= e.open_until then begin
     e.st <- Half_open;
+    e.probing <- false;
     Obs.Metrics.incr Obs.Metrics.default "breaker.probes";
     set_open_gauge t backend 0.
-  end
+  end;
+  (* a claimed probe that never reported back releases after one
+     cooldown's worth of ticks, so a lost probe cannot wedge the
+     half-open window shut forever *)
+  if e.st = Half_open && e.probing && t.clock >= e.probe_until then
+    e.probing <- false
 
 let trip t backend e =
   e.st <- Open;
+  e.probing <- false;
   e.open_until <- t.clock + e.cooldown_cur;
   e.trips <- e.trips + 1;
   Obs.Metrics.incr Obs.Metrics.default "breaker.trips";
   set_open_gauge t backend 1.
+
+(* Restart replay: re-open a breaker recorded as open in the ledger,
+   without counting a fresh trip. The cooldown restarts from now — the
+   ledger does not record how far into the quarantine the crash fell,
+   so the conservative choice is a full window. *)
+let force_open backend =
+  match active () with
+  | None -> ()
+  | Some t ->
+    let e = entry t backend in
+    e.st <- Open;
+    e.probing <- false;
+    e.open_until <- t.clock + e.cooldown_cur;
+    Obs.Metrics.incr Obs.Metrics.default "breaker.restored";
+    set_open_gauge t backend 1.
 
 let record outcome backend =
   match active () with
@@ -146,6 +171,7 @@ let record outcome backend =
      | Half_open, true ->
        (* probe succeeded: full pardon *)
        e.st <- Closed;
+       e.probing <- false;
        e.outcomes <- [ true ];
        e.cooldown_cur <- t.config.cooldown;
        Obs.Metrics.incr Obs.Metrics.default "breaker.reclosed"
@@ -176,10 +202,39 @@ let state backend =
 
 let quarantined backend = state backend = Open
 
+(* Admission decision for one backend. Closed admits; Open rejects;
+   Half_open admits exactly ONE caller per window — the first claims
+   the probe slot, concurrent callers (e.g. two submissions co-admitted
+   into the same tenant scope before either outcome lands) are held
+   back until the probe reports or its claim expires. Without the
+   claim, every concurrent submission would be admitted "as the probe"
+   and a still-broken engine would eat them all at once. *)
+let probe_claim t backend e =
+  refresh t backend e;
+  match e.st with
+  | Closed -> true
+  | Open -> false
+  | Half_open ->
+    if e.probing then begin
+      Obs.Metrics.incr Obs.Metrics.default "breaker.probe_contended";
+      false
+    end
+    else begin
+      e.probing <- true;
+      e.probe_until <- t.clock + t.config.cooldown;
+      true
+    end
+
 let filter backends =
-  if enabled () then
-    List.filter (fun b -> not (quarantined b)) backends
-  else backends
+  match active () with
+  | None -> backends
+  | Some t ->
+    List.filter
+      (fun b ->
+         match Hashtbl.find_opt t.entries b with
+         | None -> true
+         | Some e -> probe_claim t b e)
+      backends
 
 let filter_candidates backends =
   match filter backends with

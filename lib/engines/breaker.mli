@@ -67,8 +67,15 @@ val state : Backend.t -> state
 (** [true] iff {!state} is [Open]. *)
 val quarantined : Backend.t -> bool
 
-(** Drop quarantined backends. Identity while disabled. May return
-    the empty list when everything is quarantined. *)
+(** Drop backends the breaker will not admit. Identity while disabled.
+    May return the empty list when everything is quarantined.
+
+    Half-open windows admit {e exactly one} caller: the first [filter]
+    that sees a half-open engine claims its probe slot and is admitted;
+    concurrent callers (co-admitted submissions racing into the same
+    window) are excluded ([breaker.probe_contended]) until the probe's
+    outcome is recorded — or, if the probe is lost, until one cooldown's
+    worth of ticks elapses and the claim expires. *)
 val filter : Backend.t list -> Backend.t list
 
 (** Like {!filter}, but falls back to the unfiltered input when the
@@ -78,6 +85,13 @@ val filter_candidates : Backend.t list -> Backend.t list
 
 (** Engines with recorded state, with their (refreshed) states. *)
 val states : unit -> (Backend.t * state) list
+
+(** Restart replay: re-open an engine's breaker in the active scope
+    (state {!Open}, a full cooldown from now) without counting a trip —
+    [breaker.restored] is bumped instead. Used when a restarted service
+    replays breaker state recorded in the run ledger. No-op while
+    disabled. *)
+val force_open : Backend.t -> unit
 
 (** Human-readable table of the breaker states (one line per engine
     with outcomes on record); prints a disabled notice otherwise. *)

@@ -101,6 +101,17 @@ let note_write t relation =
   Hashtbl.replace t.epochs relation (epoch t relation + 1);
   Hashtbl.remove t.entries relation
 
+let open_flights t = Hashtbl.length t.flights
+
+(* Restart replay: raise a relation's epoch to [e] (never lower it —
+   replay from a ledger must not resurrect entries newer state already
+   invalidated). *)
+let set_epoch t relation e =
+  if e > epoch t relation then begin
+    Hashtbl.replace t.epochs relation e;
+    Hashtbl.remove t.entries relation
+  end
+
 let paid_reads t relation =
   Option.value (Hashtbl.find_opt t.paid relation) ~default:0
 

@@ -50,6 +50,14 @@ val note_write : t -> string -> unit
 
 val epoch : t -> string -> int
 
+(** Raise a relation's epoch to at least [e] (restart replay from a
+    ledger; never lowers). *)
+val set_epoch : t -> string -> int -> unit
+
+(** Flights begun but not yet ended — the leaked-flight gate asserts
+    this returns to 0 after a drive. *)
+val open_flights : t -> int
+
 (** Paid HDFS fetches of a relation since {!create} — the bench asserts
     this stays 1 for co-admitted same-input workflows. *)
 val paid_reads : t -> string -> int

@@ -119,6 +119,17 @@ let note_write t relation =
        Obs.Metrics.incr Obs.Metrics.default "subplan.invalidated")
     stale
 
+let open_flights t = Hashtbl.length t.flights
+
+(* Restart replay: raise a relation's epoch to [e] (never lower it).
+   Goes through [note_write] so entries that read the relation are
+   dropped, then jumps the epoch the rest of the way. *)
+let set_epoch t relation e =
+  if e > epoch t relation then begin
+    note_write t relation;
+    if e > epoch t relation then Hashtbl.replace t.epochs relation e
+  end
+
 let paid_count t ~key =
   Option.value (Hashtbl.find_opt t.paid key) ~default:0
 

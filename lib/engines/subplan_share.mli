@@ -57,6 +57,14 @@ val note_write : t -> string -> unit
 
 val epoch : t -> string -> int
 
+(** Raise a relation's epoch to at least [e] (restart replay from a
+    ledger; never lowers). *)
+val set_epoch : t -> string -> int -> unit
+
+(** Flights begun but not yet ended — the leaked-flight gate asserts
+    this returns to 0 after a drive. *)
+val open_flights : t -> int
+
 (** Materializations of one key since {!create} — the bench pins this
     at one per input epoch. *)
 val paid_count : t -> key:string -> int

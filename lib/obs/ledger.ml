@@ -4,10 +4,12 @@
    mid-append crashes; only a newer *major* schema version is refused. *)
 
 (* 1.1 added the optional "serve" object (serving-mode records);
-   1.2 added per-submission subplan sharing fields to it. 1.0 readers
-   ignore the object, 1.1 records read back with the subplan fields
-   zeroed — minor-version evolution per the module contract. *)
-let current_schema = "1.2"
+   1.2 added per-submission subplan sharing fields to it; 1.3 added
+   overload fields (shed reason, SLO, breaker/epoch replay state for
+   crash-restart recovery). 1.0 readers ignore the object, older
+   records read back with the newer fields defaulted — minor-version
+   evolution per the module contract. *)
+let current_schema = "1.3"
 
 let supported_major = 1
 
@@ -20,6 +22,17 @@ type serve_info = {
   cache : string;  (** plan-cache outcome: "hit" | "miss" | "invalidated" *)
   subplan_hits : int;  (** shared prefixes attached (1.2+; 0 before) *)
   subplan_attached_mb : float;
+  shed : string option;
+      (** [None] = executed; [Some reason] = dropped before execution
+          (load shed or SLO-expired) — 1.3+; [None] before *)
+  slo_s : float;  (** per-request deadline, 0. = none (1.3+) *)
+  slo_met : bool;  (** finished within the deadline (1.3+; true before) *)
+  breaker_open : string list;
+      (** engines open in this tenant's breaker scope at completion,
+          replayed on restart (1.3+; empty before) *)
+  epochs : (string * int) list;
+      (** scan-share epochs of the submission's INPUT relations at
+          completion, replayed on restart (1.3+; empty before) *)
 }
 
 type record = {
@@ -118,12 +131,26 @@ let to_json r =
      | Some s ->
        [ ("serve",
           Json.Obj
-            [ ("tenant", Json.String s.tenant);
+            ([ ("tenant", Json.String s.tenant);
               ("queue_delay_s", Json.Number s.queue_delay_s);
               ("latency_s", Json.Number s.latency_s);
               ("cache", Json.String s.cache);
-              ("subplan_hits", Json.Number (float_of_int s.subplan_hits));
-              ("subplan_attached_mb", Json.Number s.subplan_attached_mb) ]) ])
+               ("subplan_hits", Json.Number (float_of_int s.subplan_hits));
+               ("subplan_attached_mb", Json.Number s.subplan_attached_mb) ]
+            @ (match s.shed with
+               | None -> []
+               | Some reason -> [ ("shed", Json.String reason) ])
+            @ [ ("slo_s", Json.Number s.slo_s);
+                ("slo_met", Json.Bool s.slo_met);
+                ("breaker_open",
+                 Json.List
+                   (List.map (fun b -> Json.String b) s.breaker_open));
+                ("epochs",
+                 Json.Obj
+                   (List.map
+                      (fun (rel, e) ->
+                         (rel, Json.Number (float_of_int e)))
+                      s.epochs)) ])) ])
 
 let major_of schema =
   match String.index_opt schema '.' with
@@ -217,7 +244,27 @@ let of_json j =
              cache = Json.get_string o "cache" ~default:"miss";
              subplan_hits = Json.get_int o "subplan_hits" ~default:0;
              subplan_attached_mb =
-               Json.get_float o "subplan_attached_mb" ~default:0. }
+               Json.get_float o "subplan_attached_mb" ~default:0.;
+             shed =
+               Option.bind (Json.member "shed" o) Json.to_string_opt;
+             slo_s = Json.get_float o "slo_s" ~default:0.;
+             slo_met =
+               (match Json.member "slo_met" o with
+                | Some (Json.Bool b) -> b
+                | _ -> true);
+             breaker_open =
+               (match Json.member "breaker_open" o with
+                | Some (Json.List l) ->
+                  List.filter_map Json.to_string_opt l
+                | _ -> []);
+             epochs =
+               (match Json.member "epochs" o with
+                | Some (Json.Obj fields) ->
+                  List.filter_map
+                    (fun (rel, v) ->
+                       Option.map (fun e -> (rel, e)) (Json.to_int_opt v))
+                    fields
+                | _ -> []) }
        | None -> None) }
 
 (* ---- file I/O ---- *)

@@ -22,10 +22,12 @@ val supported_major : int
 
 exception Schema_error of string
 
-(** Serving-mode extension (schema 1.1; subplan fields 1.2): how the
-    submission fared in the admission queue, the plan cache and the
-    subplan-sharing layers. Absent on one-shot runs and on pre-1.1
-    records; 1.1 records read back with the subplan fields zeroed. *)
+(** Serving-mode extension (schema 1.1; subplan fields 1.2; overload
+    and restart-replay fields 1.3): how the submission fared in the
+    admission queue, the plan cache and the subplan-sharing layers.
+    Absent on one-shot runs and on pre-1.1 records; older records read
+    back with the newer fields defaulted (subplan fields zeroed, [shed]
+    = [None], [slo_s] = 0., [slo_met] = [true], replay lists empty). *)
 type serve_info = {
   tenant : string;
   queue_delay_s : float;      (** admission − arrival, virtual seconds *)
@@ -33,6 +35,17 @@ type serve_info = {
   cache : string;             (** "hit" | "miss" | "invalidated" *)
   subplan_hits : int;         (** shared prefixes attached *)
   subplan_attached_mb : float;
+  shed : string option;
+      (** [Some reason] when dropped before execution (load shed /
+          SLO-expired); [None] on executed submissions *)
+  slo_s : float;              (** per-request deadline, 0. = none *)
+  slo_met : bool;             (** finished within the deadline *)
+  breaker_open : string list;
+      (** engines open in this tenant's breaker scope at completion —
+          restart replay re-opens them *)
+  epochs : (string * int) list;
+      (** scan-share epochs of the submission's INPUT relations at
+          completion — restart replay raises epochs to these *)
 }
 
 type record = {

@@ -47,8 +47,10 @@ let pick_weighted r choices ~weight =
 
 (* [generate ~seed ~rate_per_s ~count ~tenants ~mix ()] — [tenants] is
    (name, traffic share); [start_s] offsets the first arrival (default
-   0, for chaining waves on one service). *)
-let generate ?(start_s = 0.) ~seed ~rate_per_s ~count ~tenants ~mix () =
+   0, for chaining waves on one service); [slo_s] stamps every
+   submission with a per-request deadline. *)
+let generate ?(start_s = 0.) ?slo_s ~seed ~rate_per_s ~count ~tenants ~mix
+    () =
   if rate_per_s <= 0. then invalid_arg "Serve.Client.generate: rate <= 0";
   if count < 0 then invalid_arg "Serve.Client.generate: count < 0";
   if tenants = [] then invalid_arg "Serve.Client.generate: no tenants";
@@ -66,4 +68,5 @@ let generate ?(start_s = 0.) ~seed ~rate_per_s ~count ~tenants ~mix () =
         workflow = entry.workflow;
         graph = entry.graph;
         arrival_s = !clock;
+        slo_s;
       })

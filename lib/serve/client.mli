@@ -15,6 +15,7 @@ type mix_entry = {
 
 val generate :
   ?start_s:float ->
+  ?slo_s:float ->
   seed:int ->
   rate_per_s:float ->
   count:int ->

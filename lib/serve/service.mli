@@ -32,30 +32,63 @@
     wall-clock seconds the planner really spent. Executions are
     isolated by HDFS snapshot/restore, so a served submission's outputs
     are byte-identical to a one-shot [run] of the same graph — the
-    serve bench and CI smoke test assert this. *)
+    serve bench and CI smoke test assert this.
+
+    {b Overload hardening} (see [docs/serving.md]): admission queues
+    can be bounded per tenant and globally with a configurable shedding
+    policy; submissions may carry per-request SLOs (cancelled {e before
+    admission only} — an execution, once started, always runs to its
+    byte-identical completion); a queue-delay EWMA pressure signal
+    drives a graceful-degradation ladder (shed speculation, then new
+    materializations, then the co-admission window, then requests); a
+    per-tenant retry token bucket stops retry storms; and fault
+    injection + recovery + supervision from the one-shot path are wired
+    through every submission. None of these can change the bytes of a
+    submission that completes — the chaos differential property asserts
+    it. *)
 
 type submission = {
   tenant : string;
   workflow : string;
   graph : Ir.Dag.t;
-  arrival_s : float;  (** virtual seconds *)
+  arrival_s : float;   (** virtual seconds *)
+  slo_s : float option;
+      (** per-request deadline relative to arrival; [None] falls back
+          to [config.default_slo_s] (and then to no deadline) *)
 }
+
+type status =
+  | Served          (** executed (possibly with an error) *)
+  | Shed of string  (** dropped by the shedding policy, never executed *)
+  | Expired         (** SLO passed while queued; cancelled pre-admission *)
 
 type outcome = {
   sub : submission;
+  status : status;
   admit_s : float;
   finish_s : float;
   queue_delay_s : float;  (** admit − arrival *)
   latency_s : float;      (** finish − arrival *)
   makespan_s : float;     (** simulated makespan, paid prefixes included *)
   planning_s : float;     (** wall-clock seconds spent planning *)
-  cache : string;         (** "hit" | "miss" | "invalidated" *)
+  cache : string;         (** "hit" | "miss" | "invalidated";
+                              "shed" / "expired" on dropped outcomes *)
   subplan_hits : int;     (** prefixes attached (share or cache) *)
   subplan_paid : int;     (** prefixes this submission materialized *)
   subplan_attached_mb : float;
   outputs : (string * Relation.Table.t) list;
-  error : string option;
+  error : string option;  (** always [None] on dropped outcomes *)
 }
+
+type shed_policy =
+  | Reject_newest       (** drop the arriving submission *)
+  | Shed_lowest_weight  (** drop the newest queued item of the
+                            lowest-weight tenant with a backlog *)
+  | Oldest_first        (** drop the globally oldest queued item *)
+
+val shed_policy_name : shed_policy -> string
+
+val shed_policy_of_string : string -> shed_policy option
 
 type config = {
   concurrency : int;                (** admission slots (default 4) *)
@@ -65,6 +98,29 @@ type config = {
           disables subplan sharing entirely *)
   weights : (string * float) list;  (** tenant → WFQ weight (default 1) *)
   ledger : string option;           (** JSONL run ledger to append to *)
+  tenant_queue_cap : int;           (** max queued per tenant; 0 = unbounded *)
+  global_queue_cap : int;           (** max queued overall; 0 = unbounded *)
+  shed_policy : shed_policy;        (** default [Reject_newest] *)
+  pressure_threshold_s : float;
+      (** queue-delay EWMA that counts as pressure 1.0; [0.] (the
+          default) disables the pressure signal — no degradation
+          ladder, no pressure shedding (bounds still apply) *)
+  default_slo_s : float option;     (** deadline for submissions without one *)
+  retry_budget : float;
+      (** per-tenant retry token-bucket capacity; negative (the
+          default) = unlimited *)
+  retry_refill_per_s : float;       (** tokens per virtual second *)
+  recovery : Musketeer.Recovery.policy;
+      (** retry/fallback policy for submission executions (and payer
+          prefix executions); default {!Musketeer.Recovery.none} *)
+  supervision : Musketeer.Supervisor.config;
+      (** deadlines/speculation/re-planning; default
+          {!Musketeer.Supervisor.disabled} *)
+  inject : Engines.Faults.fault_plan option;
+      (** chaos: install this fault plan around each submission's
+          execution (reseeded per submission, so a fixed seed gives a
+          deterministic per-trace fault schedule); planning and the
+          identity baseline stay clean *)
 }
 
 val default_config : config
@@ -97,6 +153,34 @@ val run :
   ?config:config -> Musketeer.t -> hdfs:Engines.Hdfs.t ->
   submission list -> outcome list * t
 
+(** Scan- plus subplan-share flights currently open. Zero after every
+    [drive] returns — a leaked flight means a failed payer left entries
+    attachers could still claim (the CI chaos smoke gates on this). *)
+val open_flights : t -> int
+
+(** {2 Crash-restart recovery} *)
+
+type restore_stats = {
+  r_records : int;    (** ledger records replayed *)
+  r_calibrated : int; (** engines with re-fitted calibration factors *)
+  r_warmed : int;     (** workflows re-planned into the plan cache *)
+  r_breakers : int;   (** tenant×engine breakers re-opened *)
+  r_epochs : int;     (** relation epochs raised *)
+}
+
+(** [restore t ~mix records] replays warm state a crash lost from the
+    run ledger into a freshly created service: re-fits calibration,
+    raises scan/subplan epochs to the recorded per-relation maxima,
+    re-opens per-tenant breakers recorded open (when the breaker is
+    enabled), and re-plans every distinct ledger workflow found in
+    [mix] (name → graph) once, in first-appearance order. Call before
+    the first [drive]. *)
+val restore :
+  t -> mix:(string * Ir.Dag.t) list -> Obs.Ledger.record list ->
+  restore_stats
+
+val pp_restore_stats : Format.formatter -> restore_stats -> unit
+
 (** {2 Summaries} *)
 
 type tenant_summary = {
@@ -104,15 +188,22 @@ type tenant_summary = {
   st_submitted : int;
   st_completed : int;
   st_errors : int;
+  st_shed : int;
+  st_expired : int;
   st_queue_p50_s : float;
   st_queue_p99_s : float;
   st_latency_p99_s : float;
 }
 
 type summary = {
-  submitted : int;
-  completed : int;
-  errors : int;
+  submitted : int;   (** every outcome, dropped ones included *)
+  completed : int;   (** executed without error *)
+  errors : int;      (** executed, failed *)
+  shed : int;        (** dropped by the shedding policy *)
+  expired : int;     (** SLO-cancelled before admission *)
+  slo_met : int;     (** completed within their deadline (no deadline
+                         counts as met) *)
+  goodput_wps : float;  (** completed-in-SLO per virtual second *)
   duration_s : float;  (** first arrival → last finish, virtual *)
   throughput_wps : float;
   latency_p50_s : float;

@@ -84,7 +84,9 @@ let test_file_round_trip () =
 let test_serve_round_trip () =
   let serve : Obs.Ledger.serve_info =
     { tenant = "gold"; queue_delay_s = 1.25; latency_s = 7.5; cache = "hit";
-      subplan_hits = 2; subplan_attached_mb = 37.5 }
+      subplan_hits = 2; subplan_attached_mb = 37.5; shed = None;
+      slo_s = 30.; slo_met = true; breaker_open = [ "Spark" ];
+      epochs = [ ("ratings", 3) ] }
   in
   let r = { (sample_record ()) with serve = Some serve } in
   let records, torn = Obs.Ledger.of_lines [ Obs.Ledger.line_of_record r ] in
@@ -105,7 +107,9 @@ let test_serve_round_trip () =
 let test_old_1_1_serve_without_subplan_fields () =
   let serve : Obs.Ledger.serve_info =
     { tenant = "gold"; queue_delay_s = 1.25; latency_s = 7.5; cache = "hit";
-      subplan_hits = 2; subplan_attached_mb = 37.5 }
+      subplan_hits = 2; subplan_attached_mb = 37.5; shed = None;
+      slo_s = 30.; slo_met = true; breaker_open = [ "Spark" ];
+      epochs = [ ("ratings", 3) ] }
   in
   let r = { (sample_record ()) with serve = Some serve } in
   let line = Obs.Ledger.line_of_record r in
@@ -141,6 +145,57 @@ let test_old_1_1_serve_without_subplan_fields () =
       Alcotest.(check (float 1e-9)) "attached MB defaults to 0" 0.
         s.subplan_attached_mb
     | None -> Alcotest.fail "serve info lost on 1.1 input")
+  | rs -> Alcotest.failf "expected 1 record, got %d" (List.length rs)
+
+(* a 1.2 ledger (serve object without the 1.3 overload fields) must
+   keep loading, with the overload state defaulting to "nothing was
+   shed, no SLO, nothing to replay" *)
+let test_old_1_2_serve_without_overload_fields () =
+  let serve : Obs.Ledger.serve_info =
+    { tenant = "gold"; queue_delay_s = 1.25; latency_s = 7.5; cache = "hit";
+      subplan_hits = 2; subplan_attached_mb = 37.5;
+      shed = Some "reject-newest"; slo_s = 30.; slo_met = false;
+      breaker_open = [ "Spark" ]; epochs = [ ("ratings", 3) ] }
+  in
+  let r = { (sample_record ()) with serve = Some serve } in
+  let line = Obs.Ledger.line_of_record r in
+  let old_line =
+    match Obs.Json.of_string line with
+    | Obs.Json.Obj fields ->
+      let serve_obj =
+        match List.assoc "serve" fields with
+        | Obs.Json.Obj sfields ->
+          Obs.Json.Obj
+            (List.fold_left
+               (fun acc f -> List.remove_assoc f acc)
+               sfields
+               [ "shed"; "slo_s"; "slo_met"; "breaker_open"; "epochs" ])
+        | _ -> Alcotest.fail "serve did not serialize as an object"
+      in
+      Obs.Json.to_string
+        (Obs.Json.Obj
+           (("schema", Obs.Json.String "1.2")
+            :: ("serve", serve_obj)
+            :: List.remove_assoc "serve"
+                 (List.remove_assoc "schema" fields)))
+    | _ -> Alcotest.fail "record did not parse as an object"
+  in
+  let records, torn = Obs.Ledger.of_lines [ old_line ] in
+  Alcotest.(check int) "not torn" 0 torn;
+  match records with
+  | [ r' ] -> (
+    Alcotest.(check string) "1.2 accepted" "1.2" r'.Obs.Ledger.schema;
+    match r'.Obs.Ledger.serve with
+    | Some s ->
+      Alcotest.(check string) "tenant intact" "gold" s.tenant;
+      Alcotest.(check int) "subplan hits intact" 2 s.subplan_hits;
+      Alcotest.(check bool) "shed defaults to None" true (s.shed = None);
+      Alcotest.(check (float 1e-9)) "slo defaults to none" 0. s.slo_s;
+      Alcotest.(check bool) "slo_met defaults to true" true s.slo_met;
+      Alcotest.(check bool) "no breakers to replay" true
+        (s.breaker_open = []);
+      Alcotest.(check bool) "no epochs to replay" true (s.epochs = [])
+    | None -> Alcotest.fail "serve info lost on 1.2 input")
   | rs -> Alcotest.failf "expected 1 record, got %d" (List.length rs)
 
 (* a pre-1.1 ledger (schema "1.0", no "serve" field) must keep loading:
@@ -237,6 +292,36 @@ let test_torn_final_line () =
   Alcotest.(check int) "torn tail skipped" 1 (List.length records);
   Alcotest.(check int) "warning counter" 1
     (Obs.Metrics.counter metrics "ledger.torn_lines")
+
+(* crash-recovery property: whatever byte the appending writer died
+   at, the ledger still loads. For every prefix of the final record:
+   an empty tail is no line at all, a proper prefix is exactly one
+   torn line, the full line is a second record — never an error and
+   never a lost earlier record *)
+let test_torn_at_every_byte_offset () =
+  let line = Obs.Ledger.line_of_record (sample_record ()) in
+  let n = String.length line in
+  let file = Filename.temp_file "test_ledger_offsets" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+  @@ fun () ->
+  for k = 0 to n do
+    Out_channel.with_open_bin file (fun oc ->
+        Out_channel.output_string oc (line ^ "\n" ^ String.sub line 0 k));
+    let metrics = Obs.Metrics.create () in
+    match Obs.Ledger.load ~metrics ~filename:file () with
+    | exception e ->
+      Alcotest.failf "truncated at byte %d of %d: load raised %s" k n
+        (Printexc.to_string e)
+    | records ->
+      let torn = Obs.Metrics.counter metrics "ledger.torn_lines" in
+      let expect_records, expect_torn =
+        if k = 0 then (1, 0) else if k = n then (2, 0) else (1, 1)
+      in
+      if List.length records <> expect_records || torn <> expect_torn then
+        Alcotest.failf
+          "truncated at byte %d of %d: %d records / %d torn (expected %d / %d)"
+          k n (List.length records) torn expect_records expect_torn
+  done
 
 (* ---- Calibrate.fit ---- *)
 
@@ -362,6 +447,8 @@ let () =
             test_serve_round_trip;
           Alcotest.test_case "1.1 serve info loads without subplan fields"
             `Quick test_old_1_1_serve_without_subplan_fields;
+          Alcotest.test_case "1.2 serve info loads without overload fields"
+            `Quick test_old_1_2_serve_without_overload_fields;
           Alcotest.test_case "pre-1.1 ledger loads" `Quick
             test_old_schema_without_serve;
           Alcotest.test_case "file append/load" `Quick test_file_round_trip;
@@ -369,7 +456,9 @@ let () =
             test_schema_skew_minor;
           Alcotest.test_case "newer major refused" `Quick
             test_schema_skew_major;
-          Alcotest.test_case "torn final line" `Quick test_torn_final_line ] );
+          Alcotest.test_case "torn final line" `Quick test_torn_final_line;
+          Alcotest.test_case "torn at every byte offset" `Quick
+            test_torn_at_every_byte_offset ] );
       ( "calibrate",
         [ Alcotest.test_case "fitting rules" `Quick test_fit_rules;
           Alcotest.test_case "installation and escape hatch" `Quick

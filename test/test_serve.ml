@@ -80,11 +80,11 @@ let sorted_csv outputs =
     (List.map (fun (name, t) -> (name, Relation.Table.to_csv t)) outputs)
 
 let config ?(concurrency = 4) ?(weights = []) ?(subresult_cache_mb = 0.) () =
-  { Serve.Service.concurrency; cache_capacity = 128; subresult_cache_mb;
-    weights; ledger = None }
+  { Serve.Service.default_config with
+    concurrency; subresult_cache_mb; weights }
 
-let sub ?(tenant = "t") ?(workflow = "agg") ~at graph =
-  { Serve.Service.tenant; workflow; graph; arrival_s = at }
+let sub ?(tenant = "t") ?(workflow = "agg") ?slo ~at graph =
+  { Serve.Service.tenant; workflow; graph; arrival_s = at; slo_s = slo }
 
 let delta (a : Musketeer.Plan_cache.stats) (b : Musketeer.Plan_cache.stats) =
   Musketeer.Plan_cache.
@@ -340,6 +340,309 @@ let test_breaker_per_tenant () =
     "healthy globally" false
     (Engines.Breaker.quarantined Engines.Backend.Spark)
 
+(* ---- overload hardening ---- *)
+
+let status_label (o : Serve.Service.outcome) =
+  match o.status with
+  | Serve.Service.Served -> "served"
+  | Serve.Service.Shed r -> "shed:" ^ r
+  | Serve.Service.Expired -> "expired"
+
+let fault_plan spec =
+  match Engines.Faults.parse_plan ~seed:7 spec with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "bad fault spec: %s" e
+
+(* enqueue-then-shed with reject-newest: the arrival itself is the
+   victim once the tenant cap trips *)
+let test_shed_reject_newest () =
+  let hdfs = fresh_hdfs () in
+  let m = Experiments.Common.musketeer_for cluster in
+  let cfg =
+    { (config ~concurrency:1 ()) with
+      Serve.Service.tenant_queue_cap = 1 }
+  in
+  let g = agg_graph () in
+  let outcomes, svc =
+    Serve.Service.run ~config:cfg m ~hdfs
+      [ sub ~workflow:"w1" ~at:0. g;
+        sub ~workflow:"w2" ~at:0. g;
+        sub ~workflow:"w3" ~at:0. g ]
+  in
+  Alcotest.(check (list (pair string string)))
+    "w2 and w3 rejected at arrival, w1 served"
+    [ ("w2", "shed:reject-newest"); ("w3", "shed:reject-newest");
+      ("w1", "served") ]
+    (List.map
+       (fun (o : Serve.Service.outcome) ->
+          (o.sub.Serve.Service.workflow, status_label o))
+       outcomes);
+  List.iter
+    (fun (o : Serve.Service.outcome) ->
+       match o.status with
+       | Serve.Service.Shed _ ->
+         Alcotest.(check string) "shed cache label" "shed" o.cache;
+         Alcotest.(check (option string)) "shed has no error" None o.error;
+         Alcotest.(check int) "shed produced nothing" 0
+           (List.length o.outputs)
+       | _ -> ())
+    outcomes;
+  Alcotest.(check int) "no leaked flights" 0
+    (Serve.Service.open_flights svc)
+
+(* the global cap with shed-lowest-weight picks on the backlogged
+   tenant with the smallest WFQ weight *)
+let test_shed_lowest_weight () =
+  let hdfs = fresh_hdfs () in
+  let m = Experiments.Common.musketeer_for cluster in
+  let cfg =
+    { (config ~concurrency:1
+         ~weights:[ ("gold", 4.); ("bronze", 1.) ] ()) with
+      Serve.Service.global_queue_cap = 2;
+      shed_policy = Serve.Service.Shed_lowest_weight }
+  in
+  let g = agg_graph () in
+  let outcomes, _ =
+    Serve.Service.run ~config:cfg m ~hdfs
+      [ sub ~tenant:"gold" ~at:0. g;
+        sub ~tenant:"bronze" ~at:0. g;
+        sub ~tenant:"gold" ~at:0. g ]
+  in
+  let shed, kept =
+    List.partition
+      (fun (o : Serve.Service.outcome) ->
+         match o.status with Serve.Service.Shed _ -> true | _ -> false)
+      outcomes
+  in
+  Alcotest.(check (list string))
+    "the bronze submission is the victim" [ "bronze" ]
+    (List.map
+       (fun (o : Serve.Service.outcome) -> o.sub.Serve.Service.tenant)
+       shed);
+  Alcotest.(check int) "both gold submissions served" 2 (List.length kept)
+
+let test_shed_oldest_first () =
+  let hdfs = fresh_hdfs () in
+  let m = Experiments.Common.musketeer_for cluster in
+  let cfg =
+    { (config ~concurrency:1 ()) with
+      Serve.Service.tenant_queue_cap = 1;
+      shed_policy = Serve.Service.Oldest_first }
+  in
+  let g = agg_graph () in
+  let outcomes, _ =
+    Serve.Service.run ~config:cfg m ~hdfs
+      [ sub ~workflow:"w1" ~at:0. g;
+        sub ~workflow:"w2" ~at:0. g;
+        sub ~workflow:"w3" ~at:0. g ]
+  in
+  Alcotest.(check (list (pair string string)))
+    "oldest queued items dropped, newest survives"
+    [ ("w1", "shed:oldest-first"); ("w2", "shed:oldest-first");
+      ("w3", "served") ]
+    (List.map
+       (fun (o : Serve.Service.outcome) ->
+          (o.sub.Serve.Service.workflow, status_label o))
+       outcomes)
+
+(* an SLO can only cancel a submission still queued — the deadline
+   passing while another submission holds the only slot expires it
+   before admission, with no execution *)
+let test_slo_expires_queued () =
+  let hdfs = fresh_hdfs () in
+  let m = Experiments.Common.musketeer_for cluster in
+  let outcomes, _ =
+    Serve.Service.run ~config:(config ~concurrency:1 ()) m ~hdfs
+      [ sub ~tenant:"a" ~workflow:"heavy" ~at:0. (heavy_graph ());
+        sub ~tenant:"b" ~slo:0.01 ~at:0. (agg_graph ()) ]
+  in
+  Alcotest.(check (list string))
+    "queued submission expires" [ "served"; "expired" ]
+    (List.map status_label outcomes);
+  match outcomes with
+  | [ _; expired ] ->
+    Alcotest.(check string) "expired cache label" "expired" expired.cache;
+    Alcotest.(check (option string)) "no error" None expired.error;
+    Alcotest.(check int) "nothing executed" 0 (List.length expired.outputs)
+  | _ -> Alcotest.fail "two outcomes expected"
+
+(* ...but once admitted, an execution always runs to byte-identical
+   completion, even if it blows its own deadline doing so *)
+let test_slo_never_cancels_started () =
+  let hdfs = fresh_hdfs () in
+  let m = Experiments.Common.musketeer_for cluster in
+  let outcomes, svc =
+    Serve.Service.run ~config:(config ()) m ~hdfs
+      [ sub ~slo:0.0001 ~at:0. (agg_graph ()) ]
+  in
+  match outcomes with
+  | [ o ] ->
+    Alcotest.(check string) "still served" "served" (status_label o);
+    Alcotest.(check (option string)) "no error" None o.error;
+    Alcotest.(check bool) "outputs materialized" true (o.outputs <> []);
+    let s = Serve.Service.summarize svc outcomes in
+    Alcotest.(check int) "completed" 1 s.Serve.Service.completed;
+    Alcotest.(check int) "but not in SLO" 0 s.Serve.Service.slo_met
+  | _ -> Alcotest.fail "one outcome expected"
+
+(* the degradation ladder climbs under queue-delay pressure and climbs
+   back down on its own as the EWMA decays — without ever changing the
+   bytes a submission completes with *)
+let test_degradation_ladder () =
+  let metric name = Obs.Metrics.counter Obs.Metrics.default name in
+  let gauge name =
+    Option.value ~default:0. (Obs.Metrics.gauge Obs.Metrics.default name)
+  in
+  let hdfs = fresh_hdfs () in
+  let m = Experiments.Common.musketeer_for cluster in
+  let cfg =
+    { (config ~concurrency:1 ()) with
+      Serve.Service.pressure_threshold_s = 0.05 }
+  in
+  let svc = Serve.Service.create ~config:cfg m ~hdfs in
+  let g = agg_graph () in
+  let rung3_0 = metric "serve.degrade.to_rung3" in
+  let burst = List.init 10 (fun _ -> sub ~at:0. g) in
+  let o1 = Serve.Service.drive svc burst in
+  List.iter
+    (fun (o : Serve.Service.outcome) ->
+       Alcotest.(check (option string)) "no error under pressure" None
+         o.error)
+    o1;
+  Alcotest.(check bool) "ladder reached rung 3" true
+    (metric "serve.degrade.to_rung3" > rung3_0);
+  (* every rung produced the same bytes as the rung-0 admission *)
+  let want = sorted_csv (List.hd o1).Serve.Service.outputs in
+  List.iter
+    (fun (o : Serve.Service.outcome) ->
+       Alcotest.(check bool) "degraded output identical" true
+         (sorted_csv o.outputs = want))
+    o1;
+  (* calm, widely spaced traffic decays the EWMA back to rung 0 *)
+  let calm =
+    List.init 30 (fun i -> sub ~at:(10000. +. (500. *. float_of_int i)) g)
+  in
+  let o2 = Serve.Service.drive svc calm in
+  List.iter
+    (fun (o : Serve.Service.outcome) ->
+       Alcotest.(check (option string)) "no error when calm" None o.error)
+    o2;
+  Alcotest.(check (float 1e-9)) "ladder fully reverted" 0.
+    (gauge "serve.degrade.rung")
+
+(* regression: a failed payer must expire its scan/subplan flights
+   immediately — the next co-admitted submission in the same burst pays
+   its own scan instead of riding on a materialization that never
+   landed *)
+let test_failed_payer_expires_flights () =
+  let hdfs = fresh_hdfs () in
+  let m = Experiments.Common.musketeer_for cluster in
+  (* one injected rejection per submission (plans are reseeded per
+     submission), no recovery: both executions fail outright *)
+  let cfg =
+    { (config ~concurrency:2 ()) with
+      Serve.Service.inject = Some (fault_plan "reject") }
+  in
+  let g = agg_graph () in
+  let outcomes, svc =
+    Serve.Service.run ~config:cfg m ~hdfs
+      [ sub ~tenant:"a" ~at:0. g; sub ~tenant:"b" ~at:0. g ]
+  in
+  List.iter
+    (fun (o : Serve.Service.outcome) ->
+       Alcotest.(check bool) "both submissions fail" true (o.error <> None))
+    outcomes;
+  Alcotest.(check int) "no leaked flights" 0
+    (Serve.Service.open_flights svc);
+  Alcotest.(check int)
+    "each failed submission paid its own r1 scan" 2
+    (Engines.Scan_share.paid_reads (Serve.Service.share svc) "r1")
+
+(* an empty retry bucket degrades to fail-fast; an unlimited one
+   retries through the injected rejection *)
+let test_retry_budget () =
+  let metric name = Obs.Metrics.counter Obs.Metrics.default name in
+  let recovery =
+    { Musketeer.Recovery.none with Musketeer.Recovery.max_retries = 2 }
+  in
+  let serve_one budget =
+    let hdfs = fresh_hdfs () in
+    let m = Experiments.Common.musketeer_for cluster in
+    let cfg =
+      { (config ()) with
+        Serve.Service.inject = Some (fault_plan "reject");
+        recovery; retry_budget = budget }
+    in
+    let retries0 = metric "recovery.retries" in
+    let outcomes, _ =
+      Serve.Service.run ~config:cfg m ~hdfs [ sub ~at:0. (agg_graph ()) ]
+    in
+    match outcomes with
+    | [ o ] -> (o, metric "recovery.retries" - retries0)
+    | _ -> Alcotest.fail "one outcome expected"
+  in
+  let capped0 = metric "serve.retry_budget.capped" in
+  let o_unlimited, retries_unlimited = serve_one (-1.) in
+  Alcotest.(check (option string))
+    "unlimited budget retries through the fault" None o_unlimited.error;
+  Alcotest.(check bool) "a retry was spent" true (retries_unlimited > 0);
+  let o_empty, retries_empty = serve_one 0. in
+  Alcotest.(check bool) "empty budget fails fast" true
+    (o_empty.error <> None);
+  Alcotest.(check int) "no retry spent" 0 retries_empty;
+  Alcotest.(check bool) "cap recorded" true
+    (metric "serve.retry_budget.capped" > capped0)
+
+(* crash-restart: a fresh service replays calibration, epochs, open
+   breakers and the plan cache from ledger records *)
+let test_restore_replays_ledger () =
+  Engines.Breaker.enable ~threshold:1 ~window:4 ~cooldown:4 ();
+  Fun.protect
+    ~finally:(fun () ->
+      Engines.Breaker.disable ();
+      Musketeer.Calibrate.install [])
+  @@ fun () ->
+  let hdfs = fresh_hdfs () in
+  let m = Experiments.Common.musketeer_for cluster in
+  let svc = Serve.Service.create ~config:(config ()) m ~hdfs in
+  let serve_rec ~breaker_open ~epochs =
+    Obs.Ledger.snapshot
+      ~since:(Obs.Ledger.mark Obs.Metrics.default)
+      ~serve:
+        { Obs.Ledger.tenant = "gold"; queue_delay_s = 0.; latency_s = 1.;
+          cache = "miss"; subplan_hits = 0; subplan_attached_mb = 0.;
+          shed = None; slo_s = 0.; slo_met = true; breaker_open; epochs }
+      ~workflow:"agg" ~ir_hash:"h" ~partition:[] ~makespan_s:1. ()
+  in
+  let records =
+    [ serve_rec ~breaker_open:[] ~epochs:[ ("r1", 5) ];
+      serve_rec ~breaker_open:[ "Spark" ] ~epochs:[] ]
+  in
+  let stats =
+    Serve.Service.restore svc ~mix:[ ("agg", agg_graph ()) ] records
+  in
+  Alcotest.(check int) "records replayed" 2
+    stats.Serve.Service.r_records;
+  Alcotest.(check int) "agg re-warmed" 1 stats.Serve.Service.r_warmed;
+  Alcotest.(check int) "Spark re-opened" 1 stats.Serve.Service.r_breakers;
+  Alcotest.(check int) "one epoch raised" 1 stats.Serve.Service.r_epochs;
+  Alcotest.(check int) "scan epoch at the recorded maximum" 5
+    (Engines.Scan_share.epoch (Serve.Service.share svc) "r1");
+  Alcotest.(check bool) "Spark quarantined for gold" true
+    (Engines.Breaker.with_tenant "gold" (fun () ->
+         Engines.Breaker.quarantined Engines.Backend.Spark));
+  Alcotest.(check bool) "Spark healthy for other tenants" false
+    (Engines.Breaker.with_tenant "silver" (fun () ->
+         Engines.Breaker.quarantined Engines.Backend.Spark));
+  (* the re-warmed plan serves the next submission from cache *)
+  match
+    Serve.Service.drive svc [ sub ~tenant:"silver" ~at:0. (agg_graph ()) ]
+  with
+  | [ o ] ->
+    Alcotest.(check (option string)) "no error" None o.error;
+    Alcotest.(check string) "warm immediately after restore" "hit" o.cache
+  | _ -> Alcotest.fail "one outcome expected"
+
 (* ---- properties ---- *)
 
 (* Served outputs are byte-identical to a one-shot [run] of the same
@@ -394,6 +697,70 @@ let test_serve_identity_differential () =
                 [ true; false ])
             [ true; false ])
         [ 1; 4 ])
+
+(* The overload machinery — shedding, SLOs, the degradation ladder,
+   fault injection with recovery and a retry budget — may drop or fail
+   submissions, but can never change the bytes of one that completes. *)
+let test_chaos_differential_property () =
+  let plan =
+    match
+      Engines.Faults.parse_plan ~seed:lite_seed
+        "worker@0.5;reject;straggler*3:p=0.6"
+    with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "bad fault spec: %s" e
+  in
+  Qcheck_lite.check ~count:4 ~seed:lite_seed
+    ~name:"chaos + shedding never change completed bytes"
+    Qcheck_lite.spec_arbitrary
+    (fun spec ->
+      let g = Qcheck_lite.graph_of_spec spec in
+      let hdfs = Qcheck_lite.hdfs_of_spec spec in
+      let base = Engines.Hdfs.snapshot hdfs in
+      let reference =
+        let m = Experiments.Common.musketeer_for cluster in
+        match Musketeer.plan m ~workflow:"spec" ~hdfs:base g with
+        | None -> Alcotest.fail "spec should plan"
+        | Some (plan', g') -> (
+          match
+            Musketeer.execute_plan ~record_history:false m ~workflow:"spec"
+              ~hdfs:base ~graph:g' plan'
+          with
+          | Error e -> Alcotest.fail (Engines.Report.error_to_string e)
+          | Ok r -> sorted_csv r.Musketeer.Executor.outputs)
+      in
+      let cfg =
+        { (config ~concurrency:2 ~weights:[ ("a", 2.); ("b", 1.) ] ()) with
+          Serve.Service.tenant_queue_cap = 2;
+          shed_policy = Serve.Service.Oldest_first;
+          pressure_threshold_s = 0.1;
+          default_slo_s = Some 500.;
+          retry_budget = 1.;
+          recovery =
+            { Musketeer.Recovery.default with
+              Musketeer.Recovery.max_retries = 1 };
+          inject = Some plan }
+      in
+      let m = Experiments.Common.musketeer_for cluster in
+      let subs =
+        List.init 3 (fun i ->
+            sub ~tenant:"a" ~workflow:"spec"
+              ~at:(0.3 *. float_of_int i)
+              g)
+        @ List.init 3 (fun i ->
+              sub ~tenant:"b" ~workflow:"spec"
+                ~at:(0.2 *. float_of_int i)
+                g)
+      in
+      let outcomes, svc = Serve.Service.run ~config:cfg m ~hdfs subs in
+      Serve.Service.open_flights svc = 0
+      && List.for_all
+           (fun (o : Serve.Service.outcome) ->
+              match o.status, o.error with
+              | Serve.Service.Served, None ->
+                sorted_csv o.outputs = reference
+              | _ -> o.outputs = [])
+           outcomes)
 
 (* Admission fairness: a light tenant's p99 queue delay in a mix with a
    heavy tenant stays within a constant factor of its solo p99 (plus
@@ -493,8 +860,29 @@ let () =
            test_wfq_weighted_order;
          Alcotest.test_case "breaker isolates tenants" `Quick
            test_breaker_per_tenant ]);
+      ("overload",
+       [ Alcotest.test_case "reject-newest sheds the arrival" `Quick
+           test_shed_reject_newest;
+         Alcotest.test_case "shed-lowest-weight picks the light tenant"
+           `Quick test_shed_lowest_weight;
+         Alcotest.test_case "oldest-first drops the head of the queue"
+           `Quick test_shed_oldest_first;
+         Alcotest.test_case "SLO expires queued submissions" `Quick
+           test_slo_expires_queued;
+         Alcotest.test_case "SLO never cancels a started execution"
+           `Quick test_slo_never_cancels_started;
+         Alcotest.test_case "degradation ladder climbs and reverts"
+           `Quick test_degradation_ladder;
+         Alcotest.test_case "failed payer expires its flights" `Quick
+           test_failed_payer_expires_flights;
+         Alcotest.test_case "retry budget caps injected retries" `Quick
+           test_retry_budget;
+         Alcotest.test_case "restore replays ledger state" `Quick
+           test_restore_replays_ledger ]);
       ("properties",
        [ Alcotest.test_case "served = one-shot (jobs x fusion x columnar)"
            `Slow test_serve_identity_differential;
+         Alcotest.test_case "chaos never changes completed bytes" `Slow
+           test_chaos_differential_property;
          Alcotest.test_case "light tenant p99 bounded in mix" `Slow
            test_fairness_property ]) ]

@@ -132,11 +132,10 @@ let run_graph ~hdfs g =
     | Ok r -> sorted_csv r.Musketeer.Executor.outputs)
 
 let config ?(concurrency = 4) ?(subresult_cache_mb = 0.) () =
-  { Serve.Service.concurrency; cache_capacity = 128; subresult_cache_mb;
-    weights = []; ledger = None }
+  { Serve.Service.default_config with concurrency; subresult_cache_mb }
 
 let sub ?(tenant = "t") ?(workflow = "agg") ~at graph =
-  { Serve.Service.tenant; workflow; graph; arrival_s = at }
+  { Serve.Service.tenant; workflow; graph; arrival_s = at; slo_s = None }
 
 (* ---- subtree hashes ---- *)
 

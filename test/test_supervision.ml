@@ -345,6 +345,37 @@ let test_breaker_exponential_cooldown () =
   Alcotest.(check bool) "half-open after doubled cooldown" true
     (Engines.Breaker.state metis = Engines.Breaker.Half_open)
 
+(* two co-admitted submissions race into the same half-open window:
+   exactly one claims the probe, the other sees the engine held back
+   until the probe resolves — a half-open breaker must never let a
+   thundering herd re-storm a recovering engine *)
+let test_breaker_half_open_single_probe () =
+  with_breaker ~threshold:2 ~window:4 ~cooldown:2 @@ fun () ->
+  Obs.Metrics.reset Obs.Metrics.default;
+  let metis = Engines.Backend.Metis and hadoop = Engines.Backend.Hadoop in
+  Engines.Breaker.record_failure metis;
+  Engines.Breaker.record_failure metis;
+  Engines.Breaker.record_success hadoop;
+  Engines.Breaker.record_success hadoop;
+  Alcotest.(check bool) "half-open" true
+    (Engines.Breaker.state metis = Engines.Breaker.Half_open);
+  (* first caller in the window claims the single probe *)
+  Alcotest.(check bool) "first filter admits the probe" true
+    (List.mem metis (Engines.Breaker.filter [ metis; hadoop ]));
+  (* a second caller racing into the same window gets no second probe *)
+  Alcotest.(check bool) "second filter holds the engine back" false
+    (List.mem metis (Engines.Breaker.filter [ metis; hadoop ]));
+  Alcotest.(check bool) "third caller also held back" false
+    (List.mem metis (Engines.Breaker.filter [ metis; hadoop ]));
+  Alcotest.(check int) "contended probes counted" 2
+    (counter "breaker.probe_contended");
+  (* the probe succeeding re-closes and re-admits every caller *)
+  Engines.Breaker.record_success metis;
+  Alcotest.(check bool) "re-closed after probe success" true
+    (Engines.Breaker.state metis = Engines.Breaker.Closed);
+  Alcotest.(check bool) "filter re-admits once closed" true
+    (List.mem metis (Engines.Breaker.filter [ metis; hadoop ]))
+
 let test_breaker_disabled_is_inert () =
   Engines.Breaker.disable ();
   let metis = Engines.Backend.Metis in
@@ -571,6 +602,8 @@ let () =
            test_breaker_trips_and_recovers;
          Alcotest.test_case "exponential cool-down" `Quick
            test_breaker_exponential_cooldown;
+         Alcotest.test_case "half-open admits a single probe" `Quick
+           test_breaker_half_open_single_probe;
          Alcotest.test_case "disabled is inert" `Quick
            test_breaker_disabled_is_inert;
          Alcotest.test_case "excluded from planning, then re-admitted"
